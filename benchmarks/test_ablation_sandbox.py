@@ -1,0 +1,46 @@
+"""Ablation A7 (§3.2 option 1): sandboxed build systems vs building on the
+HPC resource — the network-scoped-resources tradeoff."""
+
+import itertools
+
+from repro.cluster import EphemeralVmBuilder, make_machine
+from repro.containers import Podman
+
+from .conftest import report
+
+LICENSED_DOCKERFILE = """\
+FROM centos:7
+RUN echo '[site]' > /etc/yum.repos.d/site.repo
+RUN echo 'baseurl=repo://site/licensed-x86_64' >> /etc/yum.repos.d/site.repo
+RUN echo 'enabled=1' >> /etc/yum.repos.d/site.repo
+RUN yum install -y vendor-compiler
+"""
+
+PUBLIC_DOCKERFILE = "FROM centos:7\nRUN yum install -y openssh\n"
+
+_tags = (f"t{i}" for i in itertools.count())
+
+
+def test_ablation_sandbox_public_build(benchmark, world):
+    builder = EphemeralVmBuilder(world)
+    build = benchmark(lambda: builder.build(PUBLIC_DOCKERFILE, next(_tags)))
+    assert build.success
+
+
+def test_ablation_sandbox_vs_onsite_licensed(world):
+    builder = EphemeralVmBuilder(world)
+    sandbox_build = builder.build(LICENSED_DOCKERFILE, "lic")
+    assert not sandbox_build.success  # license repo unreachable from the VM
+
+    login = make_machine("site-login", network=world.network)
+    podman = Podman(login, login.login("alice"))
+    onsite = podman.build(LICENSED_DOCKERFILE, "lic")
+    assert onsite.success, onsite.text
+
+    report("A7 sandbox vs on-site", [
+        ("sandbox VM, public pkg", "ok (privileged build, safely isolated)"),
+        ("sandbox VM, licensed pkg", "FAILED: site repo unreachable"),
+        ("HPC login node, licensed", "ok (on the site network)"),
+        ("paper", "§3.2: isolated builders 'may not be able to access "
+                  "needed resources, such as private code or licenses'"),
+    ])

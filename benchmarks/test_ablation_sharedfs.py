@@ -1,0 +1,81 @@
+"""Ablation A5 (§4.2, §6.1, §6.2.1): Type II container storage on shared
+filesystems.
+
+* fuse-overlayfs refuses default-configured NFS/Lustre (no user xattrs);
+* even the vfs driver fails on NFS because the server rejects
+  subordinate-UID ownership it cannot map;
+* node-local /tmp works — Astra's actual deployment choice;
+* xattr-enabled NFSv4.2 (the §6.2.1 recommendation) lets overlay start.
+"""
+
+import pytest
+
+from repro.containers import DriverError, Podman
+from repro.cluster import make_machine
+from repro.kernel import make_lustre, make_nfs
+
+from .conftest import FIG2_DOCKERFILE, report
+
+
+def _machine_with(world, fs, mountpoint="/users"):
+    m = make_machine("share", network=world.network)
+    m.mount_shared(mountpoint, fs)
+    sys0 = m.root_sys()
+    sys0.mkdir_p(f"{mountpoint}/alice")
+    sys0.chown(f"{mountpoint}/alice", 1000, 1000)
+    return m
+
+
+def test_ablation_overlay_on_nfs_refused(world):
+    m = _machine_with(world, make_nfs("nfs-home"))
+    with pytest.raises(DriverError) as exc:
+        Podman(m, m.login("alice"), storage_dir="/users/alice/containers")
+    assert "user xattrs" in str(exc.value)
+
+
+def test_ablation_overlay_on_lustre_refused(world):
+    m = _machine_with(world, make_lustre("scratch"), "/scratch")
+    sys0 = m.root_sys()
+    sys0.mkdir_p("/scratch/alice")
+    sys0.chown("/scratch/alice", 1000, 1000)
+    with pytest.raises(DriverError):
+        Podman(m, m.login("alice"), storage_dir="/scratch/alice/containers")
+
+
+def test_ablation_vfs_on_nfs_fails_at_chown(world):
+    """§4.2: 'the filesystem server has no way to enforce the file creation
+    of different UIDs on the server side'."""
+    m = _machine_with(world, make_nfs("nfs-home"))
+    podman = Podman(m, m.login("alice"),
+                    storage_dir="/users/alice/containers", driver="vfs")
+    result = podman.build(FIG2_DOCKERFILE, "foo")
+    assert not result.success
+    # the NFS server rejects the subordinate-UID chown, so the Type II
+    # advantage evaporates and the build dies like a Type III one
+    assert "cpio: chown" in result.text
+
+
+def test_ablation_local_tmp_works(benchmark, world):
+    """Astra's answer: node-local storage."""
+    m = _machine_with(world, make_nfs("nfs-home"))
+    podman = Podman(m, m.login("alice"),
+                    storage_dir="/tmp/alice-containers")
+
+    result = benchmark.pedantic(
+        lambda: podman.build(FIG2_DOCKERFILE, "foo"), rounds=1, iterations=1)
+    assert result.success, result.text
+
+
+def test_ablation_xattr_enabled_nfs_accepts_overlay(world):
+    """§6.2.1: Linux 5.9 + NFSv4.2 xattrs make overlay storage possible."""
+    m = _machine_with(world, make_nfs("nfs42", xattr_support=True))
+    podman = Podman(m, m.login("alice"),
+                    storage_dir="/users/alice/containers")
+    assert podman.build(FIG2_DOCKERFILE, "foo").success
+    report("A5 shared filesystems", [
+        ("overlay on default NFS", "refused (no user xattrs)"),
+        ("overlay on default Lustre", "refused (no user xattrs)"),
+        ("vfs on NFS", "fails: server rejects foreign UIDs"),
+        ("local /tmp", "works (Astra's configuration)"),
+        ("overlay on NFSv4.2+xattr", "works (§6.2.1 recommendation)"),
+    ])

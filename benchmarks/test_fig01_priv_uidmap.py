@@ -1,0 +1,65 @@
+"""Figure 1: typical privileged UID map for a container run by Alice.
+
+/etc/subuid grants alice (and bob) subordinate ranges; newuidmap installs
+the kernel map 0->alice, 1..65536->200000..; the bench times the full
+privileged namespace setup.
+"""
+
+from repro.cluster import make_machine
+from repro.kernel import IdMapEntry, Syscalls
+
+from .conftest import report
+
+
+def _setup(login):
+    shadow = login.shadow
+    # the exact Figure 1 configuration
+    shadow.usermod_add_subuids("alice2", 200000, 65536)
+    shadow.usermod_add_subgids("alice2", 200000, 65536)
+    shadow.users["alice2"] = 4001
+    return shadow
+
+
+def test_fig01_privileged_uid_map(benchmark, world):
+    login = make_machine("login-fig1", network=world.network,
+                         users={"alice2": 4001, "bob2": 4002}, subids=False)
+    shadow = _setup(login)
+
+    def setup_namespace():
+        proc = login.kernel.login(4001, 4001, user="alice2")
+        sys = Syscalls(proc)
+        sys.unshare_user()
+        shadow.newuidmap(proc, proc, [
+            IdMapEntry(0, 4001, 1),
+            IdMapEntry(1, 200000, 65536),
+        ])
+        shadow.newgidmap(proc, proc, [
+            IdMapEntry(0, 4001, 1),
+            IdMapEntry(1, 200000, 65536),
+        ])
+        return proc
+
+    proc = benchmark(setup_namespace)
+    ns = proc.cred.userns
+
+    # /etc/subuid content (the file the sysadmin maintains)
+    subuid_text = login.root_sys().read_file("/etc/subuid").decode()
+    assert "alice2:200000:65536" in subuid_text
+
+    # kernel map: uid_map file shape from the figure
+    map_lines = [l.split() for l in ns.uid_map.format().splitlines()]
+    assert map_lines[0] == ["0", "4001", "1"]
+    assert map_lines[1] == ["1", "200000", "65536"]
+
+    # the figure's arithmetic: container UID 65 is host UID 200064
+    assert ns.uid_to_host(65) == 200064
+    assert ns.uid_to_host(0) == 4001
+    # one-to-one, no squashing
+    assert ns.uid_from_host(200064) == 65
+
+    report("Figure 1: privileged UID map", [
+        ("/etc/subuid", subuid_text.replace("\n", "  ").strip()),
+        ("uid_map", "; ".join(" ".join(l) for l in map_lines)),
+        ("container 65 -> host", str(ns.uid_to_host(65))),
+        ("paper", "0->alice, 1..65536->200000.. (Fig. 1)"),
+    ])

@@ -1,0 +1,32 @@
+"""Figure 2: the CentOS 7 Dockerfile fails in a basic Type III container
+because chown(2) fails (``cpio: chown``)."""
+
+from repro.core import ChImage
+
+from .conftest import FIG2_DOCKERFILE, report
+
+
+def test_fig02_centos_type3_build_fails(benchmark, login, alice):
+    ch = ChImage(login, alice)
+
+    def build():
+        ch.storage.delete("foo") if ch.storage.exists("foo") else None
+        return ch.build(tag="foo", dockerfile=FIG2_DOCKERFILE)
+
+    result = benchmark(build)
+
+    assert not result.success
+    text = result.text
+    assert "  2 RUN ['/bin/sh', '-c', 'echo hello']" in text
+    assert "hello" in text
+    assert "Installing: openssh-7.4p1-21.el7.x86_64" in text
+    assert "Error unpacking rpm package openssh-7.4p1-21.el7.x86_64" in text
+    assert "cpio: chown" in text
+    assert "error: build failed: RUN command exited with 1" in text
+
+    report("Figure 2: CentOS 7 Type III failure", [
+        ("echo step", "succeeded (needs no privilege)"),
+        ("yum step", "failed: cpio: chown"),
+        ("exit", "RUN command exited with 1"),
+        ("paper", "identical failure, Fig. 2 lines 10-15"),
+    ])

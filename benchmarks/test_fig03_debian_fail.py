@@ -1,0 +1,31 @@
+"""Figure 3: the Debian 10 Dockerfile fails in a basic Type III container —
+apt-get's privilege drop hits setgroups EPERM and seteuid EINVAL."""
+
+from repro.core import ChImage
+
+from .conftest import FIG3_DOCKERFILE, report
+
+
+def test_fig03_debian_type3_build_fails(benchmark, login, alice):
+    ch = ChImage(login, alice)
+
+    def build():
+        ch.storage.delete("foo") if ch.storage.exists("foo") else None
+        return ch.build(tag="foo", dockerfile=FIG3_DOCKERFILE)
+
+    result = benchmark(build)
+
+    assert not result.success
+    text = result.text
+    assert ("E: setgroups 65534 failed - setgroups "
+            "(1: Operation not permitted)") in text
+    assert ("E: seteuid 100 failed - seteuid "
+            "(22: Invalid argument)") in text
+    assert "error: build failed: RUN command exited with 100" in text
+
+    report("Figure 3: Debian 10 Type III failure", [
+        ("setgroups 65534", "EPERM 1 (not permitted in unprivileged userns)"),
+        ("seteuid 100", "EINVAL 22 (uid 100 unmapped)"),
+        ("exit", "RUN command exited with 100"),
+        ("paper", "identical errno values, Fig. 3 lines 11-15"),
+    ])

@@ -1,0 +1,30 @@
+"""Figure 4: the subuid file and the UID map rootless Podman sets up
+(alice gets 65536 UIDs starting at her subordinate range)."""
+
+from repro.containers import Podman
+
+from .conftest import report
+
+
+def test_fig04_rootless_podman_uid_map(benchmark, login, alice):
+    podman = benchmark(lambda: Podman(login, alice.fork()))
+
+    entries = podman.uid_map()
+    assert entries[0].inside_start == 0
+    assert entries[0].outside_start == 1000
+    assert entries[0].count == 1
+    assert entries[1].inside_start == 1
+    assert entries[1].count == 65536
+
+    subuid = login.root_sys().read_file("/etc/subuid").decode()
+    assert any(line.startswith("alice:") and line.endswith(":65536")
+               for line in subuid.splitlines())
+
+    # The user namespace mapping cannot exceed max_user_namespaces (§4.1).
+    assert login.kernel.sysctl["user.max_user_namespaces"] > 0
+
+    report("Figure 4: Podman rootless UID map", [
+        ("/etc/subuid", subuid.splitlines()[0]),
+        ("uid_map", podman.uid_map_text().replace("\n", " | ").strip()),
+        ("paper", "alice allocates 65536 UIDs via newuidmap/newgidmap"),
+    ])

@@ -1,0 +1,44 @@
+"""Figure 5: Podman in unprivileged mode — one UID mapped, and the
+openssh-server install fails because /proc and /sys are owned by nobody."""
+
+from repro.containers import Podman, enter_container
+from repro.kernel import OVERFLOW_UID
+
+from .conftest import report
+
+
+def test_fig05_podman_unprivileged_mode(benchmark, login):
+    bob = login.login("bob")
+    podman = Podman(login, bob, unprivileged=True, ignore_chown_errors=True)
+
+    # Single-UID map, as the figure lists.
+    entries = podman.uid_map()
+    assert len(entries) == 1 and entries[0].count == 1
+    assert entries[0].outside_start == 1001
+
+    def build():
+        if "srv" in podman.buildah.images:
+            del podman.buildah.images["srv"]
+        if podman.buildah.driver.exists("build-srv"):
+            podman.buildah.driver.delete("build-srv")
+        return podman.build(
+            "FROM centos:7\nRUN yum install -y openssh-server\n", "srv")
+
+    result = benchmark(build)
+    assert not result.success
+    assert "Permission denied" in result.text
+
+    # Verify the mechanism: /proc entries show as nobody inside.
+    tree = podman.buildah.driver.image_path("centos:7")
+    ctx = enter_container(bob, tree, "type3", dev_fs=login.dev_fs,
+                          join_userns=podman.buildah._storage_proc.cred.userns)
+    st = ctx.sys.stat("/proc/sys/net/ipv4/ip_forward")
+    assert st.st_uid == OVERFLOW_UID
+
+    report("Figure 5: Podman unprivileged mode", [
+        ("uid_map", podman.uid_map_text().strip()),
+        ("/proc owner inside", f"uid {st.st_uid} (nobody)"),
+        ("openssh-server", "FAILED: Permission denied on /proc/sys write"),
+        ("paper", "'will fail because /proc and /sys mappings in the "
+                  "container are owned by user nobody'"),
+    ])

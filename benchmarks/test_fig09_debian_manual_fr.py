@@ -1,0 +1,36 @@
+"""Figure 9: the Debian 10 Dockerfile modified by hand (sandbox off,
+pseudo installed, fakeroot wrapping) builds successfully, with the
+non-fatal term.log chown warning."""
+
+from repro.core import ChImage
+
+from .conftest import FIG9_DOCKERFILE, report
+
+
+def test_fig09_debian_manual_fakeroot(benchmark, login, alice):
+    ch = ChImage(login, alice)
+
+    def build():
+        if ch.storage.exists("foo"):
+            ch.storage.delete("foo")
+        return ch.build(tag="foo", dockerfile=FIG9_DOCKERFILE)
+
+    result = benchmark(build)
+
+    assert result.success, result.text
+    text = result.text
+    assert "Setting up pseudo (1.9.0+git20180920-1) ..." in text
+    assert "W: chown to root:adm of file /var/log/apt/term.log failed" in text
+    assert "Setting up openssh-client (1:7.9p1-10+deb10u2) ..." in text
+    assert "Setting up libxext6 (2:1.3.3-1+b2) ..." in text
+    assert "Setting up xauth (1:1.0.10-1) ..." in text
+    assert "Processing triggers for libc-bin (2.28-10) ..." in text
+    assert "grown in 6 instructions: foo" in text
+
+    report("Figure 9: Debian manual workarounds build", [
+        ("sandbox", "disabled via APT::Sandbox::User root"),
+        ("pseudo", "installed without fakeroot; term.log warning only"),
+        ("openssh-client", "installed under fakeroot: success"),
+        ("warning fatal?", "no — 'these warnings do not fail the build'"),
+        ("paper", "Fig. 9 lines 18-28 incl. the W: line at 21"),
+    ])

@@ -1,0 +1,45 @@
+"""Figure 11: ch-image --force builds the *unmodified* Debian 10 Dockerfile
+via the debderiv config (two init steps, two modified RUNs)."""
+
+from repro.core import ChImage
+
+from .conftest import FIG3_DOCKERFILE, report
+
+
+def test_fig11_force_debian(benchmark, login, alice):
+    ch = ChImage(login, alice)
+
+    def build():
+        if ch.storage.exists("foo"):
+            ch.storage.delete("foo")
+        return ch.build(tag="foo", dockerfile=FIG3_DOCKERFILE, force=True)
+
+    result = benchmark(build)
+
+    assert result.success, result.text
+    text = result.text
+    assert ("will use --force: debderiv: Debian (9, 10) or Ubuntu "
+            "(16, 18, 20)") in text
+    assert ("workarounds: init step 1: checking: $ apt-config dump | "
+            "fgrep -q 'APT::Sandbox::User \"root\"' || ! fgrep -q _apt "
+            "/etc/passwd") in text
+    assert ("workarounds: init step 1: $ echo 'APT::Sandbox::User "
+            "\"root\";' > /etc/apt/apt.conf.d/no-sandbox") in text
+    assert ("workarounds: init step 2: checking: $ command -v fakeroot > "
+            "/dev/null") in text
+    assert ("workarounds: init step 2: $ apt-get update && apt-get install "
+            "-y pseudo") in text
+    assert "Setting up pseudo (1.9.0+git20180920-1) ..." in text
+    assert ("workarounds: RUN: new command: ['fakeroot', '/bin/sh', '-c', "
+            "'apt-get update']") in text
+    assert "--force: init OK & modified 2 RUN instructions" in text
+    assert "grown in 4 instructions: foo" in text
+    assert result.modified_runs == 2
+
+    report("Figure 11: ch-image --force (Debian)", [
+        ("detection", "debderiv via /etc/os-release 'buster'"),
+        ("init step 1", "APT sandbox disabled by config file"),
+        ("init step 2", "apt-get update && install pseudo"),
+        ("modified RUNs", str(result.modified_runs)),
+        ("paper", "'--force: init OK & modified 2 RUN instructions'"),
+    ])

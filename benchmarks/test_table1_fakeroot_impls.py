@@ -1,0 +1,69 @@
+"""Table 1: the three fakeroot implementations — metadata columns plus a
+live capability probe of the properties the columns imply."""
+
+import pytest
+
+from repro.cluster import make_machine
+from repro.fakeroot import ENGINES, FakerootError, FakerootSyscalls
+from repro.kernel import FileType, Syscalls
+
+from .conftest import report
+
+EXPECTED = {
+    "fakeroot": ("LD_PRELOAD", "any", "yes", "save/restore from file"),
+    "fakeroot-ng": ("ptrace", "ppc, x86, x86_64", "yes",
+                    "save/restore from file"),
+    "pseudo": ("LD_PRELOAD", "any", "yes", "database"),
+}
+
+
+def test_table1_static_columns(benchmark):
+    rows = benchmark(lambda: {e.name: e.table_row()
+                              for e in ENGINES.values()})
+    for name, (approach, arches, daemon, persistency) in EXPECTED.items():
+        row = rows[name]
+        assert row["approach"] == approach
+        assert row["architectures"] == arches
+        assert row["daemon?"] == daemon
+        assert row["persistency"] == persistency
+    report("Table 1: fakeroot implementations", [
+        (name, " | ".join(v for k, v in row.items()
+                          if k != "implementation"))
+        for name, row in rows.items()
+    ])
+
+
+@pytest.mark.parametrize("engine_name", list(ENGINES))
+def test_table1_live_probe(world, engine_name):
+    """Probe each engine's behaviour: basic lying works everywhere the
+    engine runs; arch restrictions bind for ptrace."""
+    engine = ENGINES[engine_name]
+    for arch in ("x86_64", "aarch64"):
+        m = make_machine(f"probe-{arch}", arch=arch, network=world.network)
+        alice = m.login("alice")
+        sys = Syscalls(alice)
+        if engine.supports_arch(arch):
+            fr = FakerootSyscalls(sys, engine)
+            fr.write_file("/home/alice/f", b"")
+            fr.chown("/home/alice/f", 0, 0)
+            fr.mknod("/home/alice/dev", FileType.CHR, rdev=(1, 1))
+            assert fr.stat("/home/alice/f").st_uid == 0
+            assert fr.stat("/home/alice/dev").ftype is FileType.CHR
+        else:
+            with pytest.raises(FakerootError):
+                FakerootSyscalls(sys, engine)
+
+
+def test_table1_persistence_styles(world):
+    """fakeroot/fakeroot-ng save-restore vs pseudo's always-on database."""
+    m = make_machine("persist", network=world.network)
+    alice = m.login("alice")
+    sys = Syscalls(alice)
+    classic = FakerootSyscalls(sys, ENGINES["fakeroot"])
+    classic.write_file("/home/alice/f", b"")
+    classic.chown("/home/alice/f", 7, 7)
+    classic.save_state("/home/alice/state")
+    fresh = FakerootSyscalls(sys, ENGINES["fakeroot"])
+    assert fresh.stat("/home/alice/f").st_uid == 0  # lies don't carry over
+    fresh.load_state("/home/alice/state")
+    assert fresh.stat("/home/alice/f").st_uid == 7  # until explicitly loaded

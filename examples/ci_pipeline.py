@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The §5.3.3 production CI pattern: three chained Dockerfiles, built and
+validated on supercomputer compute nodes as normal jobs, coordinated by a
+GitLab-like server.
+
+Dockerfile 1: OpenMPI in a CentOS base.
+Dockerfile 2: the complex Spack environment on top of it.
+Dockerfile 3: the application itself.
+
+All builds use ch-image --force on a compute node; the validation stage
+pulls the final image and runs smoke tests on two nodes.
+
+Run:  python examples/ci_pipeline.py
+"""
+
+from repro.cluster import CiJob, CiServer, make_astra, make_world
+from repro.core import ChImage, ChRun, push_image
+
+REGISTRY = "gitlab.example.gov"
+
+DOCKERFILE_MPI = """\
+FROM centos:7
+RUN yum install -y gcc
+RUN yum install -y openmpi
+"""
+
+DOCKERFILE_ENV = f"""\
+FROM {REGISTRY}/app/openmpi:latest
+RUN yum install -y spack
+RUN spack install hdf5
+"""
+
+DOCKERFILE_APP = f"""\
+FROM {REGISTRY}/app/env:latest
+RUN yum install -y atse
+"""
+
+
+def main() -> None:
+    world = make_world()
+    astra = make_astra(world, n_compute=4)
+    server = CiServer("gitlab")
+    pipe = server.new_pipeline("hpc-app")
+
+    def build_stage(dockerfile: str, tag: str):
+        def job():
+            # builds run on a compute node via a normal scheduler job
+            def build(node, rank, login):
+                ch = ChImage(node, login)
+                result = ch.build(tag=tag, dockerfile=dockerfile, force=True)
+                if not result.success:
+                    return 1, result.text
+                push_image(ch.storage, tag, f"{REGISTRY}/app/{tag}:latest")
+                return 0, f"built and pushed app/{tag}:latest\n"
+            res = astra.scheduler.srun("alice", 1, build)
+            return (0 if res.success else 1), res.output
+        return job
+
+    build = pipe.stage("build")
+    build.jobs.append(CiJob("openmpi-base",
+                            build_stage(DOCKERFILE_MPI, "openmpi")))
+    env = pipe.stage("environment")
+    env.jobs.append(CiJob("app-env", build_stage(DOCKERFILE_ENV, "env")))
+    app = pipe.stage("application")
+    app.jobs.append(CiJob("app-image", build_stage(DOCKERFILE_APP, "final")))
+
+    def validate_job():
+        def smoke(node, rank, login):
+            ch = ChImage(node, login)
+            path = ch.pull(f"{REGISTRY}/app/final:latest")
+            res = ChRun(node, login).run(
+                path, ["/opt/atse/bin/atse-info"],
+                env={"OMPI_COMM_WORLD_RANK": str(rank)})
+            return res.status, res.output
+        result = astra.scheduler.srun("alice", 2, smoke)
+        return (0 if result.success else 1), result.output
+
+    pipe.stage("validate").jobs.append(CiJob("smoke-test", validate_job))
+
+    result = server.trigger(pipe)
+    print(result.report())
+    print()
+    print("validation output:")
+    print(pipe.stages[-1].jobs[0].output, end="")
+    print()
+    print(f"registry repositories: {world.site_registry.repositories()}")
+    assert result.passed
+
+
+if __name__ == "__main__":
+    main()

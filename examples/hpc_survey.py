@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The §3.1 survey, live: what each container implementation in active or
+potential use for HPC can and cannot do.
+
+Docker (Type I), rootless Podman (Type II), Singularity (Type II
+"fakeroot", definition files only), Shifter/Sarus (Type I, run-only),
+Enroot (Type III, run-only), Charliecloud (Type III, builds Dockerfiles).
+
+Run:  python examples/hpc_survey.py
+"""
+
+from repro.cluster import make_machine, make_world
+from repro.containers import (
+    DockerDaemon,
+    Enroot,
+    HpcRuntimeError,
+    Podman,
+    ShifterGateway,
+    Singularity,
+    SingularityError,
+)
+from repro.core import ChImage
+
+DOCKERFILE = "FROM centos:7\nRUN yum install -y openssh\n"
+
+DEFINITION = """\
+Bootstrap: docker
+From: centos:7
+
+%post
+    yum install -y openssh
+"""
+
+
+def main() -> None:
+    world = make_world(arches=("x86_64",))
+    m = make_machine("login1", network=world.network)
+    alice = m.login("alice")
+    rows = []
+
+    docker = DockerDaemon(m, docker_group={1000})
+    r = docker.build(alice, DOCKERFILE, "d1")
+    rows.append(("Docker", "I", "daemon, root-equivalent",
+                 "Dockerfile", "ok" if r.success else "FAILED"))
+
+    podman = Podman(m, alice)
+    r = podman.build(DOCKERFILE, "p1")
+    rows.append(("rootless Podman", "II", "setcap helpers + /etc/subuid",
+                 "Dockerfile", "ok" if r.success else "FAILED"))
+
+    sing = Singularity(m, alice)
+    sing.build("/home/alice/s.sif", DEFINITION)
+    try:
+        sing.build("/home/alice/x.sif", DOCKERFILE)
+        dockerfile_support = "ok"
+    except SingularityError:
+        dockerfile_support = "definition files only"
+    rows.append(("Singularity", "I/II", "fakeroot brand (subuid)",
+                 dockerfile_support, "ok"))
+
+    shifter = ShifterGateway(m)
+    shifter.pull("centos:7")
+    try:
+        shifter.build()
+        build = "ok"
+    except HpcRuntimeError:
+        build = "no build (run-only)"
+    rows.append(("Shifter/Sarus", "I", "root image gateway", build, "n/a"))
+
+    enroot = Enroot(m, alice)
+    enroot.import_image("centos:7")
+    try:
+        enroot.build()
+        build = "ok"
+    except HpcRuntimeError:
+        build = "no build (converts images)"
+    rows.append(("Enroot", "III", "none (fully unprivileged)", build, "n/a"))
+
+    ch = ChImage(m, alice)
+    r = ch.build(tag="c1", dockerfile=DOCKERFILE, force=True)
+    rows.append(("Charliecloud", "III", "none (fakeroot injection)",
+                 "Dockerfile", "ok" if r.success else "FAILED"))
+
+    headers = ("implementation", "type", "privilege model",
+               "build input", "Fig.2 build")
+    widths = [max(len(h), *(len(str(row[i])) for row in rows))
+              for i, h in enumerate(headers)]
+    print(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+if __name__ == "__main__":
+    main()

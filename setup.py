@@ -1,0 +1,11 @@
+"""Compatibility shim for environments without PEP 660 editable-install
+support (e.g. no `wheel` package available offline).
+
+`pip install -e .` uses pyproject.toml where possible; on minimal systems,
+`python setup.py develop --user` or adding `src/` to a .pth file works the
+same — the package is pure Python with no build step.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of "Minimizing privilege for building HPC containers".
+
+A simulated-Linux substrate plus container build implementations:
+
+* :mod:`repro.kernel` — user/mount namespaces, VFS, capabilities, syscalls.
+* :mod:`repro.helpers` — shadow-utils subordinate-ID helpers.
+* :mod:`repro.fakeroot` — three fakeroot(1) engines.
+* :mod:`repro.shell` — a mini POSIX shell + simulated userland.
+* :mod:`repro.distro` — yum/rpm and apt/dpkg package substrates + base images.
+* :mod:`repro.containers` — OCI plumbing, Docker (Type I), rootless
+  Podman/Buildah (Type II).
+* :mod:`repro.core` — Charliecloud ch-image/ch-run (Type III), the paper's
+  primary contribution.
+* :mod:`repro.cluster` — HPC machines, scheduler, CI, the Astra workflow.
+"""
+
+__version__ = "1.0.0"
+
+from .errors import (
+    BuildError,
+    Errno,
+    KernelError,
+    PackageError,
+    RegistryError,
+    ReproError,
+)
+
+__all__ = [
+    "__version__",
+    "BuildError",
+    "Errno",
+    "KernelError",
+    "PackageError",
+    "RegistryError",
+    "ReproError",
+]

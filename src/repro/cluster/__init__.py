@@ -1,0 +1,40 @@
+"""HPC substrate: machines, scheduler, CI, and the Astra workflow."""
+
+from .astra import (
+    AstraCluster,
+    WorkflowReport,
+    astra_build_workflow,
+    laptop_build_workflow,
+    make_astra,
+)
+from .ci import CiError, CiJob, CiPipeline, CiServer, CiStage
+from .machines import Machine, make_machine
+from .sandbox import EphemeralVmBuilder, SandboxBuild, SandboxError
+from .scheduler import Job, JobResult, Scheduler, SchedulerError
+from .world import HUB, SITE_REGISTRY, World, make_world
+
+__all__ = [
+    "AstraCluster",
+    "WorkflowReport",
+    "astra_build_workflow",
+    "laptop_build_workflow",
+    "make_astra",
+    "CiError",
+    "CiJob",
+    "CiPipeline",
+    "CiServer",
+    "CiStage",
+    "Machine",
+    "make_machine",
+    "EphemeralVmBuilder",
+    "SandboxBuild",
+    "SandboxError",
+    "Job",
+    "JobResult",
+    "Scheduler",
+    "SchedulerError",
+    "HUB",
+    "SITE_REGISTRY",
+    "World",
+    "make_world",
+]

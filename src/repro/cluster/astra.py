@@ -1,0 +1,194 @@
+"""The Astra container DevOps workflow (paper §4.2, Figure 6).
+
+Astra was the first Arm supercomputer on the Top500; x86-64 images simply
+do not execute there, so images must be built *on the machine*.  The
+workflow: ``podman build`` on a login node → push to the site GitLab
+container registry → parallel deployment on compute nodes with an HPC
+runtime (Charliecloud here, Singularity originally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..containers.podman import Podman
+from ..core.builder import ChImage
+from ..core.runtime import ChRun
+from ..errors import ReproError
+from .machines import Machine, make_machine
+from .scheduler import JobResult, Scheduler
+from .world import SITE_REGISTRY, World
+
+__all__ = ["AstraCluster", "WorkflowReport", "make_astra",
+           "astra_build_workflow", "laptop_build_workflow"]
+
+
+class WorkflowError(ReproError):
+    """A workflow phase failed."""
+
+
+@dataclass
+class AstraCluster:
+    """Login node + compute partition + scheduler."""
+
+    login: Machine
+    compute: list[Machine]
+    scheduler: Scheduler
+    world: World
+
+    @property
+    def arch(self) -> str:
+        return self.login.arch
+
+
+def make_astra(world: World, *, n_compute: int = 4, arch: str = "aarch64",
+               users: Optional[dict[str, int]] = None) -> AstraCluster:
+    """Boot an Astra-like machine (aarch64 Thunder X2 by default)."""
+    users = users or {"alice": 1000, "bob": 1001}
+    login = make_machine("astra-login1", arch=arch, network=world.network,
+                         users=users)
+    compute = [
+        make_machine(f"astra-cn{i:03d}", arch=arch, network=world.network,
+                     users=users)
+        for i in range(1, n_compute + 1)
+    ]
+    return AstraCluster(login, compute, Scheduler(compute), world)
+
+
+@dataclass
+class WorkflowReport:
+    """What happened in each Figure 6 phase."""
+
+    build_ok: bool = False
+    build_transcript: str = ""
+    push_ok: bool = False
+    pushed_ref: str = ""
+    layer_count: int = 0
+    deploy: Optional[JobResult] = None
+    phases: list[str] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return (self.build_ok and self.push_ok
+                and self.deploy is not None and self.deploy.success)
+
+
+def astra_build_workflow(
+    cluster: AstraCluster,
+    user: str,
+    dockerfile: str,
+    tag: str,
+    *,
+    n_nodes: int = 2,
+    app_argv: Optional[list[str]] = None,
+    runtime: str = "charliecloud",
+) -> WorkflowReport:
+    """The full Figure 6 loop on the supercomputer itself.
+
+    1. ``podman build`` on the login node (invoked by the user, rootless);
+    2. ``podman push`` to the site GitLab container registry;
+    3. parallel launch on compute nodes with an HPC runtime — "this was
+       originally demonstrated with Singularity, however any HPC container
+       runtime such as Charliecloud or Shifter could also be used" (§4.2):
+       pass ``runtime`` = ``charliecloud`` (default) or ``singularity``.
+    """
+    if runtime not in ("charliecloud", "singularity"):
+        raise WorkflowError(f"unsupported HPC runtime {runtime!r}")
+    report = WorkflowReport()
+    registry_ref = f"{SITE_REGISTRY}/{user}/{tag}:latest"
+    app_argv = app_argv or ["/opt/atse/bin/atse-info"]
+
+    # Phase 1: rootless build on the login node.  Container storage must be
+    # node-local ("either /tmp or local disk can be used", §4.2).
+    login_proc = cluster.login.login(user)
+    podman = Podman(cluster.login, login_proc,
+                    storage_dir=f"/tmp/{user}-containers")
+    result = podman.build(dockerfile, tag)
+    report.build_ok = result.success
+    report.build_transcript = result.text
+    report.phases.append(
+        f"build on {cluster.login.hostname} ({cluster.login.arch}): "
+        f"{'ok' if result.success else 'FAILED'}")
+    if not result.success:
+        return report
+
+    # Phase 2: push to the site registry (multi-layer OCI).
+    manifest = podman.push(tag, registry_ref)
+    report.push_ok = True
+    report.pushed_ref = registry_ref
+    report.layer_count = manifest.layer_count
+    report.phases.append(
+        f"push {registry_ref}: {manifest.layer_count} layers")
+
+    # Phase 3: parallel deployment via the resource manager + HPC runtime.
+    def deploy(node: Machine, rank: int, login) -> tuple[int, str]:
+        env = {"OMPI_COMM_WORLD_RANK": str(rank),
+               "PATH": "/opt/atse/bin:/usr/bin:/bin"}
+        if runtime == "singularity":
+            from ..containers.singularity import Singularity
+            from ..containers.oci import ImageRef
+            ref = ImageRef.parse(registry_ref)
+            _, layers = node.kernel.network.registry(ref.registry).pull(
+                ref, arch=node.arch)
+            sing = Singularity(node, login)
+            sif = sing.build_from_docker_archive(
+                f"/home/{user}/{tag}.sif", layers)
+            status, output = sing.run(sif, app_argv, env=env)
+            return status, output
+        ch = ChImage(node, login)
+        path = ch.pull(registry_ref)
+        run = ChRun(node, login)
+        res = run.run(path, app_argv, env=env)
+        return res.status, res.output
+
+    report.deploy = cluster.scheduler.srun(user, n_nodes, deploy)
+    report.phases.append(
+        f"deploy on {n_nodes} nodes: "
+        f"{'ok' if report.deploy.success else 'FAILED'}")
+    return report
+
+
+def laptop_build_workflow(
+    cluster: AstraCluster,
+    world: World,
+    user: str,
+    dockerfile: str,
+    tag: str,
+    *,
+    n_nodes: int = 2,
+    app_argv: Optional[list[str]] = None,
+) -> WorkflowReport:
+    """The §2 'build on your x86 laptop' anti-pattern, for contrast: the
+    image builds fine but its binaries are ENOEXEC on Astra's aarch64."""
+    report = WorkflowReport()
+    registry_ref = f"{SITE_REGISTRY}/{user}/{tag}:latest"
+    app_argv = app_argv or ["/opt/atse/bin/atse-info"]
+
+    laptop = make_machine("laptop", arch="x86_64", network=world.network,
+                          users={user: 1000})
+    lp = laptop.login(user)
+    podman = Podman(laptop, lp)
+    result = podman.build(dockerfile, tag)
+    report.build_ok = result.success
+    report.build_transcript = result.text
+    report.phases.append(f"build on laptop (x86_64): "
+                         f"{'ok' if result.success else 'FAILED'}")
+    if not result.success:
+        return report
+    podman.push(tag, registry_ref)
+    report.push_ok = True
+    report.pushed_ref = registry_ref
+
+    def deploy(node: Machine, rank: int, login) -> tuple[int, str]:
+        ch = ChImage(node, login)
+        path = ch.pull(registry_ref)
+        run = ChRun(node, login)
+        res = run.run(path, app_argv)
+        return res.status, res.output
+
+    report.deploy = cluster.scheduler.srun(user, n_nodes, deploy)
+    report.phases.append(
+        f"deploy x86_64 image on {cluster.arch}: "
+        f"{'ok' if report.deploy.success else 'FAILED (exec format error)'}")
+    return report

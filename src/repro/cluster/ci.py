@@ -1,0 +1,102 @@
+"""A GitLab-like CI substrate.
+
+Paper §5.3.3: a production application "has integrated Charliecloud
+container build into its CI pipeline using a sequence of three Dockerfiles
+... Build and validate both run on supercomputer compute nodes using normal
+jobs, and the pipeline is coordinated by a separate GitLab server."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import ReproError
+
+__all__ = ["CiJob", "CiStage", "CiPipeline", "CiServer", "CiError"]
+
+
+class CiError(ReproError):
+    """Pipeline definition or execution failure."""
+
+
+@dataclass
+class CiJob:
+    """One CI job: a callable returning (status, output)."""
+
+    name: str
+    run: Callable[[], tuple[int, str]]
+    status: Optional[int] = None
+    output: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.status == 0
+
+
+@dataclass
+class CiStage:
+    """One pipeline stage; all jobs must pass before the next stage runs."""
+
+    name: str
+    jobs: list[CiJob] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(j.passed for j in self.jobs)
+
+
+@dataclass
+class PipelineResult:
+    pipeline: "CiPipeline"
+    passed: bool
+    failed_stage: Optional[str] = None
+
+    def report(self) -> str:
+        lines = [f"pipeline {self.pipeline.name}: "
+                 f"{'passed' if self.passed else 'FAILED'}"]
+        for stage in self.pipeline.stages:
+            for job in stage.jobs:
+                mark = {True: "ok", False: "FAIL", None: "skipped"}[
+                    job.passed if job.status is not None else None]
+                lines.append(f"  [{stage.name}] {job.name}: {mark}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CiPipeline:
+    """An ordered sequence of stages."""
+
+    name: str
+    stages: list[CiStage] = field(default_factory=list)
+
+    def stage(self, name: str) -> CiStage:
+        s = CiStage(name)
+        self.stages.append(s)
+        return s
+
+    def run(self) -> PipelineResult:
+        for stage in self.stages:
+            if not stage.jobs:
+                raise CiError(f"stage {stage.name!r} has no jobs")
+            for job in stage.jobs:
+                job.status, job.output = job.run()
+            if not stage.passed:
+                return PipelineResult(self, False, failed_stage=stage.name)
+        return PipelineResult(self, True)
+
+
+class CiServer:
+    """The coordinating server: holds pipelines and their history."""
+
+    def __init__(self, name: str = "gitlab"):
+        self.name = name
+        self.history: list[PipelineResult] = []
+
+    def new_pipeline(self, name: str) -> CiPipeline:
+        return CiPipeline(name)
+
+    def trigger(self, pipeline: CiPipeline) -> PipelineResult:
+        result = pipeline.run()
+        self.history.append(result)
+        return result

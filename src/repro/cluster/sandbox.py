@@ -1,0 +1,88 @@
+"""Sandboxed build systems (paper §3.2, option 1).
+
+"One way to work around increased privileges is to create an isolated
+environment specifically for image builds ... most commonly virtual
+machines or bare-metal systems with no shared resources such as production
+filesystems" — e.g. the Sylabs Enterprise Remote Builder.
+
+The sandbox VM runs a privileged (Type I) builder safely: it is ephemeral,
+single-user, and shares nothing.  Its *limitation* is connectivity:
+"isolated build environments may not be able to access needed resources,
+such as private code or licenses" — modelled by blocking site-internal
+repositories from the VM's network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..archive import TarArchive
+from ..containers.buildah import BuildResult
+from ..containers.docker import DockerDaemon
+from ..containers.oci import ImageConfig
+from ..errors import ReproError
+from ..net import Network
+from .machines import Machine, make_machine
+from .world import HUB, World
+
+__all__ = ["EphemeralVmBuilder", "SandboxBuild", "SandboxError"]
+
+_vm_ids = itertools.count(1)
+
+
+class SandboxError(ReproError):
+    """Sandbox provisioning or build failure."""
+
+
+@dataclass
+class SandboxBuild:
+    """Outcome of one sandboxed build."""
+
+    result: BuildResult
+    config: Optional[ImageConfig] = None
+    layers: list[TarArchive] = field(default_factory=list)
+    vm_hostname: str = ""
+
+    @property
+    def success(self) -> bool:
+        return self.result.success
+
+
+class EphemeralVmBuilder:
+    """A remote-builder service: per-build throwaway VMs on the public
+    network."""
+
+    def __init__(self, world: World, *, arch: str = "x86_64"):
+        self.world = world
+        self.arch = arch
+        self.vms_provisioned = 0
+
+    def _provision(self) -> Machine:
+        """Boot a fresh single-user VM with public connectivity only."""
+        self.vms_provisioned += 1
+        network = Network(
+            universe=self.world.network.universe,
+            registries={HUB: self.world.hub},
+            blocked_repo_prefixes=("site/",),
+        )
+        return make_machine(f"buildvm{next(_vm_ids)}", arch=self.arch,
+                            network=network, users={"builder": 1000})
+
+    def build(self, dockerfile: str, tag: str) -> SandboxBuild:
+        """Build in a fresh VM with a root builder (safe: nothing shared),
+        returning the image for the caller to push wherever they can."""
+        vm = self._provision()
+        # Privileged build is a "reasonable choice" here (§2): the VM is
+        # isolated, so Type I does not endanger shared resources.
+        daemon = DockerDaemon(vm, docker_group={1000})
+        builder = vm.login("builder")
+        result = daemon.build(builder, dockerfile, tag)
+        build = SandboxBuild(result=result, vm_hostname=vm.hostname)
+        if result.success:
+            image = daemon.images[tag]
+            build.config = image.config
+            build.layers = list(image.layers)
+        # the VM is discarded here — ephemeral by construction
+        return build

@@ -1,0 +1,98 @@
+"""A Slurm-like resource manager over a set of compute nodes.
+
+Jobs are Python callables run per-node (simulated parallelism: the
+scheduler executes ranks sequentially but tracks allocation, accounting,
+and per-node results).  The paper's deployment story needs exactly this:
+"the container image built on the supercomputer can be deployed in
+parallel using the local resource management tool and an HPC container
+runtime" (§4.2), and jobs must be *children of the shell*, not of a daemon
+(§3.1) — which the scheduler asserts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import ReproError
+from ..kernel import Process
+from .machines import Machine
+
+__all__ = ["Job", "JobResult", "Scheduler", "SchedulerError"]
+
+
+class SchedulerError(ReproError):
+    """Allocation or submission failure."""
+
+
+@dataclass
+class JobResult:
+    """Per-job outcome."""
+
+    job_id: int
+    nodes: list[str]
+    rank_outputs: list[str]
+    rank_statuses: list[int]
+
+    @property
+    def success(self) -> bool:
+        return all(s == 0 for s in self.rank_statuses)
+
+    @property
+    def output(self) -> str:
+        return "".join(self.rank_outputs)
+
+
+@dataclass
+class Job:
+    """A submitted job: *fn(node_machine, rank, user_proc) -> (status, out)*."""
+
+    job_id: int
+    user: str
+    nodes_wanted: int
+    fn: Callable[[Machine, int, Process], tuple[int, str]]
+
+
+class Scheduler:
+    """FIFO scheduler over homogeneous compute nodes."""
+
+    def __init__(self, compute_nodes: Sequence[Machine]):
+        if not compute_nodes:
+            raise SchedulerError("no compute nodes")
+        self.nodes = list(compute_nodes)
+        self._job_ids = itertools.count(1)
+        self.completed: list[JobResult] = []
+
+    def srun(
+        self,
+        user: str,
+        nodes: int,
+        fn: Callable[[Machine, int, Process], tuple[int, str]],
+    ) -> JobResult:
+        """Allocate *nodes* nodes and run *fn* once per node (one rank per
+        node).  The job processes are children of the user's login process
+        on each node — no daemon in the chain."""
+        if nodes > len(self.nodes):
+            raise SchedulerError(
+                f"requested {nodes} nodes but only {len(self.nodes)} exist")
+        job = Job(next(self._job_ids), user, nodes, fn)
+        allocated = self.nodes[:nodes]
+        outputs: list[str] = []
+        statuses: list[int] = []
+        for rank, node in enumerate(allocated):
+            if user not in node.users:
+                raise SchedulerError(f"user {user!r} has no account on "
+                                     f"{node.hostname}")
+            login = node.login(user)
+            status, out = fn(node, rank, login)
+            # §3.1 property: the job is a descendant of the login shell.
+            assert any(p.ppid == login.pid or p.pid == login.pid
+                       for p in node.kernel.processes.values()), \
+                "job must descend from the user shell"
+            outputs.append(out)
+            statuses.append(status)
+        result = JobResult(job.job_id, [n.hostname for n in allocated],
+                           outputs, statuses)
+        self.completed.append(result)
+        return result

@@ -1,0 +1,44 @@
+"""A ready-made world: the public hub with base images, the package
+universe, and an (initially empty) site registry.
+
+Every example and benchmark starts from here, so the environment is
+identical across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..containers.oci import ImageConfig
+from ..containers.registry import Registry
+from ..distro import make_centos7_archive, make_debian10_archive, make_universe
+from ..net import Network
+
+__all__ = ["World", "make_world", "HUB", "SITE_REGISTRY"]
+
+HUB = "docker.io"
+SITE_REGISTRY = "gitlab.example.gov"
+
+
+@dataclass
+class World:
+    """The shared outside world."""
+
+    network: Network
+    hub: Registry
+    site_registry: Registry
+
+
+def make_world(*, arches: tuple[str, ...] = ("x86_64", "aarch64")) -> World:
+    """Build the universe + hub with per-arch centos:7 and debian:buster."""
+    universe = make_universe()
+    hub = Registry(HUB)
+    site = Registry(SITE_REGISTRY)
+    for arch in arches:
+        hub.push("centos:7", ImageConfig(arch=arch),
+                 [make_centos7_archive(arch)])
+        hub.push("debian:buster", ImageConfig(arch=arch),
+                 [make_debian10_archive(arch)])
+    network = Network(universe=universe,
+                      registries={HUB: hub, SITE_REGISTRY: site})
+    return World(network=network, hub=hub, site_registry=site)

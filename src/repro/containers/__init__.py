@@ -1,0 +1,72 @@
+"""Container implementations and OCI plumbing.
+
+Type I: :class:`~repro.containers.docker.DockerDaemon`.
+Type II (and experimental unprivileged): :class:`~repro.containers.podman.Podman`
+over :class:`~repro.containers.buildah.Buildah`.
+Type III lives in :mod:`repro.core` (Charliecloud).
+"""
+
+from .buildah import Buildah, BuildResult, DEFAULT_REGISTRY, IgnoreChownSyscalls
+from .docker import DAEMON_STARTUP_TICKS, DockerDaemon, DockerError
+from .dockerfile import Instruction, parse_dockerfile, split_env_args
+from .hpc_runtimes import Enroot, HpcRuntimeError, ShifterGateway
+from .singularity import DefinitionFile, SifImage, Singularity, SingularityError
+from .oci import ImageConfig, ImageRef, Manifest
+from .podman import Podman, PodmanError, RunResult
+from .podman_cli import podman_cli
+from .registry import Registry, TransferStats
+from .runtime import (
+    ContainerError,
+    CrunRuntime,
+    PRIVILEGE_TYPES,
+    RuncRuntime,
+    enter_container,
+)
+from .storage import (
+    DriverError,
+    DriverStats,
+    OverlayDriver,
+    StorageDriver,
+    VfsDriver,
+    make_driver,
+)
+
+__all__ = [
+    "Enroot",
+    "HpcRuntimeError",
+    "ShifterGateway",
+    "DefinitionFile",
+    "SifImage",
+    "Singularity",
+    "SingularityError",
+    "Buildah",
+    "BuildResult",
+    "DEFAULT_REGISTRY",
+    "IgnoreChownSyscalls",
+    "DAEMON_STARTUP_TICKS",
+    "DockerDaemon",
+    "DockerError",
+    "Instruction",
+    "parse_dockerfile",
+    "split_env_args",
+    "ImageConfig",
+    "ImageRef",
+    "Manifest",
+    "Podman",
+    "PodmanError",
+    "RunResult",
+    "podman_cli",
+    "Registry",
+    "TransferStats",
+    "ContainerError",
+    "CrunRuntime",
+    "PRIVILEGE_TYPES",
+    "RuncRuntime",
+    "enter_container",
+    "DriverError",
+    "DriverStats",
+    "OverlayDriver",
+    "StorageDriver",
+    "VfsDriver",
+    "make_driver",
+]

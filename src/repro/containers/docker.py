@@ -1,0 +1,161 @@
+"""Docker: the Type I baseline (paper §3.1).
+
+Characteristics the paper calls out, all modelled here:
+
+* client–daemon execution model: containers are children of the daemon,
+  not of the invoking shell — "undesirable for HPC because it is another
+  service to manage/monitor, breaks process tracking by resource managers,
+  and can introduce performance jitter";
+* access to the ``docker`` command is equivalent to root "by design":
+  any docker-group member can bind-mount / and own the host;
+* no user namespace: root in the container is root on the host.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import BuildError, ReproError
+from ..kernel import Process, Syscalls
+from ..shell import OutputSink, execute
+from .buildah import BuildResult, DEFAULT_REGISTRY, LocalImage
+from .dockerfile import parse_dockerfile
+from .oci import ImageRef
+from .runtime import ContainerError, enter_container
+from .storage import make_driver
+
+__all__ = ["DockerDaemon", "DockerError", "DAEMON_STARTUP_TICKS"]
+
+#: simulated ticks to start dockerd (service management overhead, §3.1)
+DAEMON_STARTUP_TICKS = 150
+
+#: simulated ticks for a fork-exec container start (podman/ch-run path)
+FORKEXEC_STARTUP_TICKS = 2
+
+
+class DockerError(ReproError):
+    """Docker client/daemon failure."""
+
+
+class DockerDaemon:
+    """dockerd: runs as root, owns all container operations."""
+
+    def __init__(self, machine, *, docker_group: Optional[set[int]] = None):
+        self.machine = machine
+        root = machine.kernel.init_process
+        if root.cred.euid != 0:
+            raise DockerError("dockerd must run as root")
+        # The daemon is a long-running root service.
+        self.daemon_proc = machine.kernel.spawn(parent=root, comm="dockerd")
+        self.docker_group: set[int] = set(docker_group or ())
+        self.images: dict[str, LocalImage] = {}
+        sys0 = Syscalls(self.daemon_proc)
+        self.driver = make_driver("overlay", sys0, "/var/lib/docker/overlay2")
+        self.startup_ticks = DAEMON_STARTUP_TICKS
+        for _ in range(DAEMON_STARTUP_TICKS):
+            machine.kernel.now()
+
+    # -- the security boundary (or lack of one) -----------------------------------
+
+    def _authorize(self, caller: Process) -> None:
+        """Socket access check: root or docker group only.  Passing it grants
+        root-equivalent power (§3.1: 'equivalent to root by design')."""
+        if caller.cred.euid == 0:
+            return
+        if caller.cred.euid in self.docker_group or \
+                self.docker_group & set(caller.cred.groups):
+            return
+        raise DockerError(
+            "Got permission denied while trying to connect to the Docker "
+            "daemon socket")
+
+    # -- operations (all executed BY THE DAEMON, as root) ---------------------------
+
+    def pull(self, caller: Process, ref_text: str) -> LocalImage:
+        self._authorize(caller)
+        ref = ImageRef.parse(ref_text)
+        name = str(ref)
+        if name in self.images:
+            return self.images[name]
+        net = self.machine.kernel.network
+        if net is None:
+            raise DockerError("no network")
+        config, layers = net.registry(ref.registry or DEFAULT_REGISTRY
+                                      ).pull(ref, arch=self.machine.arch)
+        path = self.driver.unpack_image(name, layers, preserve_owner=True)
+        img = LocalImage(name, config, list(layers), path)
+        self.images[name] = img
+        return img
+
+    def build(self, caller: Process, dockerfile: str, tag: str
+              ) -> BuildResult:
+        """``docker build``: every RUN executes as host root (Type I)."""
+        self._authorize(caller)
+        result = BuildResult(tag=tag, success=False)
+        out = result.transcript.append
+        try:
+            instructions = parse_dockerfile(dockerfile)
+        except BuildError as err:
+            result.error = str(err)
+            out(f"ERROR: {err}")
+            return result
+        base_ref = instructions[0].args.split()[0]
+        out(f"Step 1/{len(instructions)} : FROM {base_ref}")
+        base = self.pull(caller, base_ref)
+        tree = self.driver.begin_build(base.name, f"build-{tag}")
+        layers = list(base.layers)
+        config = base.config
+        env = dict(kv.split("=", 1) for kv in config.env if "=" in kv)
+        for i, inst in enumerate(instructions[1:], start=2):
+            out(f"Step {i}/{len(instructions)} : {inst.kind} {inst.args}")
+            if inst.kind != "RUN":
+                continue
+            try:
+                ctx = enter_container(self.daemon_proc, tree, "type1",
+                                      dev_fs=self.machine.dev_fs, env=env,
+                                      new_pid_ns=True, comm="docker-run")
+            except ContainerError as err:
+                result.error = str(err)
+                out(f"ERROR: {err}")
+                return result
+            sink = OutputSink()
+            status = execute(ctx.child(stdout=sink, stderr=sink),
+                             inst.shell_words())
+            for line in sink.lines():
+                out(line)
+            if status != 0:
+                result.error = (f"The command '{' '.join(inst.shell_words())}'"
+                                f" returned a non-zero code: {status}")
+                out(f"ERROR: {result.error}")
+                return result
+            result.instructions_run += 1
+            layers.append(self.driver.commit(tree))
+        out(f"Successfully tagged {tag}")
+        self.images[tag] = LocalImage(tag, config, layers, tree)
+        result.success = True
+        return result
+
+    def run(self, caller: Process, image: str, argv: list[str], *,
+            binds: Optional[list[tuple[str, str]]] = None) -> tuple[int, str]:
+        """``docker run [-v host:ctr]``: the container is a child of the
+        daemon and runs as host root."""
+        self._authorize(caller)
+        img = self.images.get(image)
+        if img is None:
+            img = self.pull(caller, image)
+        ctx = enter_container(self.daemon_proc, img.tree_path, "type1",
+                              dev_fs=self.machine.dev_fs, new_pid_ns=True,
+                              comm="docker-ctr")
+        for host_path, ctr_path in binds or ():
+            # Bind-mounting host paths with a root runtime: the §3.1 hazard.
+            src = self.machine.kernel.init_process.mnt_ns.resolve(
+                host_path, self.daemon_proc.cred)
+            ctx.proc.mnt_ns.add_mount(ctr_path, src.fs,
+                                      root_ino=src.inode.ino)
+        sink = OutputSink()
+        status = execute(ctx.child(stdout=sink, stderr=sink), argv)
+        return status, sink.text()
+
+    def container_parent_pid(self, ctx_proc: Process) -> int:
+        """Containers descend from dockerd, not the user's shell (§3.1)."""
+        return self.daemon_proc.pid

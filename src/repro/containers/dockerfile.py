@@ -1,0 +1,109 @@
+"""Dockerfile parser, shared by every builder.
+
+A deliberate design requirement from the paper (§3.2): "the build recipe
+(typically, a Dockerfile) should require no modifications" — so ch-image and
+Buildah interpret the *same* parsed instructions and differ only in
+execution privilege.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import BuildError
+
+__all__ = ["Instruction", "parse_dockerfile", "split_env_args"]
+
+_KINDS = {"FROM", "RUN", "ENV", "ARG", "COPY", "ADD", "WORKDIR", "CMD",
+          "ENTRYPOINT", "LABEL", "USER", "EXPOSE", "VOLUME", "SHELL"}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One Dockerfile instruction.
+
+    ``exec_form`` is set for RUN/CMD/ENTRYPOINT written as JSON arrays.
+    """
+
+    lineno: int
+    kind: str
+    args: str
+    exec_form: Optional[tuple[str, ...]] = None
+
+    def shell_words(self) -> list[str]:
+        """The argv this instruction runs: exec form verbatim, shell form
+        through ``/bin/sh -c`` (what the Figure transcripts print)."""
+        if self.exec_form is not None:
+            return list(self.exec_form)
+        return ["/bin/sh", "-c", self.args]
+
+
+def parse_dockerfile(text: str) -> list[Instruction]:
+    """Parse Dockerfile text into instructions.
+
+    Handles comments, blank lines, and backslash continuations.  Raises
+    :class:`BuildError` on malformed input or unknown instructions.
+    """
+    # Join continuation lines, preserving line numbers of the first line.
+    logical: list[tuple[int, str]] = []
+    pending = ""
+    pending_line = 0
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        stripped = raw.strip()
+        if not pending and (not stripped or stripped.startswith("#")):
+            continue
+        if not pending:
+            pending_line = lineno
+        if stripped.endswith("\\"):
+            pending += stripped[:-1].rstrip() + " "
+            continue
+        pending += stripped
+        logical.append((pending_line, pending))
+        pending = ""
+    if pending:
+        logical.append((pending_line, pending))
+
+    instructions: list[Instruction] = []
+    for lineno, line in logical:
+        m = re.match(r"^([A-Za-z]+)\s+(.*)$", line)
+        if m is None:
+            raise BuildError(f"Dockerfile line {lineno}: cannot parse "
+                             f"{line!r}")
+        kind = m.group(1).upper()
+        args = m.group(2).strip()
+        if kind not in _KINDS:
+            raise BuildError(f"Dockerfile line {lineno}: unknown instruction "
+                             f"{kind}")
+        exec_form = None
+        if kind in ("RUN", "CMD", "ENTRYPOINT") and args.startswith("["):
+            try:
+                parsed = json.loads(args)
+                if (isinstance(parsed, list)
+                        and all(isinstance(x, str) for x in parsed)):
+                    exec_form = tuple(parsed)
+                else:
+                    raise ValueError("not a list of strings")
+            except ValueError as exc:
+                raise BuildError(
+                    f"Dockerfile line {lineno}: bad exec form: {exc}"
+                ) from exc
+        instructions.append(Instruction(lineno, kind, args, exec_form))
+
+    if not instructions or instructions[0].kind != "FROM":
+        raise BuildError("Dockerfile must start with FROM")
+    return instructions
+
+
+def split_env_args(args: str) -> list[tuple[str, str]]:
+    """Parse ENV/LABEL/ARG argument forms: ``K=V K2="V 2"`` or ``K V``."""
+    if "=" not in args.split(None, 1)[0]:
+        key, _, value = args.partition(" ")
+        return [(key, value.strip())]
+    out = []
+    for m in re.finditer(r'([A-Za-z_][A-Za-z_0-9.\-]*)=("([^"]*)"|\S*)', args):
+        value = m.group(3) if m.group(3) is not None else m.group(2)
+        out.append((m.group(1), value))
+    return out

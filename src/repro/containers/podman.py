@@ -1,0 +1,130 @@
+"""Rootless Podman: the Docker-CLI-compatible front end over Buildah.
+
+"Podman in this sense only provides a CLI interface identical to Docker,
+whereas Buildah provides more advanced and custom container build features"
+(paper §4).  Podman adds the fork-exec *run* path (no daemon), uid-map
+introspection (Figures 4/5), and the rootless preflight checks sysadmins
+configure via /etc/subuid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ReproError
+from ..kernel import IdMapEntry, Process
+from ..shell import OutputSink, execute
+from .buildah import Buildah, BuildResult, IgnoreChownSyscalls
+from .runtime import ContainerError, RuncRuntime, enter_container
+
+__all__ = ["Podman", "PodmanError", "RunResult"]
+
+
+class PodmanError(ReproError):
+    """Podman-level failure (e.g. no subordinate IDs configured)."""
+
+
+@dataclass
+class RunResult:
+    status: int
+    output: str
+
+
+class Podman:
+    """One user's rootless Podman on one machine."""
+
+    def __init__(
+        self,
+        machine,
+        user_proc: Process,
+        *,
+        driver: str = "overlay",
+        storage_dir: Optional[str] = None,
+        unprivileged: bool = False,
+        ignore_chown_errors: bool = False,
+        layers_cache: bool = True,
+    ):
+        self.machine = machine
+        self.user_proc = user_proc
+        self.unprivileged = unprivileged
+        self.runtime = RuncRuntime()
+        if not unprivileged:
+            self._preflight_subids()
+        self.buildah = Buildah(
+            machine, user_proc, driver=driver, storage_dir=storage_dir,
+            unprivileged=unprivileged,
+            ignore_chown_errors=ignore_chown_errors,
+            layers_cache=layers_cache,
+        )
+
+    def _preflight_subids(self) -> None:
+        """Rootless Podman refuses to start without subordinate ID grants —
+        "these mappings need to be specified by the administrator upon
+        Podman installation" (§4.1)."""
+        user = self.user_proc.environ.get("USER", "")
+        uid = self.user_proc.cred.euid
+        shadow = self.machine.shadow
+        if not shadow.subuid().entries_for(user, uid) or \
+                not shadow.subgid().entries_for(user, uid):
+            raise PodmanError(
+                f"cannot set up rootless mode: no subordinate IDs for "
+                f"{user or uid} in /etc/subuid//etc/subgid "
+                f"(ask your sysadmin to run: usermod --add-subuids ... "
+                f"{user})")
+
+    # -- CLI-equivalent operations --------------------------------------------------
+
+    def build(self, dockerfile: str, tag: str) -> BuildResult:
+        """``podman build -t TAG`` (delegates to the Buildah codebase)."""
+        return self.buildah.build(dockerfile, tag)
+
+    def pull(self, ref: str):
+        return self.buildah.pull(ref)
+
+    def push(self, local_name: str, dest: str):
+        """``podman push`` — multi-layer OCI push."""
+        return self.buildah.push(local_name, dest)
+
+    def run(self, image: str, argv: list[str], *,
+            env: Optional[dict[str, str]] = None) -> RunResult:
+        """``podman run`` — fork-exec, no daemon (the §4 design goal)."""
+        img = self.buildah.images.get(image)
+        if img is None:
+            img = self.pull(image)
+        try:
+            ctx = enter_container(
+                self.user_proc, img.tree_path,
+                "type3" if self.unprivileged else "type2",
+                dev_fs=self.machine.dev_fs,
+                shadow=self.machine.shadow,
+                env={**{k: v for k, v in
+                        (kv.split("=", 1) for kv in img.config.env
+                         if "=" in kv)}, **(env or {})},
+                workdir=img.config.workdir,
+                join_userns=self.buildah._storage_proc.cred.userns,
+                new_pid_ns=True,
+                comm="podman-run",
+            )
+        except ContainerError as err:
+            return RunResult(125, f"Error: {err}")
+        if self.unprivileged and self.buildah.ignore_chown_errors:
+            ctx = ctx.child(sys=IgnoreChownSyscalls(ctx.sys))
+        sink = OutputSink()
+        run_ctx = ctx.child(stdout=sink, stderr=sink)
+        cmd = list(img.config.entrypoint) + (argv or list(img.config.cmd))
+        status = execute(run_ctx, cmd)
+        return RunResult(status, sink.text())
+
+    # -- introspection (Figures 4 and 5) ----------------------------------------------
+
+    def uid_map(self) -> list[IdMapEntry]:
+        """The map ``podman unshare cat /proc/self/uid_map`` would show."""
+        ns = self.buildah._storage_proc.cred.userns
+        assert ns.uid_map is not None
+        return list(ns.uid_map.entries)
+
+    def uid_map_text(self) -> str:
+        lines = [f"{e.inside_start:>10} {e.outside_start:>10} {e.count:>10}"
+                 for e in self.uid_map()]
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,95 @@
+"""The Podman command-line front end.
+
+§4: "the main design goals of rootless Podman are to have the same
+command-line interface (CLI) as Docker ... many users can successfully
+utilize Podman by ``alias docker=podman`` and use as expected."
+
+``podman_cli(podman, argv)`` therefore accepts Docker's argument syntax for
+the common verbs; ``docker_cli`` is literally the same function bound to a
+DockerDaemon-backed adapter, so the alias claim is testable.
+"""
+
+from __future__ import annotations
+
+
+from ..errors import KernelError, ReproError
+from ..kernel import Syscalls
+from .podman import Podman
+
+__all__ = ["podman_cli"]
+
+
+def podman_cli(podman: Podman, argv: list[str]) -> tuple[int, str]:
+    """Dispatch a Docker-style command line; returns (status, output)."""
+    if not argv:
+        return 125, "Error: missing command (build|run|pull|push|images)"
+    command, *args = argv
+
+    if command == "build":
+        tag = ""
+        dockerfile_path = "Dockerfile"
+        i = 0
+        while i < len(args):
+            a = args[i]
+            if a in ("-t", "--tag"):
+                i += 1
+                tag = args[i]
+            elif a in ("-f", "--file"):
+                i += 1
+                dockerfile_path = args[i]
+            i += 1
+        if not tag:
+            return 125, "Error: build requires -t TAG"
+        user_sys = Syscalls(podman.user_proc)
+        try:
+            dockerfile = user_sys.read_file(dockerfile_path).decode()
+        except KernelError as err:
+            return 125, f"Error: {dockerfile_path}: {err.strerror}"
+        result = podman.build(dockerfile, tag)
+        return (0 if result.success else 125), result.text
+
+    if command == "run":
+        i = 0
+        while i < len(args) and args[i].startswith("-"):
+            if args[i] in ("-v", "--volume", "-e", "--env", "--name"):
+                i += 1  # skip the option's value
+            i += 1
+        if i >= len(args):
+            return 125, "Error: run requires an image"
+        image, cmd = args[i], list(args[i + 1:])
+        out = podman.run(image, cmd)
+        return out.status, out.output
+
+    if command == "pull":
+        if not args:
+            return 125, "Error: pull requires an image reference"
+        try:
+            img = podman.pull(args[0])
+        except ReproError as err:
+            return 125, f"Error: {err}"
+        return 0, f"Pulled {img.name}"
+
+    if command == "push":
+        if len(args) < 2:
+            return 125, "Error: push requires IMAGE DESTINATION"
+        try:
+            manifest = podman.push(args[0], args[1])
+        except ReproError as err:
+            return 125, f"Error: {err}"
+        return 0, (f"Pushed {args[1]} "
+                   f"({manifest.layer_count} layers)")
+
+    if command == "images":
+        lines = ["REPOSITORY TAG"]
+        for name in sorted(podman.buildah.images):
+            repo, _, tag = name.rpartition(":")
+            lines.append(f"{repo or name} {tag or 'latest'}")
+        return 0, "\n".join(lines)
+
+    if command == "unshare":
+        # `podman unshare cat /proc/self/uid_map` — the Figure 4 check
+        if args[:1] == ["cat"] and args[1:2] == ["/proc/self/uid_map"]:
+            return 0, podman.uid_map_text()
+        return 125, "Error: only 'unshare cat /proc/self/uid_map' supported"
+
+    return 125, f"Error: unknown command {command!r}"

@@ -1,0 +1,165 @@
+"""An OCI-compliant container registry (blobs + manifests + tags).
+
+"A container registry is important to leverage in this workflow as it
+provides persistence to container images which could help in portability,
+debugging with old versions, or general future reproducibility" (paper
+§4.2) — so the registry keeps every manifest it has ever seen, supports
+content-addressed blob dedup, and tracks transfer statistics for the layer
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..archive import TarArchive
+from ..errors import RegistryError
+from .oci import ImageConfig, ImageRef, Manifest
+
+__all__ = ["Registry", "TransferStats"]
+
+
+@dataclass
+class TransferStats:
+    """Bytes and blob counts moved over the wire."""
+
+    blobs_pushed: int = 0
+    blobs_push_skipped: int = 0  # dedup hits: layer already present
+    bytes_pushed: int = 0
+    blobs_pulled: int = 0
+    bytes_pulled: int = 0
+
+
+class Registry:
+    """One registry service (e.g. the GitLab Container Registry of §4.2)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._blobs: dict[str, bytes] = {}
+        # (repo, tag) -> arch -> Manifest  (a minimal OCI manifest list)
+        self._manifests: dict[tuple[str, str], dict[str, Manifest]] = {}
+        self._manifest_log: list[tuple[str, str, str]] = []  # persistence
+        self._policies: dict[str, bool] = {}  # repo -> require_flattened
+        self.stats = TransferStats()
+
+    # -- blob plumbing --------------------------------------------------------------
+
+    def has_blob(self, digest: str) -> bool:
+        return digest in self._blobs
+
+    def _put_blob(self, blob: bytes) -> str:
+        digest = "sha256:" + hashlib.sha256(blob).hexdigest()
+        if digest in self._blobs:
+            self.stats.blobs_push_skipped += 1
+        else:
+            self._blobs[digest] = blob
+            self.stats.blobs_pushed += 1
+            self.stats.bytes_pushed += len(blob)
+        return digest
+
+    def _get_blob(self, digest: str) -> bytes:
+        try:
+            blob = self._blobs[digest]
+        except KeyError:
+            raise RegistryError(f"{self.name}: no blob {digest[:19]}...")
+        self.stats.blobs_pulled += 1
+        self.stats.bytes_pulled += len(blob)
+        return blob
+
+    # -- ownership policy (§6.2.5 proposed OCI extension) -------------------------------
+
+    def set_repo_policy(self, repository: str, *,
+                        require_flattened: bool) -> None:
+        """§6.2.5: 'explicit marking of images to disallow, allow, or
+        require them to be ownership-flattened' — enforced per repository."""
+        self._policies[repository] = require_flattened
+
+    def _check_policy(self, ref: ImageRef,
+                      layers: list[TarArchive]) -> None:
+        if not self._policies.get(ref.repository, False):
+            return
+        for layer in layers:
+            for m in layer:
+                if (m.uid, m.gid) != (0, 0) or m.mode & 0o6000:
+                    raise RegistryError(
+                        f"{self.name}: repository {ref.repository!r} "
+                        f"requires ownership-flattened images; member "
+                        f"{m.path!r} is {m.uid}:{m.gid} mode {m.mode:o}")
+
+    # -- push / pull ------------------------------------------------------------------
+
+    def push(self, ref: ImageRef | str, config: ImageConfig,
+             layers: Iterable[TarArchive]) -> Manifest:
+        """Push an image: layers become content-addressed blobs (already-
+        present layers are not re-sent, like real registries)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        layers = list(layers)
+        self._check_policy(ref, layers)
+        digests = tuple(self._put_blob(layer.serialize()) for layer in layers)
+        if not digests:
+            raise RegistryError("cannot push an image with no layers")
+        manifest = Manifest(config=config, layers=digests)
+        variants = self._manifests.setdefault((ref.repository, ref.tag), {})
+        variants[config.arch] = manifest
+        self._manifest_log.append((ref.repository, ref.tag,
+                                   manifest.digest()))
+        return manifest
+
+    def pull(self, ref: ImageRef | str, *, arch: Optional[str] = None
+             ) -> tuple[ImageConfig, list[TarArchive]]:
+        """Pull an image (optionally a specific architecture variant);
+        returns (config, layers base-first)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        manifest = self.manifest(ref, arch=arch)
+        layers = [TarArchive.deserialize(self._get_blob(d))
+                  for d in manifest.layers]
+        return manifest.config, layers
+
+    def manifest(self, ref: ImageRef | str, *,
+                 arch: Optional[str] = None) -> Manifest:
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        try:
+            variants = self._manifests[(ref.repository, ref.tag)]
+        except KeyError:
+            raise RegistryError(
+                f"{self.name}: manifest unknown: {ref.repository}:{ref.tag}")
+        if arch is not None:
+            if arch in variants:
+                return variants[arch]
+            if len(variants) == 1:
+                # single-arch manifest: served regardless of the requested
+                # platform (real clients warn and proceed — the mismatch
+                # surfaces later as ENOEXEC, the §4.2 laptop trap)
+                return next(iter(variants.values()))
+            raise RegistryError(
+                f"{self.name}: {ref.repository}:{ref.tag} has no "
+                f"{arch} variant (available: {sorted(variants)})")
+        if len(variants) == 1:
+            return next(iter(variants.values()))
+        raise RegistryError(
+            f"{self.name}: {ref.repository}:{ref.tag} is multi-arch "
+            f"({sorted(variants)}); specify an architecture")
+
+    def has(self, ref: ImageRef | str) -> bool:
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        return (ref.repository, ref.tag) in self._manifests
+
+    def tags(self, repository: str) -> list[str]:
+        return sorted(t for (r, t) in self._manifests if r == repository)
+
+    def repositories(self) -> list[str]:
+        return sorted({r for (r, _) in self._manifests})
+
+    def history(self, repository: str) -> list[str]:
+        """All manifest digests ever pushed to *repository* (old versions
+        stay reachable — the §4.2 persistence property)."""
+        return [d for (r, _, d) in self._manifest_log if r == repository]
+
+    def storage_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())

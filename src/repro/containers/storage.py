@@ -1,0 +1,278 @@
+"""Container storage drivers: vfs and fuse-overlayfs.
+
+Paper §4.1: "Podman uses the fuse-overlayfs storage driver which provides
+unprivileged mount operations using a fuse-backed overlay file-system.
+Podman can also use the VFS driver, however this implementation is much
+slower and has significant storage overhead."
+
+Functional model: both drivers materialize working trees; they differ in
+
+* **cost**: vfs duplicates the full tree per layer/container (counted in
+  ``stats``); overlay stores per-layer diffs and reuses the lower layers;
+* **requirements**: fuse-overlayfs keeps its ID bookkeeping in ``user.*``
+  xattrs, so it refuses storage on filesystems without them (default
+  NFS/Lustre — the §6.1 shared-filesystem clash).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..archive import TarArchive, TarMember
+from ..errors import ReproError
+from ..kernel import FileType, Syscalls
+
+__all__ = ["DriverStats", "StorageDriver", "VfsDriver", "OverlayDriver",
+           "DriverError", "make_driver"]
+
+
+class DriverError(ReproError):
+    """Storage driver failure (e.g. overlay on a no-xattr filesystem)."""
+
+
+@dataclass
+class DriverStats:
+    """Cost accounting for the A1 storage-driver ablation."""
+
+    bytes_copied: int = 0  # data physically duplicated
+    storage_bytes: int = 0  # bytes at rest attributable to layers
+    meta_ops: int = 0  # simulated metadata operations
+    commits: int = 0
+
+    def simulated_cost(self, meta_op_cost: float = 1.0,
+                       byte_cost: float = 0.001) -> float:
+        return self.meta_ops * meta_op_cost + self.bytes_copied * byte_cost
+
+
+def _snapshot(sys: Syscalls, root: str) -> dict[str, str]:
+    """path -> content+metadata digest, for layer diffing."""
+    out = {}
+    archive = TarArchive.pack(sys, root)
+    for m in archive:
+        h = hashlib.sha256()
+        h.update(f"{m.ftype}|{m.mode}|{m.uid}|{m.gid}|{m.target}|"
+                 f"{m.rdev}".encode())
+        h.update(m.data)
+        out[m.path] = h.hexdigest()
+    return out
+
+
+class StorageDriver:
+    """Base driver: image trees under ``root_dir`` as seen through ``sys``.
+
+    ``sys`` is the syscall view of whoever owns the storage — for rootless
+    Podman that is a process *inside* the user namespace, which is how its
+    chown-to-subordinate-ID writes are legal.
+    """
+
+    name = "base"
+
+    def __init__(self, sys: Syscalls, root_dir: str):
+        self.sys = sys
+        self.root_dir = root_dir.rstrip("/")
+        self.stats = DriverStats()
+        sys.mkdir_p(self.root_dir)
+        self._check_backing_fs()
+        self._snapshots: dict[str, dict[str, str]] = {}
+
+    def _check_backing_fs(self) -> None:
+        pass
+
+    # -- paths ------------------------------------------------------------------
+
+    def image_path(self, name: str) -> str:
+        return f"{self.root_dir}/{name.replace('/', '%').replace(':', '+')}"
+
+    def exists(self, name: str) -> bool:
+        return self.sys.exists(self.image_path(name))
+
+    def backing_fs(self):
+        res = self.sys.mnt_ns.resolve(self.root_dir, self.sys.cred,
+                                      cwd=self.sys.getcwd())
+        return res.fs
+
+    def simulated_cost(self) -> float:
+        """Total simulated cost of this driver's activity so far, using the
+        backing filesystem's cost model (shared filesystems have expensive
+        metadata; FUSE adds per-op overhead)."""
+        from ..kernel.filesystem_params import FS_PARAMS, FsParams
+        fs = self.backing_fs()
+        params: FsParams = FS_PARAMS.get(fs.fstype,
+                                         FS_PARAMS["ext4"])
+        cost = self.stats.simulated_cost(params.meta_op_cost,
+                                         params.byte_cost)
+        return cost * (1.0 + params.fuse_overhead)
+
+    # -- layer import / commit ----------------------------------------------------
+
+    def unpack_image(self, name: str, layers: list[TarArchive], *,
+                     preserve_owner: bool,
+                     on_chown_error: str = "raise") -> str:
+        """Materialize an image from its layer stack."""
+        path = self.image_path(name)
+        if self.sys.exists(path):
+            raise DriverError(f"image {name!r} already in storage")
+        self.sys.mkdir_p(path)
+        warnings: list[str] = []
+        for layer in layers:
+            warnings += layer.extract(self.sys, path,
+                                      preserve_owner=preserve_owner,
+                                      on_chown_error=on_chown_error)
+            self.stats.meta_ops += len(layer)
+            self.stats.bytes_copied += layer.total_bytes()
+        self._snapshots[path] = _snapshot(self.sys, path)
+        return path
+
+    def begin_build(self, base_name: str, build_name: str) -> str:
+        """A mutable working tree seeded from *base_name*."""
+        raise NotImplementedError
+
+    def commit(self, build_path: str, message: str = "") -> TarArchive:
+        """Record a layer commit: returns the *diff* since the previous
+        snapshot (manifests are driver-independent); drivers differ in what
+        the commit costs (vfs: a full tree copy at rest; overlay: the diff).
+        """
+        diff, full = self._diff_since_snapshot(build_path)
+        self.stats.commits += 1
+        self._charge_commit(diff, full)
+        return diff
+
+    def _charge_commit(self, diff: TarArchive, full: TarArchive) -> None:
+        raise NotImplementedError
+
+    def _diff_since_snapshot(self, build_path: str
+                             ) -> tuple[TarArchive, TarArchive]:
+        prev = self._snapshots.get(build_path, {})
+        full = TarArchive.pack(self.sys, build_path)
+        cur: dict[str, str] = {}
+        members_by_path: dict[str, TarMember] = {}
+        for m in full:
+            h = hashlib.sha256()
+            h.update(f"{m.ftype}|{m.mode}|{m.uid}|{m.gid}|{m.target}|"
+                     f"{m.rdev}".encode())
+            h.update(m.data)
+            cur[m.path] = h.hexdigest()
+            members_by_path[m.path] = m
+        changed = [members_by_path[p] for p in sorted(cur)
+                   if prev.get(p) != cur[p]]
+        # whiteouts for deletions, as overlayfs represents them
+        deleted = [TarMember(path=p, ftype=FileType.CHR, mode=0, uid=0,
+                             gid=0, rdev=(0, 0))
+                   for p in sorted(set(prev) - set(cur))]
+        self._snapshots[build_path] = cur
+        return TarArchive(changed + deleted), full
+
+    def export_full(self, path: str, *, flatten: bool = False) -> TarArchive:
+        """One archive of the whole tree (single-layer export)."""
+        return TarArchive.pack(self.sys, path, flatten=flatten)
+
+    def delete(self, name: str) -> None:
+        path = self.image_path(name)
+        self._rm_tree(path)
+        self._snapshots.pop(path, None)
+
+    def _rm_tree(self, path: str) -> None:
+        st = self.sys.lstat(path)
+        if st.ftype is FileType.DIR:
+            for entry in self.sys.readdir(path):
+                self._rm_tree(f"{path}/{entry.name}")
+            self.sys.rmdir(path)
+        else:
+            self.sys.unlink(path)
+
+    def _copy_tree(self, src: str, dst: str) -> None:
+        """Driver-level recursive copy preserving ownership (runs inside the
+        namespace where those IDs are mapped)."""
+        archive = TarArchive.pack(self.sys, src)
+        self.sys.mkdir_p(dst)
+        archive.extract(self.sys, dst, preserve_owner=True,
+                        on_chown_error="ignore")
+        self.stats.meta_ops += len(archive)
+        self.stats.bytes_copied += archive.total_bytes()
+
+
+class VfsDriver(StorageDriver):
+    """The vfs driver: no mounts needed, but every layer is a full copy."""
+
+    name = "vfs"
+
+    def begin_build(self, base_name: str, build_name: str) -> str:
+        src = self.image_path(base_name)
+        dst = self.image_path(build_name)
+        if self.sys.exists(dst):
+            self._rm_tree(dst)
+        self._copy_tree(src, dst)  # full duplication: the vfs tax
+        self._snapshots[dst] = _snapshot(self.sys, dst)
+        return dst
+
+    def _charge_commit(self, diff: TarArchive, full: TarArchive) -> None:
+        # vfs keeps a complete copy of the tree per layer
+        self.stats.storage_bytes += full.total_bytes()
+        self.stats.bytes_copied += full.total_bytes()
+        self.stats.meta_ops += len(full)
+
+
+class OverlayDriver(StorageDriver):
+    """fuse-overlayfs: layers are diffs; lower layers shared in place.
+
+    The driver is a FUSE server run by the user, so the merged view is a
+    filesystem whose superblock is *owned by the user's namespace* — that
+    ownership is what allows in-container privileged metadata (file
+    capabilities, foreign-looking IDs) that plain host ext4 refuses.
+    """
+
+    name = "overlay"
+
+    def _check_backing_fs(self) -> None:
+        fs = self.backing_fs()
+        if not fs.features.user_xattrs:
+            raise DriverError(
+                f"fuse-overlayfs: backing filesystem {fs.label!r} does not "
+                "support user xattrs (default-configured NFS/Lustre/GPFS — "
+                "paper §6.1); use local disk or the vfs driver")
+        # Mount the FUSE view over the storage directory.  The mount is in
+        # the namespace of whoever runs the driver, and shared with any
+        # process that shares the mount namespace (fork semantics).
+        from ..kernel import Filesystem, FsFeatures
+        fuse = Filesystem(
+            "overlay",
+            features=FsFeatures(user_xattrs=True),
+            owning_userns=self.sys.cred.userns,
+            root_uid=self.sys.cred.euid,
+            root_gid=self.sys.cred.egid,
+            label=f"fuse-overlayfs:{self.root_dir}",
+        )
+        self.sys.proc.mnt_ns.add_mount(self.root_dir, fuse,
+                                       owning_userns=self.sys.cred.userns)
+
+    def begin_build(self, base_name: str, build_name: str) -> str:
+        src = self.image_path(base_name)
+        dst = self.image_path(build_name)
+        if self.sys.exists(dst):
+            self._rm_tree(dst)
+        # A real overlay would mount lowerdir+upperdir; we materialize once
+        # per build and charge only the (cheap) mount-like metadata setup.
+        self._copy_tree_uncharged(src, dst)
+        self.stats.meta_ops += 3  # mount, workdir, upperdir
+        self._snapshots[dst] = _snapshot(self.sys, dst)
+        return dst
+
+    def _copy_tree_uncharged(self, src: str, dst: str) -> None:
+        archive = TarArchive.pack(self.sys, src)
+        self.sys.mkdir_p(dst)
+        archive.extract(self.sys, dst, preserve_owner=True,
+                        on_chown_error="ignore")
+
+    def _charge_commit(self, diff: TarArchive, full: TarArchive) -> None:
+        # overlay stores only the upperdir contents
+        self.stats.storage_bytes += diff.total_bytes()
+        self.stats.meta_ops += len(diff)
+
+
+def make_driver(kind: str, sys: Syscalls, root_dir: str) -> StorageDriver:
+    if kind == "vfs":
+        return VfsDriver(sys, root_dir)
+    if kind == "overlay":
+        return OverlayDriver(sys, root_dir)
+    raise DriverError(f"unknown storage driver {kind!r}")

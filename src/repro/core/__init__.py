@@ -1,0 +1,33 @@
+"""Charliecloud (Type III): the paper's primary contribution.
+
+``ch-image`` — fully unprivileged Dockerfile interpreter with --force
+fakeroot injection; ``ch-run`` — unprivileged runtime; single-layer,
+ownership-flattened push.
+"""
+
+from .builder import ChBuildResult, ChImage
+from .cli import ch_image_cli
+from .force import CONFIGS, DEBDERIV, ForceConfig, InitStep, RHEL7, detect_config
+from .images import ImageStorage
+from .push import flatten_archive, push_image
+from .runtime import ChRun, ChRunResult
+from .seccomp import SECCOMP_ENGINE, SeccompSyscalls
+
+__all__ = [
+    "ChBuildResult",
+    "ChImage",
+    "ch_image_cli",
+    "CONFIGS",
+    "DEBDERIV",
+    "ForceConfig",
+    "InitStep",
+    "RHEL7",
+    "detect_config",
+    "ImageStorage",
+    "flatten_archive",
+    "push_image",
+    "ChRun",
+    "ChRunResult",
+    "SECCOMP_ENGINE",
+    "SeccompSyscalls",
+]

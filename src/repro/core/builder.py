@@ -1,0 +1,352 @@
+"""ch-image build: the fully unprivileged (Type III) Dockerfile interpreter.
+
+Every RUN executes in a fresh unprivileged user namespace mapping the
+invoking user to container root — no helpers, no daemon, no setuid: "the
+entire build process is fully unprivileged; all security boundaries remain
+within the Linux kernel" (paper §6.1).
+
+With ``--force``, ch-image detects the image's distribution and injects
+fakeroot(1) initialization and per-RUN wrapping (§5.3); without it, the
+same detection still happens so the tool can *suggest* --force when the
+build fails (design principle 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..containers.dockerfile import Instruction, parse_dockerfile, split_env_args
+from ..containers.oci import ImageConfig
+from ..containers.runtime import ContainerError, enter_container
+from ..errors import BuildError, KernelError
+from ..fakeroot.state import LieDatabase
+from ..kernel import Process, Syscalls
+from ..shell import ExecContext, OutputSink, execute
+from .force import ForceConfig, detect_config
+from .images import ImageStorage
+from .seccomp import SeccompSyscalls
+
+__all__ = ["ChImage", "ChBuildResult"]
+
+
+@dataclass
+class ChBuildResult:
+    """Outcome of one ch-image build, with the figure-style transcript."""
+
+    tag: str
+    success: bool = False
+    transcript: list[str] = field(default_factory=list)
+    modified_runs: int = 0
+    init_steps_run: int = 0
+    instructions: int = 0
+    exit_status: int = 0
+    error: str = ""
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.transcript)
+
+
+class ChImage:
+    """One user's ch-image instance on one machine.
+
+    ``cache=True`` enables the per-instruction build cache the paper lists
+    as missing in §6.1 and recommends in §6.2.2 ("Charliecloud-specific
+    improvements like image layers and build caching").  ``auto_map=True``
+    uses the §6.2.4 future-kernel guaranteed-unique ID ranges instead of
+    single-ID maps (requires the ``user.autosub_userns`` sysctl).
+    """
+
+    def __init__(self, machine, user_proc: Process,
+                 storage_dir: Optional[str] = None, *,
+                 cache: bool = False, auto_map: bool = False,
+                 force_mode: str = "fakeroot"):
+        if force_mode not in ("fakeroot", "seccomp"):
+            raise ValueError(f"unknown force mode {force_mode!r}")
+        self.machine = machine
+        self.user_proc = user_proc
+        self.storage = ImageStorage(machine, user_proc, storage_dir)
+        self.sys = Syscalls(user_proc)
+        self.cache_enabled = cache
+        self.auto_map = auto_map
+        self.force_mode = force_mode
+        self._cache: dict[str, tuple] = {}  # chain -> (snapshot, hits)
+        #: §6.2.2(3): in seccomp mode the lie database lives in the builder
+        #: (host side) and persists across RUN instructions and to push time
+        self.seccomp_db = LieDatabase()
+
+    # -- public operations -------------------------------------------------------
+
+    def pull(self, ref: str) -> str:
+        return self.storage.pull(ref)
+
+    def build(self, *, tag: str, dockerfile: str,
+              force: bool = False) -> ChBuildResult:
+        """``ch-image build [--force] -t tag -f dockerfile .``
+
+        Multi-stage Dockerfiles (``FROM ... AS name`` + ``COPY --from=``)
+        are supported; only the final stage is tagged.
+        """
+        result = ChBuildResult(tag=tag)
+        out = result.transcript.append
+        try:
+            instructions = parse_dockerfile(dockerfile)
+        except BuildError as err:
+            result.error = str(err)
+            out(f"error: {err}")
+            return result
+
+        # split into stages at each FROM
+        bounds = [i for i, inst in enumerate(instructions)
+                  if inst.kind == "FROM"] + [len(instructions)]
+        stage_names: dict[str, str] = {}  # AS-name / index -> storage name
+        lineno = 1
+        for s in range(len(bounds) - 1):
+            stage = instructions[bounds[s]:bounds[s + 1]]
+            last = s == len(bounds) - 2
+            stage_tag = tag if last else f"{tag}%stage{s}"
+            ok, lineno = self._build_stage(
+                stage, stage_tag, force, result, out, stage_names, lineno,
+                is_last=last, final_tag=tag)
+            if not ok:
+                return result
+            stage_names[str(s)] = stage_tag
+        result.success = True
+        return result
+
+    def _build_stage(self, instructions, tag: str, force: bool,
+                     result: ChBuildResult, out, stage_names: dict[str, str],
+                     lineno: int, *, is_last: bool, final_tag: str
+                     ) -> tuple[bool, int]:
+        """Build one stage; returns (ok, next_lineno)."""
+        from_parts = instructions[0].args.split()
+        base_ref = from_parts[0]
+        if len(from_parts) >= 3 and from_parts[1].upper() == "AS":
+            stage_names[from_parts[2]] = tag
+        out(f"  {lineno} FROM {instructions[0].args}")
+        try:
+            if base_ref in stage_names:
+                base_name = stage_names[base_ref]  # building FROM a stage
+            else:
+                self.storage.pull(base_ref)
+                base_name = base_ref
+        except Exception as exc:
+            result.error = f"cannot pull {base_ref}: {exc}"
+            out(f"error: {result.error}")
+            return False, lineno
+        image_path = self.storage.copy(base_name, tag)
+        config = self.storage.config_of(base_name)
+        result.instructions = lineno
+
+        force_config = detect_config(self.sys, image_path)
+        if force and self.force_mode == "seccomp":
+            out("will use --force: seccomp: fake privileged syscalls "
+                "(no image modification)")
+        elif force and force_config is not None:
+            out(f"will use --force: {force_config.name}: "
+                f"{force_config.description}")
+        elif force:
+            out("--force specified, but no suitable configuration found")
+
+        env: dict[str, str] = dict(
+            kv.split("=", 1) for kv in config.env if "=" in kv)
+        workdir = config.workdir
+        initialized = False
+        saw_modifiable_failure = False
+
+        for i, inst in enumerate(instructions[1:], start=lineno + 1):
+            result.instructions = i
+            if inst.kind in ("ENV", "ARG"):
+                env.update(dict(split_env_args(inst.args)))
+                out(f"  {i} {inst.kind} {inst.args}")
+                continue
+            if inst.kind == "LABEL":
+                out(f"  {i} LABEL {inst.args}")
+                continue
+            if inst.kind == "WORKDIR":
+                workdir = inst.args
+                out(f"  {i} WORKDIR {inst.args}")
+                continue
+            if inst.kind in ("CMD", "ENTRYPOINT"):
+                words = tuple(inst.shell_words())
+                if inst.kind == "CMD":
+                    config = ImageConfig(
+                        arch=config.arch, env=config.env, cmd=words,
+                        entrypoint=config.entrypoint, workdir=workdir,
+                        user=config.user, labels=config.labels,
+                        history=config.history)
+                else:
+                    config = ImageConfig(
+                        arch=config.arch, env=config.env, cmd=config.cmd,
+                        entrypoint=words, workdir=workdir, user=config.user,
+                        labels=config.labels, history=config.history)
+                out(f"  {i} {inst.kind} {inst.args}")
+                continue
+            if inst.kind in ("COPY", "ADD"):
+                out(f"  {i} {inst.kind} {inst.args}")
+                status = self._do_copy(inst, image_path, out,
+                                       stage_names=stage_names)
+                if status != 0:
+                    result.error = (f"build failed: {inst.kind} failed")
+                    out(f"error: {result.error}")
+                    return False, i
+                continue
+            if inst.kind != "RUN":
+                out(f"  {i} {inst.kind} {inst.args}")
+                continue
+
+            # RUN
+            words = inst.shell_words()
+            out(f"  {i} RUN {words!r}")
+            if self.cache_enabled:
+                chain = self._chain_key(base_ref, force,
+                                        instructions[1:i - lineno])
+                cached = self._cache.get(chain)
+                if cached is not None:
+                    out(f"  {i} RUN: using build cache")
+                    self._restore_snapshot(image_path, cached)
+                    continue
+            modifiable = (force_config is not None
+                          and force_config.run_modifiable(inst.args))
+            seccomp = False
+            if force and self.force_mode == "seccomp":
+                # §6.2.2(3): the wrapper lives in the runtime; every RUN is
+                # covered, no distro detection or image changes needed
+                out("workarounds: RUN: seccomp")
+                result.modified_runs += 1
+                seccomp = True
+            else:
+                if force and modifiable and not initialized:
+                    status = self._run_init(force_config, image_path, env,
+                                            workdir, out, result)
+                    if status != 0:
+                        result.error = ("build failed: --force "
+                                        "initialization failed with status "
+                                        f"{status}")
+                        result.exit_status = status
+                        out(f"error: {result.error}")
+                        return False, i
+                    initialized = True
+                if force and modifiable:
+                    words = ["fakeroot"] + words
+                    out(f"workarounds: RUN: new command: {words!r}")
+                    result.modified_runs += 1
+
+            status = self._run_in_container(image_path, words, env, workdir,
+                                            out, seccomp=seccomp)
+            if status == 0 and self.cache_enabled:
+                chain = self._chain_key(base_ref, force,
+                                        instructions[1:i - lineno])
+                self._cache[chain] = self._take_snapshot(image_path)
+            if status != 0:
+                if modifiable and not force:
+                    saw_modifiable_failure = True
+                result.exit_status = status
+                result.error = f"build failed: RUN command exited with {status}"
+                out(f"error: {result.error}")
+                if saw_modifiable_failure and force_config is not None:
+                    out(f"hint: --force may fix it: {force_config.name}: "
+                        f"{force_config.description}")
+                return False, i
+
+        if is_last:
+            if force:
+                out(f"--force: init OK & modified {result.modified_runs} "
+                    "RUN instructions")
+            out(f"grown in {result.instructions} instructions: {final_tag}")
+        self.storage.set_config(tag, config.with_history(
+            f"ch-image build {'--force ' if force else ''}from {base_ref}"))
+        return True, lineno + len(instructions)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _enter(self, image_path: str, env: dict[str, str], workdir: str
+               ) -> ExecContext:
+        return enter_container(
+            self.user_proc, image_path, "type3",
+            dev_fs=self.machine.dev_fs, env=env, workdir=workdir or "/",
+            auto_map=self.auto_map, comm="ch-run")
+
+    # -- build cache (§6.2.2 extension) ---------------------------------------------
+
+    def _chain_key(self, base_ref: str, force: bool, prefix) -> str:
+        import hashlib
+        h = hashlib.sha256(f"{base_ref}|force={force}".encode())
+        for inst in prefix:
+            h.update(f"|{inst.kind} {inst.args}".encode())
+        return h.hexdigest()
+
+    def _take_snapshot(self, image_path: str):
+        from ..archive import TarArchive
+        return TarArchive.pack(self.sys, image_path)
+
+    def _restore_snapshot(self, image_path: str, snapshot) -> None:
+        self.storage._rm_tree(image_path)
+        self.sys.mkdir_p(image_path)
+        snapshot.extract(self.sys, image_path, preserve_owner=False)
+
+    def _run_in_container(self, image_path: str, argv: list[str],
+                          env: dict[str, str], workdir: str, out, *,
+                          seccomp: bool = False) -> int:
+        try:
+            ctx = self._enter(image_path, env, workdir)
+        except ContainerError as err:
+            out(f"error: {err}")
+            return 125
+        if seccomp:
+            ctx = ctx.child(sys=SeccompSyscalls(ctx.sys, self.seccomp_db))
+        sink = OutputSink()
+        status = execute(ctx.child(stdout=sink, stderr=sink), list(argv))
+        for line in sink.lines():
+            out(line)
+        return status
+
+    def _run_init(self, config: ForceConfig, image_path: str,
+                  env: dict[str, str], workdir: str, out,
+                  result: ChBuildResult) -> int:
+        """Run the config's init steps: check, then do if needed (§5.3.1)."""
+        for n, step in enumerate(config.init_steps, start=1):
+            out(f"workarounds: init step {n}: checking: $ {step.check_cmd}")
+            status = self._run_in_container(
+                image_path, ["/bin/sh", "-c", step.check_cmd], env, workdir,
+                lambda line: None)  # check output is discarded
+            if status == 0:
+                continue
+            out(f"workarounds: init step {n}: $ {step.do_cmd}")
+            status = self._run_in_container(
+                image_path, ["/bin/sh", "-c", step.do_cmd], env, workdir,
+                out)
+            if status != 0:
+                return status
+            result.init_steps_run += 1
+        return 0
+
+    def _do_copy(self, inst: Instruction, image_path: str, out, *,
+                 stage_names=None) -> int:
+        parts = inst.args.split()
+        from_stage = None
+        if parts and parts[0].startswith("--from="):
+            from_stage = parts[0].split("=", 1)[1]
+            parts = parts[1:]
+        if len(parts) != 2:
+            out("error: COPY needs SRC DST")
+            return 1
+        src, dst = parts
+        if from_stage is not None:
+            name = (stage_names or {}).get(from_stage)
+            if name is None:
+                out(f"error: COPY --from={from_stage}: no such stage")
+                return 1
+            src = self.storage.path_of(name) + src
+        try:
+            data = self.sys.read_file(src)
+        except KernelError as err:
+            out(f"error: COPY {src}: {err.strerror}")
+            return 1
+        target = dst if not dst.endswith("/") else \
+            dst + src.rsplit("/", 1)[-1]
+        full = image_path + target
+        self.sys.mkdir_p(full.rsplit("/", 1)[0])
+        self.sys.write_file(full, data)
+        return 0

@@ -1,0 +1,94 @@
+"""A ch-image command-line front end.
+
+``ch_image_cli(ch, argv)`` mirrors the CLI the paper's transcripts invoke:
+``ch-image build [--force] -t TAG -f DOCKERFILE .``, plus pull/push/
+list/delete.  Returns (exit_status, output_text).
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, ReproError
+from .builder import ChImage
+from .push import push_image
+
+__all__ = ["ch_image_cli"]
+
+
+def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
+    if not argv:
+        return 1, "usage: ch-image {build|pull|push|list|delete} ..."
+    command, *args = argv
+
+    if command == "build":
+        force = False
+        force_mode = None
+        tag = ""
+        dockerfile_path = ""
+        rest = []
+        i = 0
+        while i < len(args):
+            a = args[i]
+            if a == "--force":
+                force = True
+            elif a.startswith("--force="):
+                force = True
+                force_mode = a.split("=", 1)[1]
+                if force_mode not in ("fakeroot", "seccomp"):
+                    return 1, f"ch-image: unknown --force mode {force_mode!r}"
+            elif a == "-t":
+                i += 1
+                tag = args[i]
+            elif a == "-f":
+                i += 1
+                dockerfile_path = args[i]
+            else:
+                rest.append(a)
+            i += 1
+        if not tag or not dockerfile_path:
+            return 1, "ch-image build: need -t TAG and -f DOCKERFILE"
+        try:
+            dockerfile = ch.sys.read_file(dockerfile_path).decode()
+        except KernelError as err:
+            return 1, f"ch-image: can't read {dockerfile_path}: " \
+                      f"{err.strerror}"
+        saved_mode = ch.force_mode
+        if force_mode is not None:
+            ch.force_mode = force_mode
+        try:
+            result = ch.build(tag=tag, dockerfile=dockerfile, force=force)
+        finally:
+            ch.force_mode = saved_mode
+        return (0 if result.success else 1), result.text
+
+    if command == "pull":
+        if not args:
+            return 1, "ch-image pull: need an image reference"
+        try:
+            path = ch.pull(args[0])
+        except ReproError as err:
+            return 1, f"ch-image: pull failed: {err}"
+        return 0, f"pulled {args[0]} to {path}"
+
+    if command == "push":
+        if len(args) < 2:
+            return 1, "ch-image push: need IMAGE DEST"
+        try:
+            manifest = push_image(ch.storage, args[0], args[1])
+        except (ReproError, KernelError) as err:
+            return 1, f"ch-image: push failed: {err}"
+        return 0, (f"pushed {args[0]} to {args[1]} "
+                   f"({manifest.layer_count} layer)")
+
+    if command in ("list", "list-images"):
+        return 0, "\n".join(ch.storage.list_images())
+
+    if command in ("delete", "rm"):
+        if not args:
+            return 1, "ch-image delete: need an image name"
+        try:
+            ch.storage.delete(args[0])
+        except KernelError as err:
+            return 1, f"ch-image: delete failed: {err.strerror}"
+        return 0, f"deleted {args[0]}"
+
+    return 1, f"ch-image: unknown command {command!r}"

@@ -1,0 +1,121 @@
+"""ch-image --force: distro detection and fakeroot(1) injection (paper §5.3).
+
+Design principles, quoted from the paper:
+
+1. "Be clear and explicit about what is happening."
+2. "Minimize changes to the build."
+3. "Modify the build only if the user requests it, but otherwise say what
+   *could* be modified."
+
+A :class:`ForceConfig` holds a *detection* rule (a file and a regex —
+"this approach avoids executing a command within the container"), an
+ordered list of *init steps* (each a check command and a do command), and
+the *keywords* whose presence marks a RUN instruction as modifiable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import KernelError
+from ..kernel import Syscalls
+
+__all__ = ["ForceConfig", "InitStep", "CONFIGS", "detect_config"]
+
+
+@dataclass(frozen=True)
+class InitStep:
+    """One initialization step: run ``do_cmd`` unless ``check_cmd`` passes."""
+
+    check_cmd: str
+    do_cmd: str
+
+
+@dataclass(frozen=True)
+class ForceConfig:
+    """One supported distribution family."""
+
+    name: str
+    description: str
+    match_file: str
+    match_re: str
+    init_steps: tuple[InitStep, ...]
+    run_keywords: tuple[str, ...]
+
+    def matches(self, sys: Syscalls, image_path: str) -> bool:
+        """Test the image tree host-side (no in-container execution)."""
+        path = image_path.rstrip("/") + self.match_file
+        try:
+            content = sys.read_file(path).decode(errors="replace")
+        except KernelError:
+            return False
+        return re.search(self.match_re, content) is not None
+
+    def run_modifiable(self, command: str) -> bool:
+        """Does this RUN command contain a trigger keyword?"""
+        return any(k in command for k in self.run_keywords)
+
+
+#: CentOS/RHEL 7: fakeroot comes from EPEL, which is installed if needed but
+#: left disabled ("EPEL can cause unexpected upgrades of standard
+#: packages"), then used explicitly via --enablerepo (§5.3.1).
+RHEL7 = ForceConfig(
+    name="rhel7",
+    description="CentOS/RHEL 7",
+    match_file="/etc/redhat-release",
+    match_re=r"release 7\.",
+    init_steps=(
+        InitStep(
+            check_cmd="command -v fakeroot > /dev/null",
+            do_cmd=(
+                "set -ex; "
+                "if ! grep -Eq '\\[epel\\]' /etc/yum.conf "
+                "/etc/yum.repos.d/*; then "
+                "yum install -y epel-release; "
+                "yum-config-manager --disable epel; "
+                "fi; "
+                "yum --enablerepo=epel install -y fakeroot"
+            ),
+        ),
+    ),
+    run_keywords=("dnf", "rpm", "yum"),
+)
+
+#: Debian 9/10 and Ubuntu: disable the APT sandbox, then install pseudo
+#: ("in our experience, the fakeroot package in Debian 10 was not able to
+#: install the packages we tested", §5.2).
+DEBDERIV = ForceConfig(
+    name="debderiv",
+    description="Debian (9, 10) or Ubuntu (16, 18, 20)",
+    match_file="/etc/os-release",
+    match_re=r"stretch|buster|xenial|bionic|focal",
+    init_steps=(
+        InitStep(
+            check_cmd=(
+                "apt-config dump | fgrep -q 'APT::Sandbox::User \"root\"' "
+                "|| ! fgrep -q _apt /etc/passwd"
+            ),
+            do_cmd=(
+                "echo 'APT::Sandbox::User \"root\";' > "
+                "/etc/apt/apt.conf.d/no-sandbox"
+            ),
+        ),
+        InitStep(
+            check_cmd="command -v fakeroot > /dev/null",
+            do_cmd="apt-get update && apt-get install -y pseudo",
+        ),
+    ),
+    run_keywords=("apt-get", "apt", "dpkg"),
+)
+
+CONFIGS: tuple[ForceConfig, ...] = (RHEL7, DEBDERIV)
+
+
+def detect_config(sys: Syscalls, image_path: str) -> Optional[ForceConfig]:
+    """Find the matching --force configuration for an image tree."""
+    for config in CONFIGS:
+        if config.matches(sys, image_path):
+            return config
+    return None

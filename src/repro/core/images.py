@@ -1,0 +1,115 @@
+"""ch-image storage: plain directory trees, fully unprivileged.
+
+Charliecloud keeps images as ordinary directories under
+``/var/tmp/<user>.ch/img`` — no storage driver, no mounts, no helpers.  On
+pull, "any downstream Type III users ... will change ownership to
+themselves anyway, like tar(1)" (paper §5.2): extraction does not preserve
+ownership, so the whole tree belongs to the invoking user.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..archive import TarArchive
+from ..errors import BuildError, KernelError, RegistryError
+from ..kernel import FileType, Process, Syscalls
+from ..containers.oci import ImageConfig, ImageRef
+from ..containers.registry import Registry
+
+__all__ = ["ImageStorage", "DEFAULT_HUB"]
+
+DEFAULT_HUB = "docker.io"
+
+
+class ImageStorage:
+    """One user's ch-image storage directory."""
+
+    def __init__(self, machine, user_proc: Process,
+                 storage_dir: Optional[str] = None):
+        self.machine = machine
+        self.user_proc = user_proc
+        self.sys = Syscalls(user_proc)
+        user = user_proc.environ.get("USER", "user")
+        self.root = storage_dir or f"/var/tmp/{user}.ch"
+        self.img_dir = f"{self.root}/img"
+        self.sys.mkdir_p(self.img_dir)
+        self._configs: dict[str, ImageConfig] = {}
+
+    # -- naming ---------------------------------------------------------------------
+
+    def path_of(self, name: str) -> str:
+        flat = name.replace("/", "%").replace(":", "+")
+        return f"{self.img_dir}/{flat}"
+
+    def exists(self, name: str) -> bool:
+        return self.sys.exists(self.path_of(name))
+
+    def list_images(self) -> list[str]:
+        try:
+            entries = self.sys.readdir(self.img_dir)
+        except KernelError:
+            return []
+        return sorted(e.name.replace("%", "/").replace("+", ":")
+                      for e in entries)
+
+    def config_of(self, name: str) -> ImageConfig:
+        return self._configs.get(name, ImageConfig(arch=self.machine.arch))
+
+    # -- pull -----------------------------------------------------------------------
+
+    def _registry(self, ref: ImageRef) -> Registry:
+        net = self.machine.kernel.network
+        if net is None:
+            raise RegistryError("no network reachable")
+        return net.registry(ref.registry or DEFAULT_HUB)
+
+    def pull(self, ref_text: str) -> str:
+        """Pull and flatten: single directory tree owned by the user."""
+        ref = ImageRef.parse(ref_text)
+        name = str(ref)
+        path = self.path_of(name)
+        if self.sys.exists(path):
+            return path
+        config, layers = self._registry(ref).pull(ref,
+                                                  arch=self.machine.arch)
+        self.sys.mkdir_p(path)
+        for layer in layers:
+            # unprivileged tar semantics: no chown attempts at all
+            layer.extract(self.sys, path, preserve_owner=False)
+        self._configs[name] = config
+        return path
+
+    # -- tag-to-tag copy (FROM materialization) ----------------------------------------
+
+    def copy(self, src_name: str, dst_name: str) -> str:
+        src = self.path_of(src_name)
+        dst = self.path_of(dst_name)
+        if not self.sys.exists(src):
+            raise BuildError(f"no image {src_name!r} in storage")
+        if self.sys.exists(dst):
+            self.delete(dst_name)
+        archive = TarArchive.pack(self.sys, src)
+        self.sys.mkdir_p(dst)
+        archive.extract(self.sys, dst, preserve_owner=False)
+        self._configs[dst_name] = self._configs.get(
+            src_name, ImageConfig(arch=self.machine.arch))
+        return dst
+
+    def set_config(self, name: str, config: ImageConfig) -> None:
+        self._configs[name] = config
+
+    # -- delete ---------------------------------------------------------------------------
+
+    def delete(self, name: str) -> None:
+        self._rm_tree(self.path_of(name))
+        self._configs.pop(name, None)
+
+    def _rm_tree(self, path: str) -> None:
+        st = self.sys.lstat(path)
+        if st.ftype is FileType.DIR:
+            for entry in self.sys.readdir(path):
+                self._rm_tree(f"{path}/{entry.name}")
+            self.sys.rmdir(path)
+        else:
+            self.sys.unlink(path)

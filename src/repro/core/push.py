@@ -1,0 +1,80 @@
+"""ch-image push: single-layer, ownership-flattened image upload.
+
+Paper §6.1: "On push, Charliecloud changes ownership for all image files to
+root:root and clears setuid/setgid bits, to avoid leaking site IDs ...
+images are single-layer, in contrast to other implementations that push
+images as multiple layers."
+
+§6.2.2's "preserve file ownership" recommendation is implemented as the
+optional ``fakeroot_db`` argument: when the build's lie database is handed
+in, the pushed archive reflects the *faked* ownership instead of the
+flattened one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..archive import TarArchive, TarMember
+from ..containers.oci import ImageRef, Manifest
+from ..containers.registry import Registry
+from ..errors import RegistryError
+from ..fakeroot import LieDatabase
+from .images import ImageStorage
+
+__all__ = ["push_image", "flatten_archive"]
+
+
+def flatten_archive(archive: TarArchive) -> TarArchive:
+    """root:root everywhere, setuid/setgid cleared."""
+    return TarArchive([m.flattened() for m in archive])
+
+
+def push_image(
+    storage: ImageStorage,
+    name: str,
+    dest: str,
+    *,
+    fakeroot_db: Optional[LieDatabase] = None,
+) -> Manifest:
+    """Push image *name* from ch-image storage to *dest*.
+
+    Without *fakeroot_db*: the standard flattening behaviour.  With it: the
+    §6.2.2 extension — ownership comes from fakeroot's records, "layer
+    archives that reflect fakeroot(1)'s database rather than the
+    filesystem".
+    """
+    sys = storage.sys
+    path = storage.path_of(name)
+    if not sys.exists(path):
+        raise RegistryError(f"no image {name!r} in ch-image storage")
+    archive = TarArchive.pack(sys, path)
+
+    if fakeroot_db is None:
+        layer = flatten_archive(archive)
+    else:
+        members = []
+        for m in archive:
+            st = sys.lstat(f"{path}/{m.path}")
+            lie = fakeroot_db.get(st.st_dev, st.st_ino)
+            if lie is not None:
+                members.append(TarMember(
+                    path=m.path, ftype=lie.ftype or m.ftype,
+                    mode=lie.mode if lie.mode is not None else m.mode,
+                    uid=lie.uid if lie.uid is not None else 0,
+                    gid=lie.gid if lie.gid is not None else 0,
+                    data=m.data, target=m.target,
+                    rdev=lie.rdev or m.rdev, exe_impl=m.exe_impl,
+                    exe_arch=m.exe_arch, exe_static=m.exe_static,
+                    xattrs=m.xattrs))
+            else:
+                members.append(m.flattened())
+        layer = TarArchive(members)
+
+    ref = ImageRef.parse(dest)
+    net = storage.machine.kernel.network
+    if net is None:
+        raise RegistryError("no network reachable")
+    registry: Registry = net.registry(ref.registry or "docker.io")
+    config = storage.config_of(name)
+    return registry.push(ref, config, [layer])

@@ -1,0 +1,43 @@
+"""Distribution substrate: packages, repositories, yum/rpm, apt/dpkg, and
+the centos:7 / debian:buster base images."""
+
+from . import appbins, apt, spack, yum  # noqa: F401  (registers pkg tool binaries)
+from .baseimages import (
+    CORE_UTILS,
+    make_centos7_archive,
+    make_debian10_archive,
+    populate_userland,
+)
+from .catalog import (
+    ARCHES,
+    centos_base_packages,
+    centos_epel_packages,
+    debian_main_packages,
+    make_universe,
+)
+from .packages import Package, PackageDb, PackageFile, resolve_dependencies
+from .repository import PackageUniverse, Repository
+from .rpm import CpioError, RPM_DB_PATH, ScriptletError, rpm_install, unpack_package
+
+__all__ = [
+    "CORE_UTILS",
+    "make_centos7_archive",
+    "make_debian10_archive",
+    "populate_userland",
+    "ARCHES",
+    "centos_base_packages",
+    "centos_epel_packages",
+    "debian_main_packages",
+    "make_universe",
+    "Package",
+    "PackageDb",
+    "PackageFile",
+    "resolve_dependencies",
+    "PackageUniverse",
+    "Repository",
+    "CpioError",
+    "RPM_DB_PATH",
+    "ScriptletError",
+    "rpm_install",
+    "unpack_package",
+]

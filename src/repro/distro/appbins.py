@@ -1,0 +1,72 @@
+"""Application/tool binaries shipped by catalog packages."""
+
+from __future__ import annotations
+
+from ..errors import KernelError
+from ..shell import ExecContext
+from ..shell.executor import execute
+from ..shell.registry import binary
+
+__all__ = []
+
+
+@binary("caps.setcap")
+def _setcap(ctx: ExecContext, argv: list[str]) -> int:
+    """setcap CAP_STRING FILE — applies file capabilities via the
+    security.capability xattr (what dpkg postinst scripts call)."""
+    args = [a for a in argv[1:] if not a.startswith("-")]
+    if len(args) != 2:
+        ctx.stderr.writeline("usage: setcap <caps> <file>")
+        return 2
+    caps, path = args
+    try:
+        ctx.sys.setxattr(path, "security.capability", caps.encode())
+        return 0
+    except KernelError as err:
+        ctx.stderr.writeline(
+            f"Failed to set capabilities on file `{path}' ({err.strerror})")
+        return 1
+
+
+@binary("app.mpirun")
+def _mpirun(ctx: ExecContext, argv: list[str]) -> int:
+    """mpirun -np N CMD [ARGS] — run CMD once per simulated rank."""
+    args = argv[1:]
+    nprocs = 1
+    i = 0
+    while i < len(args) and args[i].startswith("-"):
+        if args[i] in ("-np", "-n"):
+            i += 1
+            nprocs = int(args[i])
+        i += 1
+    cmd = args[i:]
+    if not cmd:
+        ctx.stderr.writeline("mpirun: no executable given")
+        return 1
+    status = 0
+    for rank in range(nprocs):
+        child = ctx.child()
+        child.env["OMPI_COMM_WORLD_RANK"] = str(rank)
+        child.env["OMPI_COMM_WORLD_SIZE"] = str(nprocs)
+        status = execute(child, list(cmd))
+        if status != 0:
+            ctx.stderr.writeline(
+                f"mpirun: rank {rank} exited with status {status}")
+            return status
+    return status
+
+
+@binary("app.atse_info")
+def _atse_info(ctx: ExecContext, argv: list[str]) -> int:
+    """Report the ATSE stack installed in this image (the validation step of
+    the Figure 6 workflow)."""
+    try:
+        conf = ctx.sys.read_file("/opt/atse/etc/atse.conf").decode()
+    except KernelError:
+        ctx.stderr.writeline("atse-info: ATSE not installed")
+        return 1
+    rank = ctx.env.get("OMPI_COMM_WORLD_RANK")
+    prefix = f"[rank {rank}] " if rank is not None else ""
+    ctx.stdout.writeline(f"{prefix}ATSE on {ctx.kernel.hostname} "
+                         f"({ctx.kernel.arch}): {conf.strip()}")
+    return 0

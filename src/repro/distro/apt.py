@@ -1,0 +1,291 @@
+"""APT and dpkg.
+
+The paper's Figure 3 failure mode lives here: apt-get "tries to drop
+privileges and change to user _apt (UID 100) to sandbox downloading and
+external dependency solving", which in a Type III container yields
+``setgroups`` EPERM and ``seteuid`` EINVAL.  The escape hatch is the
+``APT::Sandbox::User "root";`` configuration (Figure 9's no-sandbox file).
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, PackageError
+from ..kernel import Syscalls
+from ..shell import ExecContext, run_shell
+from ..shell.registry import binary
+from ..userdb import UserDb
+from .packages import Package, PackageDb, resolve_dependencies
+from .rpm import CpioError, unpack_package
+
+__all__ = ["DPKG_DB_PATH", "APT_LISTS_DIR", "APT_CONF_DIR", "sandbox_drop"]
+
+DPKG_DB_PATH = "/var/lib/dpkg/status"
+APT_LISTS_DIR = "/var/lib/apt/lists"
+APT_CONF_DIR = "/etc/apt/apt.conf.d"
+SOURCES_LIST = "/etc/apt/sources.list"
+
+
+def _apt_config_text(sys: Syscalls) -> str:
+    chunks = []
+    try:
+        for entry in sys.readdir(APT_CONF_DIR):
+            try:
+                chunks.append(
+                    sys.read_file(f"{APT_CONF_DIR}/{entry.name}").decode())
+            except KernelError:
+                pass
+    except KernelError:
+        pass
+    return "\n".join(chunks)
+
+
+def sandbox_drop(ctx: ExecContext) -> list[str]:
+    """Attempt APT's privilege drop to _apt; returns error lines (empty on
+    success or when sandboxing is configured off)."""
+    if 'APT::Sandbox::User "root"' in _apt_config_text(ctx.sys):
+        return []
+    db = UserDb.load(ctx.sys)
+    apt_user = db.user_by_name("_apt")
+    if apt_user is None:
+        return []
+    errors: list[str] = []
+    # The drop happens in a forked worker, which *inherits* whatever syscall
+    # interposition the parent had (seccomp filters propagate; LD_PRELOAD
+    # fakeroot does too, but it does not intercept set*id — paper §5.2 —
+    # so only runtime-level interception like §6.2.2(3) changes the outcome).
+    worker = ctx.proc.fork(comm="apt-worker")
+    wsys = ctx.sys.clone_for(worker)
+    try:
+        try:
+            wsys.setgroups([65534])
+        except KernelError as err:
+            errors.append(
+                f"E: setgroups 65534 failed - setgroups "
+                f"({int(err.errno)}: {err.strerror})")
+        for _ in range(2):  # apt retries the euid transition
+            try:
+                wsys.seteuid(apt_user.uid)
+                break
+            except KernelError as err:
+                errors.append(
+                    f"E: seteuid {apt_user.uid} failed - seteuid "
+                    f"({int(err.errno)}: {err.strerror})")
+    finally:
+        worker.exit(0)
+    return errors
+
+
+def _sources(sys: Syscalls) -> list[str]:
+    try:
+        raw = sys.read_file(SOURCES_LIST).decode()
+    except KernelError:
+        return []
+    urls = []
+    for line in raw.splitlines():
+        parts = line.split()
+        if len(parts) >= 2 and parts[0] == "deb":
+            urls.append(parts[1])
+    return urls
+
+
+def _index_path(url: str) -> str:
+    mangled = url.replace("://", "_").replace("/", "_")
+    return f"{APT_LISTS_DIR}/{mangled}_Packages"
+
+
+def _read_indexes(sys: Syscalls) -> dict[str, str]:
+    """name -> source repo url, from downloaded package indexes."""
+    out: dict[str, str] = {}
+    try:
+        entries = sys.readdir(APT_LISTS_DIR)
+    except KernelError:
+        return out
+    for entry in entries:
+        if not entry.name.endswith("_Packages"):
+            continue
+        raw = sys.read_file(f"{APT_LISTS_DIR}/{entry.name}").decode()
+        lines = raw.splitlines()
+        if not lines:
+            continue
+        url = lines[0]
+        for line in lines[1:]:
+            name = line.partition("|")[0]
+            if name:
+                out.setdefault(name, url)
+    return out
+
+
+def _log_term(ctx: ExecContext) -> str | None:
+    """Write apt's term.log and try the root:adm chown; returns the warning
+    line on failure (Figure 9 line 21)."""
+    sys = ctx.sys
+    try:
+        sys.mkdir_p("/var/log/apt")
+        sys.write_file("/var/log/apt/term.log", b"log\n", append=True)
+        db = UserDb.load(sys)
+        adm = db.group_by_name("adm")
+        adm_gid = adm.gid if adm is not None else 4
+        sys.chown("/var/log/apt/term.log", 0, adm_gid)
+    except KernelError:
+        return "W: chown to root:adm of file /var/log/apt/term.log failed"
+    return None
+
+
+@binary("pkg.apt_config")
+def _apt_config(ctx: ExecContext, argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] == "dump":
+        text = _apt_config_text(ctx.sys)
+        if text:
+            ctx.stdout.write(text if text.endswith("\n") else text + "\n")
+        return 0
+    ctx.stderr.writeline("apt-config: only 'dump' supported")
+    return 1
+
+
+@binary("pkg.apt_get")
+def _apt_get(ctx: ExecContext, argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "-y" and not a.startswith("-o")]
+    assume_yes = "-y" in argv
+    if not args:
+        ctx.stderr.writeline("apt-get: no command")
+        return 1
+    command, *names = args
+
+    errors = sandbox_drop(ctx)
+    if errors:
+        for line in errors:
+            ctx.stderr.writeline(line)
+        return 100
+
+    net = ctx.network
+    if command == "update":
+        if net is None or not net.online:
+            ctx.stderr.writeline("E: network unreachable")
+            return 100
+        ctx.sys.mkdir_p(APT_LISTS_DIR)
+        total_kb = 0
+        for i, url in enumerate(_sources(ctx.sys), 1):
+            try:
+                repo = net.repo(url)
+            except PackageError as err:
+                ctx.stderr.writeline(f"E: {err}")
+                return 100
+            body = [url]
+            body += [f"{p.name}|{p.version}"
+                     for p in sorted(repo.packages.values(),
+                                     key=lambda p: p.name)]
+            ctx.sys.write_file(_index_path(url), "\n".join(body).encode())
+            kb = repo.index_bytes() // 1024 + 1
+            total_kb += kb
+            ctx.stdout.writeline(f"Get:{i} {url} buster InRelease [{kb} kB]")
+        ctx.stdout.writeline(f"Fetched {total_kb * 1024 // 1000} kB in 7s "
+                             f"({total_kb * 146} B/s)")
+        ctx.stdout.writeline("Reading package lists...")
+        return 0
+
+    if command != "install":
+        ctx.stderr.writeline(f"apt-get: unsupported command {command!r}")
+        return 1
+    if not names:
+        ctx.stderr.writeline("apt-get: install needs package names")
+        return 1
+    if not assume_yes:
+        ctx.stderr.writeline("apt-get: would prompt; use -y in builds")
+        return 1
+
+    ctx.stdout.writeline("Reading package lists...")
+    index = _read_indexes(ctx.sys)
+    if not index:
+        for n in names:
+            ctx.stderr.writeline(f"E: Unable to locate package {n}")
+        return 100
+
+    db = PackageDb(ctx.sys, DPKG_DB_PATH)
+    installed = db.installed()
+
+    available: dict[str, Package] = {}
+    for name, url in index.items():
+        try:
+            repo = net.repo(url)
+        except PackageError as err:
+            ctx.stderr.writeline(f"E: {err}")
+            return 100
+        if repo.has(name):
+            available[name] = repo.get(name)
+
+    missing = [n for n in names if n not in installed]
+    if not missing:
+        ctx.stdout.writeline("0 upgraded, 0 newly installed, 0 to remove")
+        return 0
+    try:
+        transaction = resolve_dependencies(missing, available, installed)
+    except PackageError:
+        for n in missing:
+            if n not in available:
+                ctx.stderr.writeline(f"E: Unable to locate package {n}")
+        return 100
+
+    ctx.stdout.writeline("The following NEW packages will be installed:")
+    ctx.stdout.writeline("  " + " ".join(p.name for p in transaction))
+
+    for pkg in transaction:
+        net.repo(index[pkg.name]).fetch(pkg.name)
+
+    # Unpack phase (dpkg --unpack), then configure phase (postinst).
+    for pkg in transaction:
+        if pkg.pre_script:
+            status = run_shell(ctx.child(), pkg.pre_script)
+            if status != 0:
+                ctx.stderr.writeline(
+                    f"dpkg: error processing archive {pkg.name} (--unpack):")
+                ctx.stderr.writeline(
+                    f" new {pkg.name} package pre-installation script "
+                    f"subprocess returned error exit status {status}")
+                ctx.stderr.writeline(
+                    "E: Sub-process /usr/bin/dpkg returned an error code (1)")
+                return 100
+        ctx.stdout.writeline(f"Unpacking {pkg.name} ({pkg.version}) ...")
+        try:
+            unpack_package(ctx, pkg)
+        except CpioError as err:
+            ctx.stderr.writeline(
+                f"dpkg: error processing archive {pkg.name} (--unpack):")
+            ctx.stderr.writeline(
+                f" error setting ownership of '.{err.path}': "
+                f"{err.err.strerror}")
+            ctx.stderr.writeline(
+                "E: Sub-process /usr/bin/dpkg returned an error code (1)")
+            return 100
+
+    for pkg in transaction:
+        ctx.stdout.writeline(f"Setting up {pkg.name} ({pkg.version}) ...")
+        if pkg.post_script:
+            status = run_shell(ctx.child(), pkg.post_script)
+            if status != 0:
+                ctx.stderr.writeline(
+                    f"dpkg: error processing package {pkg.name} "
+                    f"(--configure):")
+                ctx.stderr.writeline(
+                    f" installed {pkg.name} package post-installation script "
+                    f"subprocess returned error exit status {status}")
+                ctx.stderr.writeline(
+                    "E: Sub-process /usr/bin/dpkg returned an error code (1)")
+                return 100
+        db.add(pkg)
+
+    warning = _log_term(ctx)
+    if warning is not None:
+        ctx.stderr.writeline(warning)
+    ctx.stdout.writeline("Processing triggers for libc-bin (2.28-10) ...")
+    return 0
+
+
+@binary("pkg.dpkg")
+def _dpkg(ctx: ExecContext, argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] == "-l":
+        db = PackageDb(ctx.sys, DPKG_DB_PATH)
+        for name, version in sorted(db.installed().items()):
+            ctx.stdout.writeline(f"ii  {name:<24} {version}")
+        return 0
+    ctx.stderr.writeline("dpkg: only -l supported directly; use apt-get")
+    return 1

@@ -1,0 +1,163 @@
+"""Base image construction: centos:7 and debian:buster as layer archives.
+
+Each base image is built in a scratch kernel and packed into a
+:class:`~repro.archive.TarArchive` with distribution-intended ownership
+(root:root), ready to be pushed into a registry.  Images are arch-specific —
+pulling an x86-64 image onto an aarch64 machine yields binaries that fail
+to exec, which is the Astra motivation (paper §4.2).
+"""
+
+from __future__ import annotations
+
+from ..archive import TarArchive
+from ..kernel import Kernel, Syscalls, make_ext4
+from ..shell.install import install_binary
+from ..userdb import GroupEntry, PasswdEntry, UserDb
+
+__all__ = ["CORE_UTILS", "make_centos7_archive", "make_debian10_archive",
+           "populate_userland"]
+
+#: command name -> registered implementation, for the common userland
+CORE_UTILS: dict[str, str] = {
+    "echo": "coreutils.echo", "cat": "coreutils.cat",
+    "touch": "coreutils.touch", "ls": "coreutils.ls",
+    "chown": "coreutils.chown", "chgrp": "coreutils.chgrp",
+    "chmod": "coreutils.chmod", "mknod": "coreutils.mknod",
+    "rm": "coreutils.rm", "mkdir": "coreutils.mkdir", "mv": "coreutils.mv",
+    "cp": "coreutils.cp", "ln": "coreutils.ln", "id": "coreutils.id",
+    "whoami": "coreutils.whoami", "uname": "coreutils.uname",
+    "hostname": "coreutils.hostname", "env": "coreutils.env",
+    "stat": "coreutils.stat", "grep": "grep.grep", "egrep": "grep.egrep",
+    "fgrep": "grep.fgrep", "tar": "tar.tar", "sh": "sh.posix",
+    "true": "coreutils.true", "false": "coreutils.false",
+    "ps": "procps.ps",
+    "useradd": "shadow.useradd", "groupadd": "shadow.groupadd",
+    "setcap": "caps.setcap",
+}
+
+
+def populate_userland(sys: Syscalls, arch: str) -> None:
+    """Install the common userland into the tree rooted at /."""
+    for name, impl in CORE_UTILS.items():
+        # sh stays noarch (scripts must run everywhere the interpreter does);
+        # everything else is a compiled binary of the image's architecture.
+        bin_arch = "noarch" if impl == "sh.posix" else arch
+        install_binary(sys, f"/usr/bin/{name}", impl, arch=bin_arch)
+    sys.mkdir_p("/bin")
+    sys.symlink("/usr/bin/sh", "/bin/sh")
+    for d in ("/etc", "/var/log", "/usr/sbin", "/root", "/home", "/opt",
+              "/dev", "/proc", "/sys"):
+        sys.mkdir_p(d)
+    sys.mkdir_p("/tmp")
+    sys.chmod("/tmp", 0o1777)
+    # Bulk data so image sizes behave realistically (locale archives and
+    # shared libraries dominate real base images).
+    sys.mkdir_p("/usr/lib/locale")
+    sys.write_file("/usr/lib/locale/locale-archive",
+                   b"\x00locale" * 8192)  # ~56 KiB
+    sys.write_file("/usr/lib/libc.so.6", b"\x7fELF libc " + b"\x90" * 4096)
+
+
+def _scratch(arch: str) -> tuple[Kernel, Syscalls]:
+    k = Kernel(make_ext4("image-build"), arch=arch, hostname="builder")
+    return k, Syscalls(k.init_process)
+
+
+def make_centos7_archive(arch: str = "x86_64") -> TarArchive:
+    """Build the centos:7 base image."""
+    _, sys = _scratch(arch)
+    populate_userland(sys, arch)
+    install_binary(sys, "/usr/bin/yum", "pkg.yum", arch=arch)
+    install_binary(sys, "/usr/bin/dnf", "pkg.yum", arch=arch)
+    install_binary(sys, "/usr/bin/yum-config-manager",
+                   "pkg.yum_config_manager", arch=arch)
+    install_binary(sys, "/usr/bin/rpm", "pkg.rpm", arch=arch)
+
+    sys.write_file("/etc/redhat-release",
+                   b"CentOS Linux release 7.9.2009 (Core)\n")
+    sys.write_file("/etc/os-release",
+                   b'NAME="CentOS Linux"\nVERSION="7 (Core)"\nID="centos"\n'
+                   b'VERSION_ID="7"\n')
+    sys.write_file("/etc/yum.conf",
+                   b"[main]\ncachedir=/var/cache/yum\nkeepcache=0\n")
+    sys.mkdir_p("/etc/yum.repos.d")
+    sys.write_file(
+        "/etc/yum.repos.d/base.repo",
+        (
+            "[base]\n"
+            "name=CentOS-7 - Base\n"
+            f"baseurl=repo://centos7/base-{arch}\n"
+            "enabled=1\n"
+        ).encode(),
+    )
+
+    db = UserDb(
+        [
+            PasswdEntry("root", 0, 0, "root", "/root", "/bin/sh"),
+            PasswdEntry("bin", 1, 1, "bin", "/bin", "/sbin/nologin"),
+            PasswdEntry("daemon", 2, 2, "daemon", "/sbin", "/sbin/nologin"),
+            PasswdEntry("nobody", 65534, 65534, "Nobody", "/",
+                        "/sbin/nologin"),
+        ],
+        [
+            GroupEntry("root", 0), GroupEntry("bin", 1),
+            GroupEntry("daemon", 2), GroupEntry("adm", 4),
+            GroupEntry("nobody", 65534),
+        ],
+    )
+    db.store(sys)
+    sys.mkdir_p("/var/lib/rpm")
+    sys.write_file("/var/lib/rpm/packages",
+                   b"bash|4.2.46\ncoreutils|8.22\ngrep|2.20\ntar|1.26\n"
+                   b"yum|3.4.3\nrpm|4.11.3\n")
+    return TarArchive.pack(sys, "/")
+
+
+def make_debian10_archive(arch: str = "x86_64") -> TarArchive:
+    """Build the debian:buster base image.  Ships *no* package indexes —
+    "the base image contains none, so no packages can be installed without
+    apt-get update" (paper §5.2)."""
+    _, sys = _scratch(arch)
+    populate_userland(sys, arch)
+    install_binary(sys, "/usr/bin/apt-get", "pkg.apt_get", arch=arch)
+    install_binary(sys, "/usr/bin/apt", "pkg.apt_get", arch=arch)
+    install_binary(sys, "/usr/bin/apt-config", "pkg.apt_config", arch=arch)
+    install_binary(sys, "/usr/bin/dpkg", "pkg.dpkg", arch=arch)
+
+    sys.write_file(
+        "/etc/os-release",
+        b'PRETTY_NAME="Debian GNU/Linux 10 (buster)"\n'
+        b'NAME="Debian GNU/Linux"\nVERSION_ID="10"\nVERSION="10 (buster)"\n'
+        b'VERSION_CODENAME=buster\nID=debian\n',
+    )
+    sys.write_file("/etc/debian_version", b"10.9\n")
+    sys.mkdir_p("/etc/apt/apt.conf.d")
+    sys.write_file("/etc/apt/sources.list",
+                   f"deb repo://debian10/main-{arch} buster main\n".encode())
+    sys.mkdir_p("/var/lib/apt/lists")
+    sys.mkdir_p("/var/log/apt")
+
+    db = UserDb(
+        [
+            PasswdEntry("root", 0, 0, "root", "/root", "/bin/sh"),
+            PasswdEntry("daemon", 1, 1, "daemon", "/usr/sbin",
+                        "/usr/sbin/nologin"),
+            # the APT sandbox user whose seteuid(100) fails in Figure 3
+            PasswdEntry("_apt", 100, 65534, "", "/nonexistent",
+                        "/usr/sbin/nologin"),
+            PasswdEntry("nobody", 65534, 65534, "nobody", "/nonexistent",
+                        "/usr/sbin/nologin"),
+        ],
+        [
+            GroupEntry("root", 0), GroupEntry("daemon", 1),
+            GroupEntry("adm", 4), GroupEntry("staff", 50),
+            GroupEntry("nogroup", 65534),
+        ],
+    )
+    db.store(sys)
+    sys.mkdir_p("/var/lib/dpkg")
+    sys.write_file("/var/lib/dpkg/status",
+                   b"base-files|10.3\nbash|5.0\ncoreutils|8.30\n"
+                   b"grep|3.3\ntar|1.30\napt|1.8.2\ndpkg|1.19.7\n"
+                   b"libc-bin|2.28-10\n")
+    return TarArchive.pack(sys, "/")

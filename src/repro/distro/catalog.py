@@ -1,0 +1,297 @@
+"""The package catalog: what the simulated repositories serve.
+
+Packages are chosen to exercise each privilege failure mode the paper
+documents:
+
+* ``openssh`` (CentOS): payload owned ``root:ssh_keys`` — the Figure 2
+  ``cpio: chown`` failure in Type III.
+* ``openssh-client`` (Debian): payload group ``_ssh`` plus a postinst that
+  runs setcap — fails in plain Type III, fails under classic fakeroot (no
+  xattr interception), succeeds under pseudo/fakeroot-ng.  "The OpenSSH
+  client ... is problematic across distributions" (Figure 2 caption).
+* ``openssh-server``: postinst writes /proc/sys — fails wherever /proc is
+  owned by (unmapped) nobody, i.e. any rootless container (Figure 5).
+* ``iputils``: file capabilities on ping — the "packages that fakeroot
+  cannot install but fakeroot-ng and pseudo can" case (§5.1).
+* ``sash``: postinst runs a *statically linked* chown — the LD_PRELOAD
+  blind spot; only ptrace-based fakeroot-ng survives it (§5.1, Table 1).
+* ``epel-release``, ``fakeroot``, ``pseudo``: all root:root, installable
+  with no privilege at all (why Figure 8 steps 1-2 need no wrapper).
+* an ATSE-ish HPC stack (gcc/openmpi/hdf5/atse) for the Astra workflow.
+"""
+
+from __future__ import annotations
+
+from .packages import Package, PackageFile
+from .repository import PackageUniverse, Repository
+
+__all__ = ["centos_base_packages", "centos_epel_packages",
+           "debian_main_packages", "make_universe", "ARCHES"]
+
+ARCHES = ("x86_64", "aarch64")
+
+
+def _bin(path: str, impl: str | None, arch: str, *, mode: int = 0o755,
+         owner: str = "root", group: str = "root", static: bool = False,
+         caps: str | None = None, content: bytes = b"\x7fELF") -> PackageFile:
+    return PackageFile(path=path, ftype="f", mode=mode, owner=owner,
+                       group=group, content=content, exe_impl=impl,
+                       exe_arch=arch if impl else "noarch",
+                       exe_static=static, caps=caps)
+
+
+def centos_base_packages(arch: str) -> list[Package]:
+    return [
+        Package(
+            name="openssh",
+            version="7.4p1", release="21.el7", arch=arch,
+            summary="An open source implementation of SSH protocol "
+                    "versions 1 and 2",
+            pre_script="groupadd -r ssh_keys",
+            files=(
+                _bin("/usr/bin/ssh", None, arch),
+                _bin("/usr/bin/ssh-keygen", None, arch),
+                # setgid ssh_keys binary: THE chown that kills Figure 2
+                _bin("/usr/libexec/openssh/ssh-keysign", None, arch,
+                     mode=0o2755, group="ssh_keys"),
+                PackageFile("/etc/ssh", ftype="d", mode=0o755),
+                PackageFile("/etc/ssh/moduli", mode=0o644,
+                            content=b"# SSH moduli\n"),
+            ),
+        ),
+        Package(
+            name="openssh-server",
+            version="7.4p1", release="21.el7", arch=arch,
+            summary="An open source SSH server daemon",
+            requires=("openssh",),
+            pre_script="useradd -r -d /var/empty/sshd -s /sbin/nologin sshd",
+            post_script=(
+                # a real root install may tune /proc; nobody-owned /proc
+                # in rootless containers makes this fail (Figure 5)
+                "echo 1 > /proc/sys/net/ipv4/ip_forward"
+            ),
+            files=(
+                _bin("/usr/sbin/sshd", None, arch),
+                PackageFile("/var/empty/sshd", ftype="d", mode=0o711,
+                            owner="root", group="root"),
+                PackageFile("/etc/ssh/sshd_config", mode=0o600,
+                            content=b"PermitRootLogin no\n"),
+            ),
+        ),
+        Package(
+            name="epel-release",
+            version="7", release="14", arch="noarch",
+            summary="Extra Packages for Enterprise Linux repository "
+                    "configuration",
+            files=(
+                PackageFile(
+                    "/etc/yum.repos.d/epel.repo", mode=0o644,
+                    content=(
+                        "[epel]\n"
+                        "name=Extra Packages for Enterprise Linux 7\n"
+                        f"baseurl=repo://centos7/epel-{arch}\n"
+                        "enabled=1\n"
+                    ).encode(),
+                ),
+            ),
+        ),
+        Package(
+            name="sash",
+            version="3.8", release="5.el7", arch=arch,
+            summary="A statically linked shell including standalone tools",
+            post_script="/usr/sbin/sln-fixup nobody /opt/sash/sash.dat",
+            files=(
+                # statically linked fixup helper: LD_PRELOAD cannot wrap it
+                _bin("/usr/sbin/sln-fixup", "coreutils.chown", arch,
+                     static=True),
+                PackageFile("/opt/sash/sash.dat", mode=0o644,
+                            content=b"standalone shell data\n"),
+            ),
+        ),
+        Package(
+            name="iputils",
+            version="20160308", release="10.el7", arch=arch,
+            summary="Network monitoring tools including ping",
+            files=(
+                # file capabilities: applied via security.capability xattr,
+                # which classic fakeroot does not intercept
+                _bin("/usr/bin/ping", None, arch, caps="cap_net_raw+ep"),
+            ),
+        ),
+        Package(
+            name="spack",
+            version="0.16.2", release="1", arch="noarch",
+            summary="A flexible package manager for HPC software stacks",
+            files=(
+                _bin("/usr/bin/spack", "pkg.spack", arch),
+                PackageFile("/opt/spack", ftype="d", mode=0o755),
+            ),
+        ),
+        Package(
+            name="gcc",
+            version="4.8.5", release="44.el7", arch=arch,
+            summary="The GNU Compiler Collection",
+            files=(_bin("/usr/bin/gcc", None, arch),
+                   _bin("/usr/bin/g++", None, arch)),
+        ),
+        Package(
+            name="openmpi",
+            version="3.1.6", release="1.el7", arch=arch,
+            summary="Open Message Passing Interface",
+            requires=("gcc",),
+            files=(
+                _bin("/usr/lib64/openmpi/bin/mpirun", "app.mpirun", arch),
+                _bin("/usr/lib64/openmpi/bin/mpicc", None, arch),
+                PackageFile("/usr/lib64/openmpi/lib/libmpi.so", mode=0o755,
+                            content=b"\x7fELF libmpi"),
+            ),
+        ),
+        Package(
+            name="hdf5",
+            version="1.8.12", release="13.el7", arch=arch,
+            summary="A general purpose library for storing scientific data",
+            requires=("openmpi",),
+            files=(PackageFile("/usr/lib64/libhdf5.so", mode=0o755,
+                               content=b"\x7fELF libhdf5"),),
+        ),
+        Package(
+            name="atse",
+            version="1.2.5", release="1", arch=arch,
+            summary="Advanced Tri-lab Software Environment meta-package",
+            requires=("openmpi", "hdf5"),
+            files=(
+                _bin("/opt/atse/bin/atse-info", "app.atse_info", arch),
+                PackageFile("/opt/atse/etc/atse.conf", mode=0o644,
+                            content=b"stack=atse-1.2.5\n"),
+            ),
+        ),
+    ]
+
+
+def centos_epel_packages(arch: str) -> list[Package]:
+    return [
+        Package(
+            name="fakeroot",
+            version="1.25.3", release="1.el7", arch=arch,
+            summary="Gives a fake root environment",
+            files=(
+                _bin("/usr/bin/fakeroot", "fakeroot.classic", arch),
+                _bin("/usr/bin/faked", None, arch),
+            ),
+        ),
+        Package(
+            name="fakeroot-ng",
+            version="0.18", release="1.el7", arch=arch,
+            summary="Fake root environment by means of ptrace",
+            files=(_bin("/usr/bin/fakeroot-ng", "fakeroot.ng", arch),),
+        ),
+    ]
+
+
+def debian_main_packages(arch: str) -> list[Package]:
+    return [
+        Package(
+            name="openssh-client",
+            version="1:7.9p1-10+deb10u2", arch=arch,
+            summary="secure shell (SSH) client",
+            requires=("libxext6", "xauth"),
+            pre_script="groupadd -r _ssh",
+            post_script=(
+                "chown root:_ssh /usr/bin/ssh-agent && "
+                "chmod 2755 /usr/bin/ssh-agent && "
+                "setcap cap_net_bind_service+ep /usr/lib/openssh/ssh-keysign"
+            ),
+            files=(
+                _bin("/usr/bin/ssh", None, arch),
+                _bin("/usr/bin/ssh-agent", None, arch),
+                _bin("/usr/lib/openssh/ssh-keysign", None, arch),
+            ),
+        ),
+        Package(
+            name="libxext6",
+            version="2:1.3.3-1+b2", arch=arch,
+            summary="X11 miscellaneous extension library",
+            files=(PackageFile("/usr/lib/libXext.so.6", mode=0o644,
+                               content=b"\x7fELF libXext"),),
+        ),
+        Package(
+            name="xauth",
+            version="1:1.0.10-1", arch=arch,
+            summary="X authentication utility",
+            files=(_bin("/usr/bin/xauth", None, arch),),
+        ),
+        Package(
+            name="pseudo",
+            version="1.9.0+git20180920-1", arch=arch,
+            summary="advanced tool for simulating superuser privileges",
+            files=(
+                _bin("/usr/bin/pseudo", "fakeroot.pseudo", arch),
+                # pseudo ships a fakeroot-compatible entry point here, so
+                # injected 'fakeroot' commands find it (Figures 9/11)
+                _bin("/usr/bin/fakeroot", "fakeroot.pseudo", arch),
+            ),
+        ),
+        Package(
+            name="fakeroot",
+            version="1.23-1", arch=arch,
+            summary="tool for simulating superuser privileges",
+            files=(_bin("/usr/bin/fakeroot", "fakeroot.classic", arch),),
+        ),
+        Package(
+            name="fakeroot-ng",
+            version="0.18-4", arch=arch,
+            summary="Gives a fake root environment, ptrace version",
+            files=(_bin("/usr/bin/fakeroot-ng", "fakeroot.ng", arch),),
+        ),
+        Package(
+            name="openmpi-bin",
+            version="3.1.3-11", arch=arch,
+            summary="high performance message passing library -- binaries",
+            files=(_bin("/usr/bin/mpirun", "app.mpirun", arch),),
+        ),
+    ]
+
+
+def site_licensed_packages(arch: str) -> list[Package]:
+    """A site-internal repository: the licensed vendor compiler only
+    reachable from the site network (the §2/§3.2 'resources available only
+    on specific networks' scenario)."""
+    return [
+        Package(
+            name="vendor-compiler",
+            version="22.1", release="lic", arch=arch,
+            summary="Proprietary vendor compiler (license-server gated)",
+            files=(
+                _bin("/opt/vendor/bin/vcc", None, arch),
+                PackageFile("/opt/vendor/etc/license.conf", mode=0o644,
+                            content=b"license-server=lic.example.gov:27000\n"),
+            ),
+        ),
+        Package(
+            name="vendor-mpi",
+            version="4.0", release="lic", arch=arch,
+            summary="Vendor-tuned MPI",
+            requires=("vendor-compiler",),
+            files=(_bin("/opt/vendor/bin/vmpirun", "app.mpirun", arch),),
+        ),
+    ]
+
+
+def make_universe() -> PackageUniverse:
+    """Build the full 'internet': per-arch CentOS base/EPEL and Debian main."""
+    universe = PackageUniverse()
+    for arch in ARCHES:
+        universe.add_repo(
+            Repository(f"centos7/base-{arch}", "CentOS-7 - Base")
+            .add(*centos_base_packages(arch)))
+        universe.add_repo(
+            Repository(f"centos7/epel-{arch}",
+                       "Extra Packages for Enterprise Linux 7")
+            .add(*centos_epel_packages(arch)))
+        universe.add_repo(
+            Repository(f"debian10/main-{arch}", "Debian 10 (buster) main")
+            .add(*debian_main_packages(arch)))
+        universe.add_repo(
+            Repository(f"site/licensed-{arch}", "Site licensed software")
+            .add(*site_licensed_packages(arch)))
+    return universe

@@ -1,0 +1,34 @@
+"""Tiny INI parser for yum configuration files."""
+
+from __future__ import annotations
+
+__all__ = ["parse_ini", "format_ini"]
+
+
+def parse_ini(text: str) -> dict[str, dict[str, str]]:
+    """Parse ``[section]`` / ``key=value`` structure (yum.conf/.repo style)."""
+    sections: dict[str, dict[str, str]] = {}
+    current: dict[str, str] | None = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith(("#", ";")):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            current = sections.setdefault(name, {})
+            continue
+        if current is None:
+            continue
+        key, _, value = line.partition("=")
+        current[key.strip()] = value.strip()
+    return sections
+
+
+def format_ini(sections: dict[str, dict[str, str]]) -> str:
+    out = []
+    for name, body in sections.items():
+        out.append(f"[{name}]")
+        for key, value in body.items():
+            out.append(f"{key}={value}")
+        out.append("")
+    return "\n".join(out)

@@ -1,0 +1,183 @@
+"""A Spack-like from-source package manager (paper §5.3.3).
+
+The production CI pipeline's second Dockerfile "installs the complex Spack
+environment needed by the application".  Spack matters to the paper's
+argument for a reason worth demonstrating: *source builds need no privilege
+at all* — they compile and install under a user-owned prefix.  The
+privilege problem is specific to **distribution** packages (chown to
+package owners, setuid bits); a Spack stack builds fine in a plain Type III
+container with no fakeroot anywhere, as the tests show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KernelError
+from ..shell import ExecContext
+from ..shell.executor import find_program
+from ..shell.registry import binary
+
+__all__ = ["SpackSpec", "SPACK_REPO", "SPACK_PREFIX"]
+
+SPACK_PREFIX = "/opt/spack"
+SPACK_DB = f"{SPACK_PREFIX}/.spack-db"
+
+
+@dataclass(frozen=True)
+class SpackSpec:
+    """One buildable source package."""
+
+    name: str
+    version: str
+    depends: tuple[str, ...] = ()
+    #: files created by `make install`, relative to the spec's prefix
+    artifacts: tuple[tuple[str, bytes], ...] = ()
+    #: executable artifacts: (relpath, impl)
+    binaries: tuple[tuple[str, str], ...] = ()
+    needs_mpi: bool = False
+
+    @property
+    def prefix(self) -> str:
+        return f"{SPACK_PREFIX}/{self.name}-{self.version}"
+
+
+SPACK_REPO: dict[str, SpackSpec] = {
+    spec.name: spec
+    for spec in (
+        SpackSpec(
+            name="zlib", version="1.2.11",
+            artifacts=(("lib/libz.a", b"zlib static archive"),
+                       ("include/zlib.h", b"/* zlib */")),
+        ),
+        SpackSpec(
+            name="openmpi", version="4.0.5",
+            artifacts=(("lib/libmpi.so", b"spack-built mpi"),),
+            binaries=(("bin/mpirun", "app.mpirun"),),
+        ),
+        SpackSpec(
+            name="hdf5", version="1.10.7",
+            depends=("zlib", "openmpi"),
+            artifacts=(("lib/libhdf5.so", b"spack-built hdf5"),),
+            needs_mpi=True,
+        ),
+        SpackSpec(
+            name="lammps", version="2021.05",
+            depends=("openmpi", "hdf5"),
+            artifacts=(("share/lammps/potentials.dat", b"eam/alloy table"),),
+            binaries=(("bin/lmp", "app.lammps"),),
+            needs_mpi=True,
+        ),
+    )
+}
+
+
+def _installed(ctx: ExecContext) -> dict[str, str]:
+    try:
+        raw = ctx.sys.read_file(SPACK_DB).decode()
+    except KernelError:
+        return {}
+    out = {}
+    for line in raw.splitlines():
+        name, _, version = line.partition("|")
+        if name:
+            out[name] = version
+    return out
+
+
+def _record(ctx: ExecContext, spec: SpackSpec) -> None:
+    db = _installed(ctx)
+    db[spec.name] = spec.version
+    ctx.sys.mkdir_p(SPACK_PREFIX)
+    ctx.sys.write_file(SPACK_DB,
+                       "".join(f"{n}|{v}\n" for n, v in sorted(db.items())))
+
+
+def _install_one(ctx: ExecContext, spec: SpackSpec) -> None:
+    """configure && make && make install — all as the invoking user."""
+    from ..shell.install import install_binary
+    ctx.sys.mkdir_p(spec.prefix)
+    for rel, content in spec.artifacts:
+        full = f"{spec.prefix}/{rel}"
+        ctx.sys.mkdir_p(full.rsplit("/", 1)[0])
+        ctx.sys.write_file(full, content)
+    for rel, impl in spec.binaries:
+        install_binary(ctx.sys, f"{spec.prefix}/{rel}", impl,
+                       arch=ctx.kernel.arch)
+        # convenience symlink onto the default PATH
+        link = f"/usr/bin/{rel.rsplit('/', 1)[-1]}"
+        if not ctx.sys.exists(link):
+            ctx.sys.symlink(f"{spec.prefix}/{rel}", link)
+    _record(ctx, spec)
+
+
+@binary("pkg.spack")
+def _spack(ctx: ExecContext, argv: list[str]) -> int:
+    """spack install SPEC... | spack find"""
+    args = [a for a in argv[1:] if not a.startswith("-")]
+    if not args:
+        ctx.stderr.writeline("usage: spack {install|find} [spec...]")
+        return 1
+    command, *names = args
+
+    if command == "find":
+        for name, version in sorted(_installed(ctx).items()):
+            ctx.stdout.writeline(f"{name}@{version}")
+        return 0
+
+    if command != "install":
+        ctx.stderr.writeline(f"spack: unknown command {command!r}")
+        return 1
+    if not names:
+        ctx.stderr.writeline("spack install: no specs given")
+        return 1
+
+    # source builds need a compiler toolchain in the image
+    if find_program(ctx, "gcc") is None:
+        ctx.stderr.writeline(
+            "Error: No compilers available: install gcc first")
+        return 1
+
+    installed = _installed(ctx)
+    order: list[SpackSpec] = []
+
+    def visit(name: str) -> bool:
+        base = name.split("@", 1)[0]
+        if base in installed or any(s.name == base for s in order):
+            return True
+        spec = SPACK_REPO.get(base)
+        if spec is None:
+            ctx.stderr.writeline(f"Error: unknown package: {base}")
+            return False
+        for dep in spec.depends:
+            if not visit(dep):
+                return False
+        order.append(spec)
+        return True
+
+    for name in names:
+        if not visit(name):
+            return 1
+    for spec in order:
+        ctx.stdout.writeline(f"==> Installing {spec.name}@{spec.version}")
+        ctx.stdout.writeline(f"==> {spec.name}: Executing phase: "
+                             "'configure' 'build' 'install'")
+        try:
+            _install_one(ctx, spec)
+        except KernelError as err:
+            ctx.stderr.writeline(f"Error: {spec.name}: {err.strerror}")
+            return 1
+        ctx.stdout.writeline(
+            f"[+] {spec.prefix}")
+    return 0
+
+
+@binary("app.lammps")
+def _lammps(ctx: ExecContext, argv: list[str]) -> int:
+    """A token MPI application built by spack."""
+    rank = ctx.env.get("OMPI_COMM_WORLD_RANK", "0")
+    size = ctx.env.get("OMPI_COMM_WORLD_SIZE", "1")
+    ctx.stdout.writeline(
+        f"LAMMPS (2021.05) rank {rank}/{size} on {ctx.sys.gethostname()}: "
+        "run complete")
+    return 0

@@ -1,0 +1,218 @@
+"""yum(8) and yum-config-manager, reading real config files in the image.
+
+ch-image's rhel7 workaround greps /etc/yum.conf and /etc/yum.repos.d/*
+directly "rather than using yum repolist, because the latter has side
+effects, e.g. refreshing caches from the internet" (§5.3.1) — so the repo
+configuration must live in actual files, which these tools read and edit.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, PackageError
+from ..kernel import Syscalls
+from ..shell import ExecContext
+from ..shell.registry import binary
+from .ini import format_ini, parse_ini
+from .packages import Package, PackageDb, resolve_dependencies
+from .rpm import RPM_DB_PATH, CpioError, ScriptletError, rpm_install
+
+__all__ = ["read_repo_config", "enabled_repo_urls"]
+
+_YUM_CONF = "/etc/yum.conf"
+_REPO_DIR = "/etc/yum.repos.d"
+
+
+def _repo_files(sys: Syscalls) -> list[str]:
+    files = []
+    if sys.exists(_YUM_CONF):
+        files.append(_YUM_CONF)
+    try:
+        for entry in sys.readdir(_REPO_DIR):
+            if entry.name.endswith(".repo"):
+                files.append(f"{_REPO_DIR}/{entry.name}")
+    except KernelError:
+        pass
+    return files
+
+
+def read_repo_config(sys: Syscalls) -> dict[str, dict[str, str]]:
+    """Merge all repo sections from yum.conf + *.repo ([main] excluded)."""
+    merged: dict[str, dict[str, str]] = {}
+    for path in _repo_files(sys):
+        sections = parse_ini(sys.read_file(path).decode())
+        for name, body in sections.items():
+            if name == "main":
+                continue
+            entry = dict(body)
+            entry["_file"] = path
+            merged[name] = entry
+    return merged
+
+
+def enabled_repo_urls(sys: Syscalls, *, enable: set[str] = frozenset(),
+                      disable: set[str] = frozenset()) -> dict[str, str]:
+    """repo id -> baseurl for repos enabled after CLI overrides."""
+    out = {}
+    for rid, body in read_repo_config(sys).items():
+        enabled = body.get("enabled", "1") != "0"
+        if rid in enable:
+            enabled = True
+        if rid in disable:
+            enabled = False
+        if enabled and "baseurl" in body:
+            out[rid] = body["baseurl"]
+    return out
+
+
+@binary("pkg.yum")
+def _yum(ctx: ExecContext, argv: list[str]) -> int:
+    args = argv[1:]
+    assume_yes = False
+    enable: set[str] = set()
+    disable: set[str] = set()
+    positional: list[str] = []
+    for a in args:
+        if a == "-y":
+            assume_yes = True
+        elif a.startswith("--enablerepo="):
+            enable.add(a.split("=", 1)[1])
+        elif a.startswith("--disablerepo="):
+            disable.add(a.split("=", 1)[1])
+        elif a.startswith("-"):
+            continue
+        else:
+            positional.append(a)
+    if not positional:
+        ctx.stderr.writeline("yum: no command given")
+        return 1
+    command, *names = positional
+
+    if command == "repolist":
+        for rid, url in sorted(enabled_repo_urls(ctx.sys).items()):
+            ctx.stdout.writeline(f"{rid:<16} {url}")
+        return 0
+
+    if command != "install":
+        ctx.stderr.writeline(f"yum: unsupported command {command!r}")
+        return 1
+    if not names:
+        ctx.stderr.writeline("yum: install needs package names")
+        return 1
+    if not assume_yes:
+        ctx.stderr.writeline("yum: refusing to install without -y "
+                             "(non-interactive build)")
+        return 1
+
+    net = ctx.network
+    if net is None or not net.online:
+        ctx.stderr.writeline("Could not resolve host (network unreachable)")
+        return 1
+
+    # Collect available packages from enabled repos.
+    available: dict[str, Package] = {}
+    repo_of: dict[str, str] = {}
+    for rid, url in enabled_repo_urls(ctx.sys, enable=enable,
+                                      disable=disable).items():
+        try:
+            repo = net.repo(url)
+        except PackageError as err:
+            ctx.stderr.writeline(f"yum: {err}")
+            return 1
+        for pkg in repo.packages.values():
+            available.setdefault(pkg.name, pkg)
+            repo_of.setdefault(pkg.name, rid)
+
+    db = PackageDb(ctx.sys, RPM_DB_PATH)
+    installed = db.installed()
+    missing = [n for n in names if n not in installed]
+    if not missing:
+        for n in names:
+            ctx.stdout.writeline(
+                f"Package {n} already installed and latest version")
+        ctx.stdout.writeline("Nothing to do")
+        return 0
+
+    try:
+        transaction = resolve_dependencies(missing, available, installed)
+    except PackageError as err:
+        ctx.stderr.writeline(f"No package matching request: {err}")
+        return 1
+
+    ctx.stdout.writeline("Resolving Dependencies")
+    ctx.stdout.writeline("Dependencies Resolved")
+    for pkg in transaction:
+        ctx.stdout.writeline(f" Installing: {pkg.nevra}")
+    for pkg in transaction:
+        net.repo(enabled_repo_urls(ctx.sys, enable=enable,
+                                   disable=disable)[repo_of[pkg.name]]
+                 ).fetch(pkg.name)
+        try:
+            rpm_install(ctx, pkg)
+        except CpioError as err:
+            ctx.stdout.writeline(f"Error unpacking rpm package {pkg.nevra}")
+            ctx.stdout.writeline(f"error: {err}")
+            return 1
+        except ScriptletError as err:
+            ctx.stdout.writeline(f"error: %post({pkg.nevra}) scriptlet "
+                                 f"failed, exit status {err.status}")
+            return 1
+    ctx.stdout.writeline("Complete!")
+    return 0
+
+
+@binary("pkg.rpm")
+def _rpm(ctx: ExecContext, argv: list[str]) -> int:
+    """rpm query front end: -q NAME, -qa; installs go through yum."""
+    args = argv[1:]
+    db = PackageDb(ctx.sys, RPM_DB_PATH)
+    if args[:1] == ["-qa"]:
+        for name, version in sorted(db.installed().items()):
+            ctx.stdout.writeline(f"{name}-{version}")
+        return 0
+    if args[:1] == ["-q"]:
+        status = 0
+        for name in args[1:]:
+            version = db.installed().get(name)
+            if version is None:
+                ctx.stdout.writeline(f"package {name} is not installed")
+                status = 1
+            else:
+                ctx.stdout.writeline(f"{name}-{version}")
+        return status
+    ctx.stderr.writeline("rpm: only -q/-qa supported; use yum to install")
+    return 1
+
+
+@binary("pkg.yum_config_manager")
+def _yum_config_manager(ctx: ExecContext, argv: list[str]) -> int:
+    args = argv[1:]
+    action = None
+    repos: list[str] = []
+    for a in args:
+        if a == "--disable":
+            action = "0"
+        elif a == "--enable":
+            action = "1"
+        elif not a.startswith("-"):
+            repos.append(a)
+    if action is None or not repos:
+        ctx.stderr.writeline("yum-config-manager: need --enable/--disable "
+                             "and repo ids")
+        return 1
+    config = read_repo_config(ctx.sys)
+    touched = 0
+    for rid in repos:
+        body = config.get(rid)
+        if body is None:
+            continue
+        path = body["_file"]
+        sections = parse_ini(ctx.sys.read_file(path).decode())
+        if rid in sections:
+            sections[rid]["enabled"] = action
+            ctx.sys.write_file(path, format_ini(sections).encode())
+            touched += 1
+    if touched == 0:
+        ctx.stderr.writeline(f"yum-config-manager: no such repos: "
+                             f"{' '.join(repos)}")
+        return 1
+    return 0

@@ -1,0 +1,157 @@
+"""Shared exception hierarchy for the repro package.
+
+The simulated kernel signals failures the way Linux does: with errno values.
+:class:`KernelError` carries an :class:`Errno` and formats like ``strerror(3)``
+output, so transcripts produced by the simulated userland match the paper's
+(e.g. ``seteuid (22: Invalid argument)`` in Figure 3).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Errno",
+    "ReproError",
+    "KernelError",
+    "BuildError",
+    "RegistryError",
+    "PackageError",
+]
+
+
+class Errno(enum.IntEnum):
+    """Linux errno values used by the simulated kernel."""
+
+    EPERM = 1
+    ENOENT = 2
+    ESRCH = 3
+    EINTR = 4
+    EIO = 5
+    ENXIO = 6
+    E2BIG = 7
+    ENOEXEC = 8
+    EBADF = 9
+    ECHILD = 10
+    EAGAIN = 11
+    ENOMEM = 12
+    EACCES = 13
+    EFAULT = 14
+    EBUSY = 16
+    EEXIST = 17
+    EXDEV = 18
+    ENODEV = 19
+    ENOTDIR = 20
+    EISDIR = 21
+    EINVAL = 22
+    ENFILE = 23
+    EMFILE = 24
+    ENOTTY = 25
+    ETXTBSY = 26
+    EFBIG = 27
+    ENOSPC = 28
+    ESPIPE = 29
+    EROFS = 30
+    EMLINK = 31
+    EPIPE = 32
+    ERANGE = 34
+    ENODATA = 61
+    ENAMETOOLONG = 36
+    ENOSYS = 38
+    ENOTEMPTY = 39
+    ELOOP = 40
+    EUSERS = 87
+    ENOTSUP = 95
+    EOPNOTSUPP = 95  # alias, same value as on Linux
+
+
+#: strerror(3) text for each errno, matching glibc.
+_STRERROR: dict[int, str] = {
+    Errno.EPERM: "Operation not permitted",
+    Errno.ENOENT: "No such file or directory",
+    Errno.ESRCH: "No such process",
+    Errno.EINTR: "Interrupted system call",
+    Errno.EIO: "Input/output error",
+    Errno.ENXIO: "No such device or address",
+    Errno.E2BIG: "Argument list too long",
+    Errno.ENOEXEC: "Exec format error",
+    Errno.EBADF: "Bad file descriptor",
+    Errno.ECHILD: "No child processes",
+    Errno.EAGAIN: "Resource temporarily unavailable",
+    Errno.ENOMEM: "Cannot allocate memory",
+    Errno.EACCES: "Permission denied",
+    Errno.EFAULT: "Bad address",
+    Errno.EBUSY: "Device or resource busy",
+    Errno.EEXIST: "File exists",
+    Errno.EXDEV: "Invalid cross-device link",
+    Errno.ENODEV: "No such device",
+    Errno.ENOTDIR: "Not a directory",
+    Errno.EISDIR: "Is a directory",
+    Errno.EINVAL: "Invalid argument",
+    Errno.ENFILE: "Too many open files in system",
+    Errno.EMFILE: "Too many open files",
+    Errno.ENOTTY: "Inappropriate ioctl for device",
+    Errno.ETXTBSY: "Text file busy",
+    Errno.EFBIG: "File too large",
+    Errno.ENOSPC: "No space left on device",
+    Errno.ESPIPE: "Illegal seek",
+    Errno.EROFS: "Read-only file system",
+    Errno.EMLINK: "Too many links",
+    Errno.EPIPE: "Broken pipe",
+    Errno.ERANGE: "Numerical result out of range",
+    Errno.ENODATA: "No data available",
+    Errno.ENAMETOOLONG: "File name too long",
+    Errno.ENOSYS: "Function not implemented",
+    Errno.ENOTEMPTY: "Directory not empty",
+    Errno.ELOOP: "Too many levels of symbolic links",
+    Errno.EUSERS: "Too many users",
+    Errno.ENOTSUP: "Operation not supported",
+}
+
+
+def strerror(err: int) -> str:
+    """Return the glibc ``strerror(3)`` text for *err*."""
+    return _STRERROR.get(err, f"Unknown error {int(err)}")
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class KernelError(ReproError):
+    """A simulated system call failed.
+
+    Attributes
+    ----------
+    errno:
+        The :class:`Errno` describing the failure.
+    syscall:
+        Name of the failing system call (e.g. ``"chown"``), when known.
+    """
+
+    def __init__(self, errno: Errno, msg: str = "", *, syscall: str = ""):
+        self.errno = Errno(errno)
+        self.syscall = syscall
+        self.msg = msg
+        detail = f": {msg}" if msg else ""
+        prefix = f"{syscall}: " if syscall else ""
+        super().__init__(
+            f"{prefix}[Errno {int(self.errno)}] {strerror(self.errno)}{detail}"
+        )
+
+    @property
+    def strerror(self) -> str:
+        """glibc-style error text (``"Operation not permitted"`` etc.)."""
+        return strerror(self.errno)
+
+
+class BuildError(ReproError):
+    """A container image build failed."""
+
+
+class RegistryError(ReproError):
+    """A container registry operation failed."""
+
+
+class PackageError(ReproError):
+    """A distribution package operation failed."""

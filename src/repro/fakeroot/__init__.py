@@ -1,0 +1,26 @@
+"""fakeroot(1) substrate: syscall interception with a consistent lie
+database (paper §5.1, Table 1)."""
+
+from .base import EngineSpec, FakerootError, FakerootSyscalls
+from .registry import (
+    ENGINES,
+    FAKEROOT_CLASSIC,
+    FAKEROOT_NG,
+    PSEUDO,
+    engine_by_name,
+)
+from .state import Lie, LieDatabase, LieFormatError
+
+__all__ = [
+    "EngineSpec",
+    "FakerootError",
+    "FakerootSyscalls",
+    "ENGINES",
+    "FAKEROOT_CLASSIC",
+    "FAKEROOT_NG",
+    "PSEUDO",
+    "engine_by_name",
+    "Lie",
+    "LieDatabase",
+    "LieFormatError",
+]

@@ -1,0 +1,59 @@
+"""The three fakeroot(1) implementations of paper Table 1."""
+
+from __future__ import annotations
+
+from .base import EngineSpec
+
+__all__ = ["FAKEROOT_CLASSIC", "FAKEROOT_NG", "PSEUDO", "ENGINES",
+           "engine_by_name"]
+
+#: Debian's fakeroot: LD_PRELOAD, any arch, faked(1) daemon, -s/-i state file.
+FAKEROOT_CLASSIC = EngineSpec(
+    name="fakeroot",
+    initial_release="1997-Jun",
+    latest_version="2020-Oct (1.25.3)",
+    approach="LD_PRELOAD",
+    architectures=("any",),
+    daemon=True,
+    persistency="save/restore from file",
+    intercepts_xattrs=False,
+)
+
+#: fakeroot-ng: ptrace(2)-based — wraps static binaries but only on the
+#: architectures it has been ported to.
+FAKEROOT_NG = EngineSpec(
+    name="fakeroot-ng",
+    initial_release="2008-Jan",
+    latest_version="2013-Apr (0.18)",
+    approach="ptrace",
+    architectures=("ppc", "x86", "x86_64"),
+    daemon=True,
+    persistency="save/restore from file",
+    intercepts_xattrs=True,
+)
+
+#: pseudo (Yocto): LD_PRELOAD with an always-on database; the most complete
+#: coverage (xattrs included), which is why the paper's Debian example uses it.
+PSEUDO = EngineSpec(
+    name="pseudo",
+    initial_release="2010-Mar",
+    latest_version="2018-Jan (1.9.0)",
+    approach="LD_PRELOAD",
+    architectures=("any",),
+    daemon=True,
+    persistency="database",
+    intercepts_xattrs=True,
+)
+
+ENGINES: dict[str, EngineSpec] = {
+    e.name: e for e in (FAKEROOT_CLASSIC, FAKEROOT_NG, PSEUDO)
+}
+
+
+def engine_by_name(name: str) -> EngineSpec:
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fakeroot engine {name!r}; have {sorted(ENGINES)}"
+        )

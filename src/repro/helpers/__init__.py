@@ -1,0 +1,14 @@
+"""shadow-utils substrate: subordinate IDs and the privileged map helpers."""
+
+from .newidmap import HelperError, ShadowUtils
+from .subid import SUB_ID_COUNT, SUB_ID_MIN, SubidEntry, SubidError, SubidFile
+
+__all__ = [
+    "HelperError",
+    "ShadowUtils",
+    "SUB_ID_COUNT",
+    "SUB_ID_MIN",
+    "SubidEntry",
+    "SubidError",
+    "SubidFile",
+]

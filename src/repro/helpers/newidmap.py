@@ -1,0 +1,219 @@
+"""newuidmap(1)/newgidmap(1): the shadow-utils privileged helpers.
+
+These are the "carefully managed tools" of paper §4.1: installed with
+CAP_SETUID/CAP_SETGID file capabilities, they are the *security boundary*
+between unprivileged users and privileged ID maps.  They enforce:
+
+* every requested outside range is either the caller's own ID (count 1) or
+  lies entirely within the caller's /etc/subuid (resp. subgid) grants;
+* the setgroups(2) policy interaction of §2.1.4 — newgidmap must refuse to
+  install a self-only gid map while setgroups is still allowed.  The check
+  was missing in shadow-utils < 4.6 (CVE-2018-7169); ``fixed_cve_2018_7169``
+  lets tests demonstrate the vulnerable behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..errors import Errno, KernelError
+from ..kernel import Cap, Credentials, IdMapEntry, Kernel, Process, Syscalls
+from .subid import SubidFile
+
+__all__ = ["HelperError", "ShadowUtils"]
+
+
+class HelperError(KernelError):
+    """A privileged helper refused the request (maps to the helper's
+    non-zero exit + stderr message in real shadow-utils)."""
+
+
+class ShadowUtils:
+    """The pair of helpers plus their host configuration.
+
+    Parameters
+    ----------
+    kernel:
+        Host kernel; /etc/subuid and /etc/subgid live in its root filesystem.
+    users:
+        Host account database (username -> UID) used to match subid grants
+        by name as well as by numeric ID.
+    fixed_cve_2018_7169:
+        When False, newgidmap omits the setgroups check (the historical
+        vulnerability).
+    """
+
+    SUBUID_PATH = "/etc/subuid"
+    SUBGID_PATH = "/etc/subgid"
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        users: Optional[Mapping[str, int]] = None,
+        *,
+        fixed_cve_2018_7169: bool = True,
+    ):
+        self.kernel = kernel
+        self.users = dict(users or {})
+        self.fixed_cve_2018_7169 = fixed_cve_2018_7169
+        self._root_sys = Syscalls(kernel.init_process)
+        for path in (self.SUBUID_PATH, self.SUBGID_PATH):
+            if not self._root_sys.exists(path):
+                self._root_sys.mkdir_p("/etc")
+                self._root_sys.write_file(path, b"")
+                self._root_sys.chmod(path, 0o644)
+
+    # -- configuration management (what useradd/usermod do) ---------------------
+
+    def _load(self, path: str) -> SubidFile:
+        return SubidFile.parse(self._root_sys.read_file(path).decode())
+
+    def _store(self, path: str, f: SubidFile) -> None:
+        self._root_sys.write_file(path, f.format().encode())
+
+    def subuid(self) -> SubidFile:
+        return self._load(self.SUBUID_PATH)
+
+    def subgid(self) -> SubidFile:
+        return self._load(self.SUBGID_PATH)
+
+    def useradd(self, username: str, uid: int, *, subid_count: int = 65536,
+                ) -> tuple[int, int]:
+        """Register a host account and auto-allocate subordinate ranges
+        ("newer versions of shadow-utils can automatically manage the setup
+        using useradd", §4.1).  Returns (subuid_start, subgid_start)."""
+        self.users[username] = uid
+        uf = self.subuid()
+        ue = uf.allocate(username, subid_count)
+        self._store(self.SUBUID_PATH, uf)
+        gf = self.subgid()
+        ge = gf.allocate(username, subid_count)
+        self._store(self.SUBGID_PATH, gf)
+        return ue.start, ge.start
+
+    def usermod_add_subuids(self, username: str, start: int, count: int) -> None:
+        from .subid import SubidEntry
+        f = self.subuid()
+        f.add(SubidEntry(username, start, count))
+        self._store(self.SUBUID_PATH, f)
+
+    def usermod_add_subgids(self, username: str, start: int, count: int) -> None:
+        from .subid import SubidEntry
+        f = self.subgid()
+        f.add(SubidEntry(username, start, count))
+        self._store(self.SUBGID_PATH, f)
+
+    # -- the helpers themselves ---------------------------------------------------
+
+    def _username_of(self, uid: int) -> str:
+        for name, u in self.users.items():
+            if u == uid:
+                return name
+        return str(uid)
+
+    def _helper_cred(self) -> Credentials:
+        """The helper executes with file capabilities (setcap), not setuid
+        root: its UIDs stay the caller's but CAP_SETUID/CAP_SETGID are
+        raised — 'installed using CAP_SETUID, which helps minimize risk of
+        privilege escalation compared to using a SETUID bit' (§4.1)."""
+        cred = Credentials.root(self.kernel.init_userns)
+        cred.caps = frozenset({Cap.SETUID, Cap.SETGID})
+        return cred
+
+    def _validate(
+        self,
+        caller: Process,
+        entries: Sequence[IdMapEntry],
+        grants: SubidFile,
+        own_id: int,
+        *,
+        which: str,
+    ) -> None:
+        if not entries:
+            raise HelperError(Errno.EINVAL, f"new{which}map: empty map request")
+        username = self._username_of(
+            caller.cred.euid if which == "uid" else caller.cred.euid
+        )
+        uid = caller.cred.euid
+        for e in entries:
+            if e.outside_start == own_id and e.count == 1:
+                continue  # mapping one's own ID is always allowed
+            if not grants.authorizes(username, uid, e.outside_start, e.count):
+                raise HelperError(
+                    Errno.EPERM,
+                    f"new{which}map: range {e.outside_start}:{e.count} not "
+                    f"authorized for {username} in /etc/sub{which}",
+                )
+
+    def newuidmap(self, caller: Process, target: Process,
+                  entries: Sequence[IdMapEntry]) -> None:
+        """Install a UID map on *target*'s namespace for *caller*."""
+        self._validate(caller, entries, self.subuid(), caller.cred.euid,
+                       which="uid")
+        helper = self.kernel.spawn(parent=caller, cred=self._helper_cred(),
+                                   comm="newuidmap")
+        try:
+            Syscalls(helper).write_uid_map(entries, target=target)
+        finally:
+            helper.exit(0)
+
+    def newgidmap(self, caller: Process, target: Process,
+                  entries: Sequence[IdMapEntry]) -> None:
+        """Install a GID map on *target*'s namespace for *caller*.
+
+        Security check (the CVE-2018-7169 fix): if the requested map is not
+        fully authorized by /etc/subgid — i.e. the caller is only mapping
+        its own GID — setgroups(2) must already be disabled in the target
+        namespace, otherwise the §2.1.4 group-drop attack is possible.
+        """
+        grants = self.subgid()
+        username = self._username_of(caller.cred.euid)
+        self._validate(caller, entries, grants, caller.cred.egid, which="gid")
+        # A user the admin has vetted with subgid grants may keep setgroups
+        # enabled (Type II builds rely on it); a self-only map by a user with
+        # *no* grants is the dangerous case the fix gates on.
+        has_grants = bool(grants.entries_for(username, caller.cred.euid))
+        fully_authorized = has_grants and all(
+            grants.authorizes(username, caller.cred.euid,
+                              e.outside_start, e.count)
+            or (e.outside_start == caller.cred.egid and e.count == 1)
+            for e in entries
+        )
+        if self.fixed_cve_2018_7169 and not fully_authorized:
+            if target.cred.userns.setgroups != "deny":
+                raise HelperError(
+                    Errno.EPERM,
+                    "newgidmap: setgroups must be denied before installing "
+                    "a self-only gid map",
+                )
+        helper = self.kernel.spawn(parent=caller, cred=self._helper_cred(),
+                                   comm="newgidmap")
+        try:
+            Syscalls(helper).write_gid_map(entries, target=target)
+        finally:
+            helper.exit(0)
+
+    # -- convenience: the standard rootless-podman-style setup ---------------------
+
+    def setup_rootless_userns(self, caller: Process) -> None:
+        """The full Figure 4 dance: unshare, then map self->0 and the
+        subordinate range to 1..n via the helpers."""
+        uid, gid = caller.cred.euid, caller.cred.egid
+        username = self._username_of(uid)
+        sub_u = self.subuid().entries_for(username, uid)
+        sub_g = self.subgid().entries_for(username, uid)
+        if not sub_u or not sub_g:
+            raise HelperError(
+                Errno.EPERM,
+                f"no subordinate ID ranges configured for {username}",
+            )
+        sys = Syscalls(caller)
+        sys.unshare_user()
+        self.newuidmap(caller, caller, [
+            IdMapEntry(0, uid, 1),
+            IdMapEntry(1, sub_u[0].start, sub_u[0].count),
+        ])
+        self.newgidmap(caller, caller, [
+            IdMapEntry(0, gid, 1),
+            IdMapEntry(1, sub_g[0].start, sub_g[0].count),
+        ])

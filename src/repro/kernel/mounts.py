@@ -1,0 +1,263 @@
+"""Mount namespaces and path resolution.
+
+A :class:`MountNamespace` is a table of mounts (mountpoint path → filesystem
+subtree).  Containers get their own mount namespace whose root is a bind of
+the image tree (paper §2.1: "the mount namespace gives a process its own
+mounts and filesystem tree, allowing the container to run a different
+distribution than the host").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import Errno, KernelError
+from .cred import Credentials
+from .userns import UserNamespace
+from .vfs import FileType, Filesystem, Inode, may_access
+
+__all__ = ["MountFlags", "Mount", "MountNamespace", "Resolved", "normpath"]
+
+_MAX_SYMLINKS = 40  # kernel ELOOP limit
+
+
+def normpath(path: str) -> str:
+    """Normalize an absolute path: collapse //, /./, resolve lexical '..'."""
+    if not path.startswith("/"):
+        raise KernelError(Errno.EINVAL, f"path not absolute: {path!r}")
+    out: list[str] = []
+    for comp in path.split("/"):
+        if comp in ("", "."):
+            continue
+        if comp == "..":
+            if out:
+                out.pop()
+        else:
+            out.append(comp)
+    return "/" + "/".join(out)
+
+
+@dataclass(frozen=True)
+class MountFlags:
+    """Per-mount flags."""
+
+    read_only: bool = False
+    nosuid: bool = False
+    nodev: bool = False
+
+
+@dataclass
+class Mount:
+    """One row of the mount table.
+
+    ``root_ino`` permits bind mounts: the mount's root may be any directory
+    of ``fs``, not just the filesystem root.
+    """
+
+    mountpoint: str
+    fs: Filesystem
+    root_ino: int
+    flags: MountFlags = field(default_factory=MountFlags)
+    owning_userns: Optional[UserNamespace] = None
+
+    @property
+    def effective_nosuid(self) -> bool:
+        """Mounts created by non-initial user namespaces are implicitly nosuid."""
+        if self.flags.nosuid:
+            return True
+        ns = self.owning_userns
+        return ns is not None and not ns.is_initial
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """Result of a path walk."""
+
+    mount: Mount
+    inode: Inode
+    path: str  # canonical (symlink-free) path
+
+    @property
+    def fs(self) -> Filesystem:
+        return self.mount.fs
+
+
+@dataclass(frozen=True)
+class ResolvedParent:
+    """Result of resolving a path up to (but excluding) its final component."""
+
+    mount: Mount
+    dir_inode: Inode
+    name: str
+    dir_path: str
+
+    @property
+    def fs(self) -> Filesystem:
+        return self.mount.fs
+
+
+class MountNamespace:
+    """A mount table plus the path-walking machinery."""
+
+    def __init__(self, root_fs: Filesystem, *,
+                 root_flags: MountFlags = MountFlags(),
+                 owning_userns: Optional[UserNamespace] = None):
+        self._mounts: dict[str, Mount] = {}
+        self._mounts["/"] = Mount("/", root_fs, root_fs.root_ino, root_flags,
+                                  owning_userns)
+
+    # -- mount table manipulation -------------------------------------------------
+
+    @property
+    def mounts(self) -> dict[str, Mount]:
+        return dict(self._mounts)
+
+    def clone(self) -> "MountNamespace":
+        """CLONE_NEWNS: a copy of the mount table (filesystems shared)."""
+        dup = MountNamespace.__new__(MountNamespace)
+        dup._mounts = {
+            p: Mount(m.mountpoint, m.fs, m.root_ino, m.flags, m.owning_userns)
+            for p, m in self._mounts.items()
+        }
+        return dup
+
+    def add_mount(
+        self,
+        mountpoint: str,
+        fs: Filesystem,
+        *,
+        root_ino: int | None = None,
+        flags: MountFlags = MountFlags(),
+        owning_userns: Optional[UserNamespace] = None,
+    ) -> Mount:
+        mp = normpath(mountpoint)
+        mount = Mount(mp, fs, fs.root_ino if root_ino is None else root_ino,
+                      flags, owning_userns)
+        self._mounts[mp] = mount
+        return mount
+
+    def remove_mount(self, mountpoint: str) -> None:
+        mp = normpath(mountpoint)
+        if mp == "/":
+            raise KernelError(Errno.EBUSY, "cannot unmount /")
+        if mp not in self._mounts:
+            raise KernelError(Errno.EINVAL, f"not a mountpoint: {mp}")
+        del self._mounts[mp]
+
+    def set_root(self, fs: Filesystem, root_ino: int | None = None, *,
+                 owning_userns: Optional[UserNamespace] = None,
+                 flags: MountFlags = MountFlags()) -> None:
+        """pivot_root-style: replace the root mount (container entry)."""
+        self._mounts = {
+            "/": Mount("/", fs, fs.root_ino if root_ino is None else root_ino,
+                       flags, owning_userns)
+        }
+
+    # -- path walking --------------------------------------------------------------
+
+    def _mount_at(self, canon: str) -> Optional[Mount]:
+        return self._mounts.get(canon)
+
+    def _rewalk(self, comps: list[str]) -> tuple[Mount, Inode]:
+        """Re-walk an already-canonical component list (no symlinks/perm checks)."""
+        mount = self._mounts["/"]
+        inode = mount.fs.inode(mount.root_ino)
+        cur = ""
+        for name in comps:
+            cur = f"{cur}/{name}"
+            m = self._mount_at(cur)
+            if m is not None:
+                mount, inode = m, m.fs.inode(m.root_ino)
+                continue
+            child = mount.fs.lookup(inode, name)
+            if child is None:
+                raise KernelError(Errno.ENOENT, cur)
+            inode = child
+        return mount, inode
+
+    def resolve(
+        self,
+        path: str,
+        cred: Credentials,
+        *,
+        follow: bool = True,
+        cwd: str = "/",
+    ) -> Resolved:
+        """Walk *path*, enforcing search permission, following symlinks.
+
+        ``follow=False`` gives lstat-style behaviour for the final component.
+        Relative paths are resolved against *cwd*.
+        """
+        mount, inode, canon = self._walk(path, cred, follow_final=follow, cwd=cwd)
+        return Resolved(mount, inode, canon)
+
+    def resolve_parent(
+        self, path: str, cred: Credentials, *, cwd: str = "/"
+    ) -> ResolvedParent:
+        """Resolve everything but the final component (for create/unlink)."""
+        if not path.startswith("/"):
+            path = cwd.rstrip("/") + "/" + path
+        canon_in = normpath(path)
+        if canon_in == "/":
+            raise KernelError(Errno.EBUSY, "cannot operate on /")
+        parent_path, _, name = canon_in.rpartition("/")
+        parent_path = parent_path or "/"
+        mount, dir_inode, canon = self._walk(parent_path, cred, follow_final=True,
+                                             cwd="/")
+        if not dir_inode.is_dir:
+            raise KernelError(Errno.ENOTDIR, parent_path)
+        return ResolvedParent(mount, dir_inode, name, canon)
+
+    def _walk(
+        self, path: str, cred: Credentials, *, follow_final: bool, cwd: str
+    ) -> tuple[Mount, Inode, str]:
+        if not path:
+            raise KernelError(Errno.ENOENT, "empty path")
+        if not path.startswith("/"):
+            path = cwd.rstrip("/") + "/" + path
+
+        pending: list[str] = [c for c in path.split("/") if c not in ("", ".")]
+        pending.reverse()  # treat as a stack
+
+        mount = self._mounts["/"]
+        inode = mount.fs.inode(mount.root_ino)
+        canon: list[str] = []
+        links = 0
+
+        while pending:
+            name = pending.pop()
+            if name == "..":
+                if canon:
+                    canon.pop()
+                    mount, inode = self._rewalk(canon)
+                continue
+            if not inode.is_dir:
+                raise KernelError(Errno.ENOTDIR, "/" + "/".join(canon))
+            if not may_access(cred, inode, execute=True):
+                raise KernelError(Errno.EACCES, "/" + "/".join(canon + [name]))
+            candidate = "/" + "/".join(canon + [name])
+            m = self._mount_at(candidate)
+            if m is not None:
+                mount, inode = m, m.fs.inode(m.root_ino)
+                canon.append(name)
+                continue
+            child = mount.fs.lookup(inode, name)
+            if child is None:
+                raise KernelError(Errno.ENOENT, candidate)
+            if child.ftype is FileType.SYMLINK and (pending or follow_final):
+                links += 1
+                if links > _MAX_SYMLINKS:
+                    raise KernelError(Errno.ELOOP, candidate)
+                target = child.target
+                tcomps = [c for c in target.split("/") if c not in ("", ".")]
+                pending.extend(reversed(tcomps))
+                if target.startswith("/"):
+                    canon = []
+                    mount = self._mounts["/"]
+                    inode = mount.fs.inode(mount.root_ino)
+                continue
+            canon.append(name)
+            inode = child
+
+        return mount, inode, "/" + "/".join(canon)

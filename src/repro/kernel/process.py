@@ -1,0 +1,112 @@
+"""Processes: credentials + namespaces + working directory.
+
+A container is not a first-class kernel object — it is just a process (or
+group of processes) with its own view of kernel resources (paper §1), so the
+container implementations in :mod:`repro.containers` and :mod:`repro.core`
+are built purely out of these processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .cred import Credentials
+from .mounts import MountNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+    from .userns import UserNamespace
+
+__all__ = ["Process", "UtsNamespace"]
+
+
+class UtsNamespace:
+    """A UTS namespace: per-container hostname (one of the 'about a half
+    dozen other types of namespace' of paper §2.1)."""
+
+    def __init__(self, hostname: str, owning_userns: "UserNamespace"):
+        self.hostname = hostname
+        self.owning_userns = owning_userns
+
+
+class PidNamespace:
+    """A PID namespace: processes get their own PID numbering (the first
+    member is PID 1).  Host-side PIDs remain visible to the resource
+    manager — the §3.1 tracking property."""
+
+    def __init__(self, owning_userns: "UserNamespace"):
+        self.owning_userns = owning_userns
+        self._next = 1
+
+    def allocate(self) -> int:
+        pid = self._next
+        self._next += 1
+        return pid
+
+
+class Process:
+    """One simulated process."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        pid: int,
+        ppid: int,
+        cred: Credentials,
+        mnt_ns: MountNamespace,
+        *,
+        cwd: str = "/",
+        umask: int = 0o022,
+        environ: Optional[dict[str, str]] = None,
+        comm: str = "init",
+    ):
+        self.kernel = kernel
+        self.pid = pid
+        self.ppid = ppid
+        self.cred = cred
+        self.mnt_ns = mnt_ns
+        self.cwd = cwd
+        self.umask = umask
+        self.environ: dict[str, str] = dict(environ or {})
+        self.comm = comm
+        self.alive = True
+        self.exit_status: Optional[int] = None
+        #: UTS namespace; None = the initial one (kernel hostname)
+        self.uts: Optional[UtsNamespace] = None
+        #: PID namespace; None = the initial one (ns_pid == pid)
+        self.pid_ns: Optional[PidNamespace] = None
+        #: PID as seen inside pid_ns (host pid when in the initial ns)
+        self.ns_pid: int = pid
+
+    def fork(self, *, comm: str | None = None,
+             new_pid_ns: bool = False) -> "Process":
+        """Create a child sharing namespaces, copying credentials.
+
+        ``new_pid_ns`` models clone(CLONE_NEWPID): the child becomes PID 1
+        of a fresh namespace (the container-init pattern).
+        """
+        child = self.kernel.spawn(
+            parent=self,
+            cred=self.cred.copy(),
+            mnt_ns=self.mnt_ns,
+            cwd=self.cwd,
+            umask=self.umask,
+            environ=dict(self.environ),
+            comm=comm or self.comm,
+        )
+        child.uts = self.uts
+        if new_pid_ns:
+            child.pid_ns = PidNamespace(self.cred.userns)
+            child.ns_pid = child.pid_ns.allocate()
+        elif self.pid_ns is not None:
+            child.pid_ns = self.pid_ns
+            child.ns_pid = self.pid_ns.allocate()
+        return child
+
+    def exit(self, status: int) -> None:
+        self.alive = False
+        self.exit_status = status
+        self.kernel.reap(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process pid={self.pid} comm={self.comm!r} euid={self.cred.euid}>"

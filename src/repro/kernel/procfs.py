@@ -1,0 +1,87 @@
+"""A minimal /proc filesystem.
+
+Rendered per-mount: the interesting property for the paper is *ownership* —
+proc entries are owned by init-namespace root, so inside a container whose
+user namespace does not map kernel UID 0 they appear owned by ``nobody`` and
+are untouchable even by the container's root.  That is the mechanism behind
+the Figure 5 failure of Podman's unprivileged mode.
+"""
+
+from __future__ import annotations
+
+from .kernel import Kernel
+from .process import Process
+from .vfs import FileType, Filesystem, FsFeatures
+
+__all__ = ["make_procfs", "make_sysfs"]
+
+
+def _add_file(fs: Filesystem, parent, name: str, content: str, *,
+              mode: int = 0o444, uid: int = 0, gid: int = 0) -> None:
+    node = fs.alloc(FileType.REG, mode, uid, gid, data=content.encode())
+    fs.link_child(parent, name, node)
+
+
+def _add_dir(fs: Filesystem, parent, name: str, *, mode: int = 0o555,
+             uid: int = 0, gid: int = 0):
+    node = fs.alloc(FileType.DIR, mode, uid, gid)
+    fs.link_child(parent, name, node)
+    return node
+
+
+def make_procfs(kernel: Kernel, proc: Process) -> Filesystem:
+    """Build a /proc snapshot for *proc*.
+
+    Real procfs is dynamic; a per-mount snapshot is enough here because the
+    files the substrates read (uid_map, gid_map, setgroups, sysctls) are
+    fixed at container-entry time.  Every inode is owned by kernel root
+    (uid 0, gid 0), as on Linux.
+    """
+    fs = Filesystem("proc", features=FsFeatures(user_xattrs=False),
+                    label="proc", root_mode=0o555)
+    root = fs.root
+
+    ns = proc.cred.userns
+    uid_map = ns.uid_map.format() if ns.uid_map is not None else ""
+    gid_map = ns.gid_map.format() if ns.gid_map is not None else ""
+
+    self_dir = _add_dir(fs, root, "self")
+    _add_file(fs, self_dir, "uid_map", uid_map, mode=0o644)
+    _add_file(fs, self_dir, "gid_map", gid_map, mode=0o644)
+    _add_file(fs, self_dir, "setgroups", ns.setgroups + "\n", mode=0o644)
+    _add_file(fs, self_dir, "status",
+              f"Name:\t{proc.comm}\nPid:\t{proc.pid}\n"
+              f"Uid:\t{proc.cred.ruid}\t{proc.cred.euid}\t"
+              f"{proc.cred.suid}\t{proc.cred.fsuid}\n")
+
+    sys_dir = _add_dir(fs, root, "sys")
+    net_dir = _add_dir(fs, sys_dir, "net")
+    ipv4_dir = _add_dir(fs, net_dir, "ipv4")
+    _add_file(fs, ipv4_dir, "ip_forward", "0\n", mode=0o644)
+    user_dir = _add_dir(fs, sys_dir, "user")
+    _add_file(fs, user_dir, "max_user_namespaces",
+              str(kernel.sysctl["user.max_user_namespaces"]) + "\n", mode=0o644)
+    kdir = _add_dir(fs, sys_dir, "kernel")
+    _add_file(fs, kdir, "osrelease",
+              f"{kernel.kernel_version[0]}.{kernel.kernel_version[1]}.0\n")
+    hostname = (proc.uts.hostname if proc.uts is not None
+                else kernel.hostname)
+    _add_file(fs, kdir, "hostname", hostname + "\n", mode=0o644)
+
+    _add_file(fs, root, "cpuinfo",
+              f"processor\t: 0\narchitecture\t: {kernel.arch}\n")
+    _add_file(fs, root, "filesystems",
+              "".join(f"nodev\t{t}\n" for t in ("proc", "tmpfs", "overlay")))
+    return fs
+
+
+def make_sysfs(kernel: Kernel) -> Filesystem:
+    """A skeletal /sys, owned by kernel root like /proc."""
+    fs = Filesystem("sysfs", features=FsFeatures(user_xattrs=False),
+                    label="sysfs", root_mode=0o555)
+    root = fs.root
+    kdir = _add_dir(fs, root, "kernel")
+    _add_file(fs, kdir, "arch", kernel.arch + "\n")
+    fsdir = _add_dir(fs, root, "fs")
+    _add_dir(fs, fsdir, "cgroup")
+    return fs

@@ -1,0 +1,44 @@
+"""Fundamental kernel ID types and constants.
+
+The kernel is concerned only with integer IDs in ``[0, 2**32 - 1]``
+(paper §2.1, footnote 4); translation to user/group *names* is a user-space
+operation implemented in :mod:`repro.distro.users`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ID_MAX",
+    "OVERFLOW_UID",
+    "OVERFLOW_GID",
+    "ROOT_UID",
+    "ROOT_GID",
+    "check_id",
+]
+
+#: Maximum valid kernel ID (32-bit, inclusive).
+ID_MAX = 2**32 - 1
+
+#: The "overflow" UID shown for IDs with no mapping in the current user
+#: namespace (``nobody``).
+OVERFLOW_UID = 65534
+
+#: The "overflow" GID (``nogroup``).
+OVERFLOW_GID = 65534
+
+ROOT_UID = 0
+ROOT_GID = 0
+
+
+def check_id(value: int, what: str = "id") -> int:
+    """Validate that *value* is a legal kernel UID/GID.
+
+    Returns the value unchanged; raises :class:`ValueError` otherwise.
+    (-1 is *not* legal here; syscalls that accept -1 as "unchanged" handle
+    that before translation.)
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{what} must be an int, got {value!r}")
+    if not 0 <= value <= ID_MAX:
+        raise ValueError(f"{what} out of range [0, 2**32-1]: {value}")
+    return value

@@ -1,0 +1,239 @@
+"""User namespaces (user_namespaces(7); paper §2.1).
+
+A :class:`UserNamespace` carries the UID and GID maps plus the
+``/proc/<pid>/setgroups`` switch whose ordering interactions with the GID map
+are the "setgroups(2) trap" of paper §2.1.4.
+
+Maps start *unset*; writing them follows the kernel's once-only rule and the
+privilege rules of §2.1.2/§2.1.3:
+
+* A writer with ``CAP_SETUID``/``CAP_SETGID`` *in the parent namespace* (e.g.
+  the shadow-utils helpers) may install multi-range maps.
+* An unprivileged writer may install only a single-ID map of its own
+  euid/egid, and may write a gid_map only after setgroups has been denied.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..errors import Errno, KernelError
+from .idmap import IDENTITY_MAP, IdMap
+from .types import OVERFLOW_GID, OVERFLOW_UID
+
+__all__ = ["UserNamespace", "SetgroupsPolicy"]
+
+_ns_ids = itertools.count(1)
+
+
+class SetgroupsPolicy:
+    """Values of /proc/<pid>/setgroups."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+class UserNamespace:
+    """A user namespace node in the namespace tree.
+
+    Parameters
+    ----------
+    parent:
+        The parent namespace, or None for the initial namespace.
+    owner_uid, owner_gid:
+        The *host-side* effective IDs of the creating process (the kernel
+        records these; they feed the "owner of the namespace gets all
+        capabilities" rule).
+    """
+
+    MAX_NESTING = 32  # kernel limit on user namespace depth
+
+    def __init__(
+        self,
+        parent: Optional["UserNamespace"],
+        owner_uid: int,
+        owner_gid: int,
+    ):
+        if parent is not None and parent.level + 1 > self.MAX_NESTING:
+            raise KernelError(Errno.EUSERS, "user namespace nesting too deep")
+        self.ns_id = next(_ns_ids)
+        self.parent = parent
+        self.owner_uid = owner_uid
+        self.owner_gid = owner_gid
+        self.level: int = 0 if parent is None else parent.level + 1
+        self.uid_map: Optional[IdMap] = None
+        self.gid_map: Optional[IdMap] = None
+        self.setgroups: str = SetgroupsPolicy.ALLOW
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def initial(cls) -> "UserNamespace":
+        """The init user namespace: identity maps, setgroups allowed."""
+        ns = cls(None, 0, 0)
+        ns.uid_map = IDENTITY_MAP
+        ns.gid_map = IDENTITY_MAP
+        return ns
+
+    # -- tree queries ----------------------------------------------------------
+
+    @property
+    def is_initial(self) -> bool:
+        return self.parent is None
+
+    def is_ancestor_of(self, other: "UserNamespace") -> bool:
+        """True if *self* is a proper ancestor of *other*."""
+        ns = other.parent
+        while ns is not None:
+            if ns is self:
+                return True
+            ns = ns.parent
+        return False
+
+    # -- map installation (the /proc/<pid>/{uid_map,gid_map,setgroups} API) ----
+
+    def deny_setgroups(self) -> None:
+        """Write "deny" to /proc/<pid>/setgroups.
+
+        Must happen before the gid_map is written; afterwards the file is
+        immutable (matching the kernel).
+        """
+        if self.gid_map is not None:
+            raise KernelError(
+                Errno.EPERM, "setgroups cannot be changed after gid_map is set"
+            )
+        self.setgroups = SetgroupsPolicy.DENY
+
+    def set_uid_map(
+        self, idmap: IdMap, *, writer_euid: int, writer_privileged: bool
+    ) -> None:
+        """Install the UID map (write to /proc/<pid>/uid_map).
+
+        ``writer_privileged`` means the writer holds CAP_SETUID in this
+        namespace's *parent* (e.g. newuidmap(1)); otherwise the single-entry
+        unprivileged rule of §2.1.3 applies.
+        """
+        self._check_map_write(idmap, writer_privileged, writer_euid, which="uid")
+        self.uid_map = idmap
+
+    def set_gid_map(
+        self, idmap: IdMap, *, writer_egid: int, writer_privileged: bool
+    ) -> None:
+        """Install the GID map (write to /proc/<pid>/gid_map).
+
+        An unprivileged writer must first have denied setgroups(2); this is
+        the check whose absence was CVE-2018-7169 (paper §2.1.4).
+        """
+        if not writer_privileged and self.setgroups != SetgroupsPolicy.DENY:
+            raise KernelError(
+                Errno.EPERM,
+                "unprivileged gid_map write requires setgroups denied first",
+            )
+        self._check_map_write(idmap, writer_privileged, writer_egid, which="gid")
+        self.gid_map = idmap
+
+    def _check_map_write(
+        self, idmap: IdMap, privileged: bool, writer_id: int, *, which: str
+    ) -> None:
+        if self.is_initial:
+            raise KernelError(Errno.EPERM, "cannot rewrite initial namespace map")
+        current = self.uid_map if which == "uid" else self.gid_map
+        if current is not None:
+            raise KernelError(Errno.EPERM, f"{which}_map may only be written once")
+        if not privileged:
+            if not idmap.is_single():
+                raise KernelError(
+                    Errno.EPERM,
+                    f"unprivileged {which}_map must map exactly one ID",
+                )
+            entry = idmap.entries[0]
+            if entry.outside_start != writer_id:
+                raise KernelError(
+                    Errno.EPERM,
+                    f"unprivileged {which}_map outside ID must be the writer's "
+                    f"own ({writer_id}), got {entry.outside_start}",
+                )
+        # Outside IDs must be mapped in the parent namespace (kernel rule);
+        # for a child of the initial namespace this is always true.
+        parent = self.parent
+        assert parent is not None
+        pmap = parent.uid_map if which == "uid" else parent.gid_map
+        if pmap is None:
+            raise KernelError(Errno.EPERM, "parent namespace has no map yet")
+        for e in idmap.entries:
+            if (
+                pmap.to_outside(e.outside_start) is None
+                or pmap.to_outside(e.outside_end) is None
+            ):
+                raise KernelError(
+                    Errno.EPERM,
+                    f"outside {which} range {e.outside_start}+{e.count} not mapped "
+                    "in parent namespace",
+                )
+
+    # -- translation (up/down the whole ancestry, like the kernel) -------------
+
+    def uid_to_host(self, ns_uid: int) -> Optional[int]:
+        """Translate a UID in this namespace to the init-namespace (kernel) UID."""
+        return self._to_host(ns_uid, "uid")
+
+    def gid_to_host(self, ns_gid: int) -> Optional[int]:
+        return self._to_host(ns_gid, "gid")
+
+    def uid_from_host(self, kuid: int) -> Optional[int]:
+        """Translate a kernel UID into this namespace (None if unmapped)."""
+        return self._from_host(kuid, "uid")
+
+    def gid_from_host(self, kgid: int) -> Optional[int]:
+        return self._from_host(kgid, "gid")
+
+    def uid_display(self, kuid: int) -> int:
+        """Kernel UID as seen from this namespace; overflow UID if unmapped."""
+        inside = self.uid_from_host(kuid)
+        return OVERFLOW_UID if inside is None else inside
+
+    def gid_display(self, kgid: int) -> int:
+        inside = self.gid_from_host(kgid)
+        return OVERFLOW_GID if inside is None else inside
+
+    def _to_host(self, ns_id: int, which: str) -> Optional[int]:
+        ns: Optional[UserNamespace] = self
+        cur = ns_id
+        while ns is not None:
+            m = ns.uid_map if which == "uid" else ns.gid_map
+            if m is None:
+                return None
+            nxt = m.to_outside(cur)
+            if nxt is None:
+                return None
+            cur = nxt
+            if ns.is_initial:
+                return cur
+            ns = ns.parent
+        return cur
+
+    def _from_host(self, kid: int, which: str) -> Optional[int]:
+        # Walk the ancestry root-first, translating downwards.
+        chain: list[UserNamespace] = []
+        ns: Optional[UserNamespace] = self
+        while ns is not None:
+            chain.append(ns)
+            ns = ns.parent
+        cur = kid
+        for node in reversed(chain):
+            m = node.uid_map if which == "uid" else node.gid_map
+            if m is None:
+                return None
+            if node.is_initial:
+                # identity map; skip translation
+                continue
+            nxt = m.to_inside(cur)
+            if nxt is None:
+                return None
+            cur = nxt
+        return cur
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "init" if self.is_initial else f"level{self.level}"
+        return f"<UserNamespace #{self.ns_id} {kind} owner_uid={self.owner_uid}>"

@@ -1,0 +1,31 @@
+"""Mini POSIX shell + simulated userland.
+
+``run_shell(ctx, text)`` is the ``/bin/sh -c`` of the simulation; userland
+binaries are Python callables looked up through the executable inode's
+``exe_impl`` field (see :mod:`repro.shell.registry`).
+"""
+
+from . import binaries  # noqa: F401  (registers all binary impls)
+from .context import ExecContext, OutputSink
+from .executor import execute, find_program
+from .interp import Interpreter, ShellExit, render_argv, run_shell
+from .lexer import ShellSyntaxError, tokenize
+from .parser import parse
+from .registry import binary, get_binary, has_binary
+
+__all__ = [
+    "ExecContext",
+    "OutputSink",
+    "execute",
+    "find_program",
+    "Interpreter",
+    "ShellExit",
+    "render_argv",
+    "run_shell",
+    "ShellSyntaxError",
+    "tokenize",
+    "parse",
+    "binary",
+    "get_binary",
+    "has_binary",
+]

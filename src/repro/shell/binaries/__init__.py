@@ -1,0 +1,6 @@
+"""Simulated userland binary implementations.
+
+Importing this package registers all impls in the binary registry.
+"""
+
+from . import coreutils, fakeroot_bin, grep, sh_bin, shadow_bins, tar_bin  # noqa: F401

@@ -1,0 +1,407 @@
+"""Core userland: the commands container builds actually invoke."""
+
+from __future__ import annotations
+
+from ...errors import Errno, KernelError
+from ...kernel import FileType, mode_to_string
+from ...userdb import UserDb, UserDbError
+from ..context import ExecContext
+from ..registry import binary
+
+__all__ = []
+
+_MONTHS = ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep",
+           "Oct", "Nov", "Dec"]
+
+
+def _fake_date(ticks: int) -> str:
+    """Deterministic ls-style timestamp from the simulated clock."""
+    minutes = ticks // 60
+    return (f"{_MONTHS[(minutes // 43200) % 12]} "
+            f"{(minutes // 1440) % 28 + 1:2d} "
+            f"{(minutes // 60) % 24:02d}:{minutes % 60:02d}")
+
+
+def _err(ctx: ExecContext, prog: str, msg: str) -> int:
+    ctx.stderr.writeline(f"{prog}: {msg}")
+    return 1
+
+
+@binary("coreutils.echo")
+def _echo(ctx: ExecContext, argv: list[str]) -> int:
+    args = argv[1:]
+    newline = True
+    if args and args[0] == "-n":
+        newline, args = False, args[1:]
+    ctx.stdout.write(" ".join(args) + ("\n" if newline else ""))
+    return 0
+
+
+@binary("coreutils.cat")
+def _cat(ctx: ExecContext, argv: list[str]) -> int:
+    files = [a for a in argv[1:] if not a.startswith("-")]
+    if not files:
+        ctx.stdout.write(ctx.stdin.decode(errors="replace"))
+        return 0
+    status = 0
+    for f in files:
+        try:
+            ctx.stdout.write(ctx.sys.read_file(f).decode(errors="replace"))
+        except KernelError as err:
+            status = _err(ctx, "cat", f"{f}: {err.strerror}")
+    return status
+
+
+@binary("coreutils.touch")
+def _touch(ctx: ExecContext, argv: list[str]) -> int:
+    status = 0
+    for f in argv[1:]:
+        if f.startswith("-"):
+            continue
+        try:
+            if ctx.sys.exists(f):
+                continue
+            ctx.sys.write_file(f, b"")
+        except KernelError as err:
+            status = _err(ctx, "touch", f"{f}: {err.strerror}")
+    return status
+
+
+@binary("coreutils.ls")
+def _ls(ctx: ExecContext, argv: list[str]) -> int:
+    long_format = False
+    paths: list[str] = []
+    for a in argv[1:]:
+        if a.startswith("-"):
+            long_format = long_format or "l" in a
+        else:
+            paths.append(a)
+    if not paths:
+        paths = [ctx.sys.getcwd()]
+    db = UserDb.load(ctx.sys)
+    status = 0
+
+    def show(path: str) -> None:
+        st = ctx.sys.lstat(path)
+        if not long_format:
+            ctx.stdout.writeline(path.rsplit("/", 1)[-1] or path)
+            return
+        owner = db.username(st.st_uid,
+                            default="root" if st.st_uid == 0 else None)
+        group = db.groupname(st.st_gid,
+                             default="root" if st.st_gid == 0 else None)
+        if st.st_uid == 65534 and db.user_by_uid(65534) is None:
+            owner = "nobody"
+        if st.st_gid == 65534 and db.group_by_gid(65534) is None:
+            group = "nogroup"
+        size: str
+        if st.ftype in (FileType.CHR, FileType.BLK):
+            size = f"{st.st_rdev[0]}, {st.st_rdev[1]}"
+        else:
+            size = str(st.st_size)
+        name = path.rsplit("/", 1)[-1] or path
+        if st.ftype is FileType.SYMLINK:
+            name += " -> " + ctx.sys.readlink(path)
+        ctx.stdout.writeline(
+            f"{mode_to_string(st.ftype, st.st_mode & 0o7777)} "
+            f"{st.st_nlink} {owner} {group} {size:>6} "
+            f"{_fake_date(st.st_mtime)} {name}"
+        )
+
+    for p in paths:
+        try:
+            st = ctx.sys.lstat(p)
+            if st.ftype is FileType.DIR:
+                for entry in ctx.sys.readdir(p):
+                    if entry.name.startswith("."):
+                        continue
+                    show(f"{p.rstrip('/')}/{entry.name}")
+            else:
+                show(p)
+        except KernelError as err:
+            status = _err(ctx, "ls",
+                          f"cannot access '{p}': {err.strerror}")
+    return status
+
+
+def _chown_common(ctx: ExecContext, argv: list[str], *, group_only: bool
+                  ) -> int:
+    prog = "chgrp" if group_only else "chown"
+    args = [a for a in argv[1:] if not a.startswith("-")]
+    follow = "-h" not in argv
+    if len(args) < 2:
+        return _err(ctx, prog, "missing operand")
+    spec, files = args[0], args[1:]
+    db = UserDb.load(ctx.sys)
+    try:
+        if group_only:
+            uid, gid = -1, db.resolve_group(spec)
+        else:
+            owner, _, grp = spec.partition(":")
+            if not grp and "." in spec:  # legacy owner.group
+                owner, _, grp = spec.partition(".")
+            uid = db.resolve_owner(owner) if owner else -1
+            gid = db.resolve_group(grp) if grp else -1
+    except UserDbError as err:
+        return _err(ctx, prog, str(err))
+    status = 0
+    for f in files:
+        try:
+            ctx.sys.chown(f, uid, gid, follow=follow)
+        except KernelError as err:
+            status = _err(ctx, prog,
+                          f"changing ownership of '{f}': {err.strerror}")
+    return status
+
+
+@binary("coreutils.chown")
+def _chown(ctx: ExecContext, argv: list[str]) -> int:
+    return _chown_common(ctx, argv, group_only=False)
+
+
+@binary("coreutils.chgrp")
+def _chgrp(ctx: ExecContext, argv: list[str]) -> int:
+    return _chown_common(ctx, argv, group_only=True)
+
+
+@binary("coreutils.chmod")
+def _chmod(ctx: ExecContext, argv: list[str]) -> int:
+    args = [a for a in argv[1:] if not a.startswith("-") or
+            a.lstrip("-").isdigit()]
+    if len(args) < 2:
+        return _err(ctx, "chmod", "missing operand")
+    mode_s, files = args[0], args[1:]
+    symbolic = {"u+s": 0o4000, "g+s": 0o2000, "+x": 0o111, "a+x": 0o111,
+                "+t": 0o1000}
+    status = 0
+    for f in files:
+        try:
+            if mode_s in symbolic:
+                cur = ctx.sys.stat(f).st_mode & 0o7777
+                ctx.sys.chmod(f, cur | symbolic[mode_s])
+            else:
+                ctx.sys.chmod(f, int(mode_s, 8))
+        except ValueError:
+            return _err(ctx, "chmod", f"invalid mode: '{mode_s}'")
+        except KernelError as err:
+            status = _err(ctx, "chmod", f"{f}: {err.strerror}")
+    return status
+
+
+@binary("coreutils.mknod")
+def _mknod(ctx: ExecContext, argv: list[str]) -> int:
+    args = [a for a in argv[1:] if not a.startswith("-")]
+    if len(args) < 2:
+        return _err(ctx, "mknod", "missing operand")
+    path, type_c = args[0], args[1]
+    types = {"c": FileType.CHR, "b": FileType.BLK, "p": FileType.FIFO}
+    if type_c not in types:
+        return _err(ctx, "mknod", f"invalid device type '{type_c}'")
+    rdev = (0, 0)
+    if type_c in ("c", "b"):
+        if len(args) < 4:
+            return _err(ctx, "mknod", "missing major/minor")
+        rdev = (int(args[2]), int(args[3]))
+    try:
+        ctx.sys.mknod(path, types[type_c], 0o644, rdev=rdev)
+        return 0
+    except KernelError as err:
+        return _err(ctx, "mknod", f"{path}: {err.strerror}")
+
+
+@binary("coreutils.rm")
+def _rm(ctx: ExecContext, argv: list[str]) -> int:
+    recursive = any(a.startswith("-") and ("r" in a or "R" in a)
+                    for a in argv[1:])
+    force = any(a.startswith("-") and "f" in a for a in argv[1:])
+    files = [a for a in argv[1:] if not a.startswith("-")]
+    status = 0
+
+    def remove(path: str) -> None:
+        st = ctx.sys.lstat(path)
+        if st.ftype is FileType.DIR:
+            if not recursive:
+                raise KernelError(Errno.EISDIR, path)
+            for entry in ctx.sys.readdir(path):
+                remove(f"{path.rstrip('/')}/{entry.name}")
+            ctx.sys.rmdir(path)
+        else:
+            ctx.sys.unlink(path)
+
+    for f in files:
+        try:
+            remove(f)
+        except KernelError as err:
+            if not force:
+                status = _err(ctx, "rm", f"cannot remove '{f}': {err.strerror}")
+    return status
+
+
+@binary("coreutils.mkdir")
+def _mkdir(ctx: ExecContext, argv: list[str]) -> int:
+    parents = any(a.startswith("-") and "p" in a for a in argv[1:])
+    dirs = [a for a in argv[1:] if not a.startswith("-")]
+    status = 0
+    for d in dirs:
+        try:
+            if parents:
+                ctx.sys.mkdir_p(d)
+            else:
+                ctx.sys.mkdir(d)
+        except KernelError as err:
+            status = _err(ctx, "mkdir",
+                          f"cannot create directory '{d}': {err.strerror}")
+    return status
+
+
+@binary("coreutils.mv")
+def _mv(ctx: ExecContext, argv: list[str]) -> int:
+    args = [a for a in argv[1:] if not a.startswith("-")]
+    if len(args) != 2:
+        return _err(ctx, "mv", "expected SRC DST")
+    try:
+        ctx.sys.rename(args[0], args[1])
+        return 0
+    except KernelError as err:
+        return _err(ctx, "mv", f"{args[0]}: {err.strerror}")
+
+
+@binary("coreutils.cp")
+def _cp(ctx: ExecContext, argv: list[str]) -> int:
+    args = [a for a in argv[1:] if not a.startswith("-")]
+    if len(args) != 2:
+        return _err(ctx, "cp", "expected SRC DST")
+    src, dst = args
+    try:
+        data = ctx.sys.read_file(src)
+        if ctx.sys.exists(dst) and \
+                ctx.sys.stat(dst).ftype is FileType.DIR:
+            dst = f"{dst.rstrip('/')}/{src.rsplit('/', 1)[-1]}"
+        ctx.sys.write_file(dst, data)
+        ctx.sys.chmod(dst, ctx.sys.stat(src).st_mode & 0o777)
+        return 0
+    except KernelError as err:
+        return _err(ctx, "cp", f"{src}: {err.strerror}")
+
+
+@binary("coreutils.ln")
+def _ln(ctx: ExecContext, argv: list[str]) -> int:
+    symbolic = any(a.startswith("-") and "s" in a for a in argv[1:])
+    args = [a for a in argv[1:] if not a.startswith("-")]
+    if len(args) != 2:
+        return _err(ctx, "ln", "expected TARGET LINK")
+    try:
+        if symbolic:
+            ctx.sys.symlink(args[0], args[1])
+        else:
+            ctx.sys.link(args[0], args[1])
+        return 0
+    except KernelError as err:
+        return _err(ctx, "ln", f"{args[1]}: {err.strerror}")
+
+
+@binary("coreutils.id")
+def _id(ctx: ExecContext, argv: list[str]) -> int:
+    if "-u" in argv:
+        ctx.stdout.writeline(str(ctx.sys.geteuid()))
+        return 0
+    if "-g" in argv:
+        ctx.stdout.writeline(str(ctx.sys.getegid()))
+        return 0
+    db = UserDb.load(ctx.sys)
+    uid, gid = ctx.sys.geteuid(), ctx.sys.getegid()
+    uname = db.username(uid, default="root" if uid == 0 else None)
+    gname = db.groupname(gid, default="root" if gid == 0 else None)
+    groups = ",".join(
+        f"{g}({db.groupname(g, default='root' if g == 0 else None)})"
+        for g in ctx.sys.getgroups())
+    ctx.stdout.writeline(
+        f"uid={uid}({uname}) gid={gid}({gname}) groups={groups}")
+    return 0
+
+
+@binary("coreutils.whoami")
+def _whoami(ctx: ExecContext, argv: list[str]) -> int:
+    db = UserDb.load(ctx.sys)
+    uid = ctx.sys.geteuid()
+    ctx.stdout.writeline(db.username(uid, default="root" if uid == 0 else None))
+    return 0
+
+
+@binary("coreutils.uname")
+def _uname(ctx: ExecContext, argv: list[str]) -> int:
+    k = ctx.kernel
+    if "-m" in argv:
+        ctx.stdout.writeline(k.arch)
+    elif "-r" in argv:
+        ctx.stdout.writeline(f"{k.kernel_version[0]}.{k.kernel_version[1]}.0")
+    elif "-a" in argv:
+        ctx.stdout.writeline(
+            f"Linux {ctx.sys.gethostname()} "
+            f"{k.kernel_version[0]}.{k.kernel_version[1]}.0 "
+            f"{k.arch} GNU/Linux")
+    else:
+        ctx.stdout.writeline("Linux")
+    return 0
+
+
+@binary("coreutils.hostname")
+def _hostname(ctx: ExecContext, argv: list[str]) -> int:
+    ctx.stdout.writeline(ctx.sys.gethostname())
+    return 0
+
+
+@binary("coreutils.sleep")
+def _sleep(ctx: ExecContext, argv: list[str]) -> int:
+    return 0  # simulated time: instant
+
+
+@binary("coreutils.env")
+def _env(ctx: ExecContext, argv: list[str]) -> int:
+    for k, v in sorted(ctx.env.items()):
+        ctx.stdout.writeline(f"{k}={v}")
+    return 0
+
+
+@binary("coreutils.date")
+def _date(ctx: ExecContext, argv: list[str]) -> int:
+    ctx.stdout.writeline(_fake_date(ctx.kernel.now()))
+    return 0
+
+
+@binary("coreutils.true")
+def _true(ctx: ExecContext, argv: list[str]) -> int:
+    return 0
+
+
+@binary("coreutils.false")
+def _false(ctx: ExecContext, argv: list[str]) -> int:
+    return 1
+
+
+@binary("procps.ps")
+def _ps(ctx: ExecContext, argv: list[str]) -> int:
+    """ps: list processes in the caller's PID namespace only."""
+    mine = ctx.proc.pid_ns
+    ctx.stdout.writeline("  PID CMD")
+    for p in sorted(ctx.kernel.processes.values(), key=lambda p: p.pid):
+        if p.pid_ns is not mine:
+            continue
+        ctx.stdout.writeline(f"{p.ns_pid:>5} {p.comm}")
+    return 0
+
+
+@binary("coreutils.stat")
+def _stat(ctx: ExecContext, argv: list[str]) -> int:
+    files = [a for a in argv[1:] if not a.startswith("-")]
+    status = 0
+    for f in files:
+        try:
+            st = ctx.sys.lstat(f)
+            ctx.stdout.writeline(
+                f"  File: {f}\n  Size: {st.st_size}\n"
+                f"Access: ({st.st_mode & 0o7777:04o}) "
+                f"Uid: ({st.st_uid}) Gid: ({st.st_gid})")
+        except KernelError as err:
+            status = _err(ctx, "stat", f"{f}: {err.strerror}")
+    return status

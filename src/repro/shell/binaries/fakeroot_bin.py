@@ -1,0 +1,106 @@
+"""The fakeroot(1)/pseudo(1) command-line wrappers.
+
+``fakeroot CMD ARGS...`` re-executes CMD with the syscall interface wrapped
+by the engine the installed package provides.  Which engine is decided by
+the executable's ``exe_impl`` — i.e. by which package put the binary there,
+exactly as on a real system.
+
+pseudo's always-on database (Table 1 "persistency: database") is modelled by
+loading/saving the lie DB at ``/var/lib/pseudo/files.db`` around each run,
+so lies persist across separate RUN instructions of a build.
+"""
+
+from __future__ import annotations
+
+from ...errors import KernelError
+from ...fakeroot import (
+    FAKEROOT_CLASSIC,
+    FAKEROOT_NG,
+    PSEUDO,
+    EngineSpec,
+    FakerootError,
+    FakerootSyscalls,
+)
+from ..context import ExecContext
+from ..registry import binary
+
+__all__ = ["PSEUDO_DB_PATH"]
+
+PSEUDO_DB_PATH = "/var/lib/pseudo/files.db"
+
+
+def _run_wrapped(ctx: ExecContext, argv: list[str], engine: EngineSpec) -> int:
+    from ..executor import execute  # deferred import (executor imports us not)
+
+    args = argv[1:]
+    save_file: str | None = None
+    load_file: str | None = None
+    while args and args[0].startswith("-"):
+        if args[0] == "-s" and len(args) > 1:
+            save_file = args[1]
+            args = args[2:]
+        elif args[0] == "-i" and len(args) > 1:
+            load_file = args[1]
+            args = args[2:]
+        elif args[0] == "--":
+            args = args[1:]
+            break
+        else:
+            ctx.stderr.writeline(f"{engine.name}: unknown option {args[0]}")
+            return 2
+
+    if not args:
+        ctx.stderr.writeline(f"{engine.name}: no command given")
+        return 2
+
+    inner = ctx.sys
+    if isinstance(inner, FakerootSyscalls):
+        inner = inner.inner  # nested fakeroot: don't stack wrappers
+
+    try:
+        wrapped = FakerootSyscalls(inner, engine)
+    except FakerootError as err:
+        ctx.stderr.writeline(str(err))
+        return 1
+
+    if engine is PSEUDO and inner.exists(PSEUDO_DB_PATH):
+        try:
+            wrapped.load_state(PSEUDO_DB_PATH)
+        except (KernelError, Exception):
+            ctx.stderr.writeline("pseudo: warning: could not load database")
+    if load_file is not None:
+        try:
+            wrapped.load_state(load_file)
+        except KernelError as err:
+            ctx.stderr.writeline(f"{engine.name}: {load_file}: {err.strerror}")
+            return 1
+
+    status = execute(ctx.child(sys=wrapped), list(args))
+
+    if engine is PSEUDO:
+        try:
+            inner.mkdir_p("/var/lib/pseudo")
+            wrapped.save_state(PSEUDO_DB_PATH)
+        except KernelError:
+            pass
+    if save_file is not None:
+        try:
+            wrapped.save_state(save_file)
+        except KernelError as err:
+            ctx.stderr.writeline(f"{engine.name}: {save_file}: {err.strerror}")
+    return status
+
+
+@binary("fakeroot.classic")
+def _fakeroot_classic(ctx: ExecContext, argv: list[str]) -> int:
+    return _run_wrapped(ctx, argv, FAKEROOT_CLASSIC)
+
+
+@binary("fakeroot.ng")
+def _fakeroot_ng(ctx: ExecContext, argv: list[str]) -> int:
+    return _run_wrapped(ctx, argv, FAKEROOT_NG)
+
+
+@binary("fakeroot.pseudo")
+def _fakeroot_pseudo(ctx: ExecContext, argv: list[str]) -> int:
+    return _run_wrapped(ctx, argv, PSEUDO)

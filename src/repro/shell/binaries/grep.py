@@ -1,0 +1,112 @@
+"""grep / egrep / fgrep.
+
+ch-image's rhel7 init step greps repo files directly "rather than using yum
+repolist, because the latter has side effects" (paper §5.3.1) — so grep has
+to handle -E, -F, -q, multiple files, and glob-expanded file lists.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ...errors import KernelError
+from ..context import ExecContext
+from ..registry import binary
+
+__all__ = []
+
+
+def _grep(ctx: ExecContext, argv: list[str], *, default_mode: str) -> int:
+    mode = default_mode  # "basic", "extended", "fixed"
+    quiet = invert = ignore_case = False
+    pattern: str | None = None
+    files: list[str] = []
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--":
+            i += 1
+            break
+        if a.startswith("-") and len(a) > 1:
+            for flag in a[1:]:
+                if flag == "E":
+                    mode = "extended"
+                elif flag == "F":
+                    mode = "fixed"
+                elif flag == "q":
+                    quiet = True
+                elif flag == "v":
+                    invert = True
+                elif flag == "i":
+                    ignore_case = True
+                elif flag == "e":
+                    i += 1
+                    pattern = args[i]
+                else:
+                    ctx.stderr.writeline(f"grep: unknown option -{flag}")
+                    return 2
+            i += 1
+            continue
+        if pattern is None:
+            pattern = a
+        else:
+            files.append(a)
+        i += 1
+    files.extend(args[i:])
+    if pattern is None:
+        ctx.stderr.writeline("usage: grep [-EFqvi] PATTERN [FILE...]")
+        return 2
+
+    flags = re.IGNORECASE if ignore_case else 0
+    if mode == "fixed":
+        rx = re.compile(re.escape(pattern), flags)
+    else:
+        # "basic" vs "extended" distinction: basic treats +?|(){} literally;
+        # close enough for the build scripts we run.
+        pat = pattern
+        if mode == "basic":
+            pat = re.escape(pattern).replace(r"\.\*", ".*").replace(r"\.", ".")
+        try:
+            rx = re.compile(pat, flags)
+        except re.error as err:
+            ctx.stderr.writeline(f"grep: bad pattern: {err}")
+            return 2
+
+    sources: list[tuple[str, str]] = []
+    if files:
+        for f in files:
+            try:
+                sources.append((f, ctx.sys.read_file(f).decode(errors="replace")))
+            except KernelError as err:
+                ctx.stderr.writeline(f"grep: {f}: {err.strerror}")
+    else:
+        sources.append(("(standard input)", ctx.stdin.decode(errors="replace")))
+
+    matched = False
+    multi_file = len(files) > 1
+    for name, text in sources:
+        for line in text.splitlines():
+            hit = bool(rx.search(line))
+            if hit != invert:
+                matched = True
+                if quiet:
+                    return 0
+                prefix = f"{name}:" if multi_file else ""
+                ctx.stdout.writeline(prefix + line)
+    return 0 if matched else 1
+
+
+@binary("grep.grep")
+def _grep_main(ctx: ExecContext, argv: list[str]) -> int:
+    return _grep(ctx, argv, default_mode="basic")
+
+
+@binary("grep.egrep")
+def _egrep(ctx: ExecContext, argv: list[str]) -> int:
+    return _grep(ctx, argv, default_mode="extended")
+
+
+@binary("grep.fgrep")
+def _fgrep(ctx: ExecContext, argv: list[str]) -> int:
+    return _grep(ctx, argv, default_mode="fixed")

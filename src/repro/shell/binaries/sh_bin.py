@@ -1,0 +1,42 @@
+"""/bin/sh as an executable: dispatches into the interpreter."""
+
+from __future__ import annotations
+
+from ...errors import KernelError
+from ..context import ExecContext
+from ..registry import binary
+
+__all__ = []
+
+
+@binary("sh.posix")
+def _sh(ctx: ExecContext, argv: list[str]) -> int:
+    from ..interp import Interpreter  # deferred: interp imports executor
+
+    args = argv[1:]
+    interp = Interpreter(ctx.child())
+    while args and args[0].startswith("-") and args[0] != "-c":
+        for flag in args[0][1:]:
+            if flag == "e":
+                interp.opt_errexit = True
+            elif flag == "x":
+                interp.opt_xtrace = True
+        args = args[1:]
+    if args and args[0] == "-c":
+        if len(args) < 2:
+            ctx.stderr.writeline("sh: -c requires an argument")
+            return 2
+        interp.set_positional(["sh"] + args[2:])
+        return interp.run(args[1])
+    if args:
+        try:
+            script = ctx.sys.read_file(args[0]).decode(errors="replace")
+        except KernelError as err:
+            ctx.stderr.writeline(f"sh: {args[0]}: {err.strerror}")
+            return 127
+        interp.set_positional(args)
+        if script.startswith("#!"):
+            script = script.partition("\n")[2]
+        return interp.run(script)
+    ctx.stderr.writeline("sh: interactive mode not supported")
+    return 2

@@ -1,0 +1,118 @@
+"""In-container account tools: useradd, groupadd (what package scriptlets
+call to create system users like ``sshd`` or ``_apt``)."""
+
+from __future__ import annotations
+
+from ...errors import KernelError
+from ...userdb import GroupEntry, PasswdEntry, UserDb, UserDbError
+from ..context import ExecContext
+from ..registry import binary
+
+__all__ = []
+
+
+@binary("shadow.useradd")
+def _useradd(ctx: ExecContext, argv: list[str]) -> int:
+    args = argv[1:]
+    uid: int | None = None
+    gid: int | None = None
+    home = ""
+    system = False
+    shell = "/bin/sh"
+    name = None
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "-u":
+            i += 1
+            uid = int(args[i])
+        elif a == "-g":
+            i += 1
+            gid = int(args[i]) if args[i].isdigit() else None
+            if gid is None:
+                db = UserDb.load(ctx.sys)
+                grp = db.group_by_name(args[i])
+                if grp is None:
+                    ctx.stderr.writeline(f"useradd: group '{args[i]}' does "
+                                         "not exist")
+                    return 6
+                gid = grp.gid
+        elif a == "-d":
+            i += 1
+            home = args[i]
+        elif a == "-s":
+            i += 1
+            shell = args[i]
+        elif a in ("-r", "--system"):
+            system = True
+        elif a in ("-M", "-m", "-N"):
+            pass
+        elif a.startswith("-"):
+            ctx.stderr.writeline(f"useradd: unknown option {a}")
+            return 2
+        else:
+            name = a
+        i += 1
+    if name is None:
+        ctx.stderr.writeline("useradd: missing username")
+        return 2
+    db = UserDb.load(ctx.sys)
+    try:
+        if uid is None:
+            uid = db.next_system_uid() if system else 1000
+        if gid is None:
+            grp = db.group_by_name(name)
+            if grp is None:
+                gid = db.next_system_gid() if system else uid
+                db.add_group(GroupEntry(name, gid))
+            else:
+                gid = grp.gid
+        db.add_user(PasswdEntry(name, uid, gid, "", home or f"/home/{name}",
+                                shell))
+        db.store(ctx.sys)
+        return 0
+    except UserDbError as err:
+        ctx.stderr.writeline(f"useradd: {err}")
+        return 9
+    except KernelError as err:
+        ctx.stderr.writeline(f"useradd: {err.strerror}")
+        return 1
+
+
+@binary("shadow.groupadd")
+def _groupadd(ctx: ExecContext, argv: list[str]) -> int:
+    args = argv[1:]
+    gid: int | None = None
+    system = False
+    name = None
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "-g":
+            i += 1
+            gid = int(args[i])
+        elif a in ("-r", "--system"):
+            system = True
+        elif a == "-f":
+            pass
+        elif a.startswith("-"):
+            ctx.stderr.writeline(f"groupadd: unknown option {a}")
+            return 2
+        else:
+            name = a
+        i += 1
+    if name is None:
+        ctx.stderr.writeline("groupadd: missing group name")
+        return 2
+    db = UserDb.load(ctx.sys)
+    if db.group_by_name(name) is not None:
+        return 0  # idempotent like groupadd -f
+    try:
+        if gid is None:
+            gid = db.next_system_gid() if system else 1000
+        db.add_group(GroupEntry(name, gid))
+        db.store(ctx.sys)
+        return 0
+    except (UserDbError, KernelError) as err:
+        ctx.stderr.writeline(f"groupadd: {err}")
+        return 1

@@ -1,0 +1,92 @@
+"""tar(1): create/extract archives through the current syscall view.
+
+Run under fakeroot, ``tar -c`` archives the *lies* — which is fakeroot's
+raison d'être ("allows users to create archives with files in them with
+root permissions/ownership", paper §5.1).
+"""
+
+from __future__ import annotations
+
+from ...archive import ArchiveError, TarArchive
+from ...errors import KernelError
+from ..context import ExecContext
+from ..registry import binary
+
+__all__ = []
+
+
+@binary("tar.tar")
+def _tar(ctx: ExecContext, argv: list[str]) -> int:
+    create = extract = list_mode = False
+    file_arg: str | None = None
+    preserve_owner = False
+    directory = "."
+    paths: list[str] = []
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a.startswith("--"):
+            if a == "--same-owner":
+                preserve_owner = True
+            elif a.startswith("--directory="):
+                directory = a.split("=", 1)[1]
+            i += 1
+            continue
+        if a.startswith("-") or (i == 0 and not a.startswith("-")):
+            flags = a.lstrip("-")
+            for flag in flags:
+                if flag == "c":
+                    create = True
+                elif flag == "x":
+                    extract = True
+                elif flag == "t":
+                    list_mode = True
+                elif flag == "f":
+                    i += 1
+                    file_arg = args[i]
+                elif flag == "C":
+                    i += 1
+                    directory = args[i]
+                elif flag == "p":
+                    preserve_owner = True
+                elif flag in "vzj":
+                    pass  # verbosity/compression accepted and ignored
+                else:
+                    ctx.stderr.writeline(f"tar: unknown option -{flag}")
+                    return 2
+            i += 1
+            continue
+        paths.append(a)
+        i += 1
+
+    if sum((create, extract, list_mode)) != 1:
+        ctx.stderr.writeline("tar: need exactly one of -c, -x, -t")
+        return 2
+    if file_arg is None:
+        ctx.stderr.writeline("tar: -f FILE required")
+        return 2
+
+    try:
+        if create:
+            src = paths[0] if paths else directory
+            archive = TarArchive.pack(ctx.sys, src)
+            ctx.sys.write_file(file_arg, archive.serialize())
+            return 0
+        blob = ctx.sys.read_file(file_arg)
+        archive = TarArchive.deserialize(blob)
+        if list_mode:
+            for m in archive:
+                ctx.stdout.writeline(m.path)
+            return 0
+        # Unprivileged default: ownership becomes the extracting user, like
+        # real tar for non-root users (paper §5.2).
+        warnings = archive.extract(
+            ctx.sys, directory,
+            preserve_owner=preserve_owner, on_chown_error="warn")
+        for w in warnings:
+            ctx.stderr.writeline(w)
+        return 0
+    except (KernelError, ArchiveError) as err:
+        ctx.stderr.writeline(f"tar: {err}")
+        return 2

@@ -1,0 +1,99 @@
+"""Execution context handed to simulated userland binaries."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..kernel import Process, Syscalls
+
+__all__ = ["OutputSink", "ExecContext"]
+
+
+class OutputSink:
+    """A stream a binary writes to; optionally tees each chunk to a callback
+    (how build transcripts are captured)."""
+
+    def __init__(self, echo: Optional[Callable[[str], None]] = None):
+        self._chunks: list[str] = []
+        self._echo = echo
+
+    def write(self, text: str) -> None:
+        if not text:
+            return
+        self._chunks.append(text)
+        if self._echo is not None:
+            self._echo(text)
+
+    def writeline(self, text: str) -> None:
+        self.write(text + "\n")
+
+    def text(self) -> str:
+        return "".join(self._chunks)
+
+    def bytes(self) -> bytes:
+        return self.text().encode()
+
+    def lines(self) -> list[str]:
+        return self.text().splitlines()
+
+
+class ExecContext:
+    """Everything a simulated binary can touch.
+
+    ``sys`` may be a plain :class:`Syscalls` or a fakeroot wrapper; binaries
+    never know the difference — exactly the LD_PRELOAD/ptrace illusion.
+    """
+
+    MAX_DEPTH = 64  # recursion guard for scripts invoking scripts
+
+    def __init__(
+        self,
+        proc: Process,
+        sys: Syscalls,
+        *,
+        env: Optional[dict[str, str]] = None,
+        stdout: Optional[OutputSink] = None,
+        stderr: Optional[OutputSink] = None,
+        stdin: bytes = b"",
+        depth: int = 0,
+    ):
+        self.proc = proc
+        self.sys = sys
+        self.env: dict[str, str] = dict(env if env is not None else proc.environ)
+        self.stdout = stdout if stdout is not None else OutputSink()
+        self.stderr = stderr if stderr is not None else OutputSink()
+        self.stdin = stdin
+        self.depth = depth
+
+    @property
+    def kernel(self):
+        return self.proc.kernel
+
+    @property
+    def network(self):
+        """The outside world (package repos, registries); None if air-gapped."""
+        return self.proc.kernel.network
+
+    def path_dirs(self) -> list[str]:
+        path = self.env.get("PATH", "/usr/sbin:/usr/bin:/sbin:/bin")
+        return [d for d in path.split(":") if d]
+
+    def child(
+        self,
+        *,
+        sys: Optional[Syscalls] = None,
+        env: Optional[dict[str, str]] = None,
+        stdout: Optional[OutputSink] = None,
+        stderr: Optional[OutputSink] = None,
+        stdin: Optional[bytes] = None,
+    ) -> "ExecContext":
+        """A derived context (for pipelines, wrappers, and scripts)."""
+        return ExecContext(
+            self.proc,
+            sys if sys is not None else self.sys,
+            env=dict(env if env is not None else self.env),
+            stdout=stdout if stdout is not None else self.stdout,
+            stderr=stderr if stderr is not None else self.stderr,
+            stdin=stdin if stdin is not None else self.stdin,
+            depth=self.depth + 1,
+        )

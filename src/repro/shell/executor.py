@@ -1,0 +1,90 @@
+"""Program execution: PATH lookup, exec dispatch, the LD_PRELOAD hole.
+
+``execute`` is the simulated ``execvp``: it resolves the program, performs
+the kernel-side exec checks (x bit, ISA), then dispatches to the registered
+Python implementation or, for ``#!`` scripts, to the shell interpreter.
+
+The fakeroot static-binary limitation lives here: when the current syscall
+interface is an LD_PRELOAD-style wrapper and the target binary is statically
+linked, the binary runs against the *raw* syscalls — the wrapper simply is
+not loaded into it (paper §5.1).
+"""
+
+from __future__ import annotations
+
+from ..errors import Errno, KernelError
+from ..fakeroot import FakerootSyscalls
+from .context import ExecContext
+from .registry import get_binary, has_binary
+
+__all__ = ["execute", "find_program", "CommandNotFound"]
+
+
+class CommandNotFound(Exception):
+    """argv[0] not found in PATH."""
+
+
+def find_program(ctx: ExecContext, name: str) -> str | None:
+    """PATH resolution (or direct path if *name* contains a slash)."""
+    if "/" in name:
+        return name if ctx.sys.exists(name) else None
+    for d in ctx.path_dirs():
+        candidate = f"{d.rstrip('/')}/{name}"
+        try:
+            if ctx.sys.exists(candidate):
+                return candidate
+        except KernelError:
+            continue
+    return None
+
+
+def execute(ctx: ExecContext, argv: list[str]) -> int:
+    """Run *argv*; returns the exit status.  Writes shell-style diagnostics
+    to stderr for the standard failure modes (127/126)."""
+    if not argv:
+        return 0
+    if ctx.depth > ExecContext.MAX_DEPTH:
+        ctx.stderr.writeline(f"{argv[0]}: recursion limit exceeded")
+        return 126
+    path = find_program(ctx, argv[0])
+    if path is None:
+        ctx.stderr.writeline(f"/bin/sh: {argv[0]}: command not found")
+        return 127
+    try:
+        inode, _res = ctx.sys.prepare_exec(path)
+    except KernelError as err:
+        if err.errno == Errno.ENOEXEC:
+            ctx.stderr.writeline(f"{argv[0]}: cannot execute binary file: "
+                                 "Exec format error")
+        else:
+            ctx.stderr.writeline(f"{argv[0]}: {err.strerror}")
+        return 126
+
+    run_ctx = ctx
+    if (
+        isinstance(ctx.sys, FakerootSyscalls)
+        and inode.exe_static
+        and not ctx.sys.engine.wraps_static_binaries
+    ):
+        # LD_PRELOAD cannot enter a static binary: it sees raw syscalls.
+        run_ctx = ctx.child(sys=ctx.sys.inner)
+
+    if inode.exe_impl is not None:
+        if not has_binary(inode.exe_impl):
+            ctx.stderr.writeline(f"{argv[0]}: broken executable "
+                                 f"(impl {inode.exe_impl!r} missing)")
+            return 126
+        impl = get_binary(inode.exe_impl)
+        return impl(run_ctx, list(argv))
+
+    data = bytes(inode.data)
+    if data.startswith(b"#!"):
+        from .interp import Interpreter  # local import to avoid a cycle
+        first, _, rest = data.partition(b"\n")
+        script = rest.decode(errors="replace")
+        interp = Interpreter(run_ctx.child())
+        interp.set_positional(argv)
+        return interp.run(script)
+
+    ctx.stderr.writeline(f"{argv[0]}: cannot execute binary file")
+    return 126

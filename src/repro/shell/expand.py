@@ -1,0 +1,112 @@
+"""Word expansion: variables and pathname globbing."""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import Mapping
+
+from ..errors import KernelError
+from .ast import Word
+from .context import ExecContext
+
+__all__ = ["expand_word", "expand_words", "expand_string"]
+
+_VAR_RE = re.compile(r"\$(?:\{([A-Za-z_][A-Za-z_0-9]*)\}|([A-Za-z_][A-Za-z_0-9]*)|([?#0-9]))")
+
+_GLOB_CHARS = set("*?[")
+
+
+def expand_string(text: str, env: Mapping[str, str]) -> str:
+    """Expand ``$NAME``/``${NAME}``/``$?`` in *text*."""
+
+    def sub(m: re.Match) -> str:
+        name = m.group(1) or m.group(2) or m.group(3)
+        return str(env.get(name, ""))
+
+    return _VAR_RE.sub(sub, text)
+
+
+def _glob_escape(text: str) -> str:
+    """Escape glob metacharacters so quoted text matches literally."""
+    out = []
+    for ch in text:
+        out.append(f"[{ch}]" if ch in _GLOB_CHARS else ch)
+    return "".join(out)
+
+
+def expand_word(ctx: ExecContext, env: Mapping[str, str], word: Word
+                ) -> list[str]:
+    """Expand one word to zero or more argv fields.
+
+    Single-quoted segments are literal; double-quoted get variable expansion;
+    bare segments get variable expansion and participate in globbing.  If a
+    glob matches nothing, the pattern is kept literally (sh default).
+    """
+    literal_parts: list[str] = []
+    pattern_parts: list[str] = []
+    has_glob = False
+    for seg in word.segments:
+        if seg.quote == "'":
+            literal_parts.append(seg.text)
+            pattern_parts.append(_glob_escape(seg.text))
+        elif seg.quote == '"':
+            expanded = expand_string(seg.text, env)
+            literal_parts.append(expanded)
+            pattern_parts.append(_glob_escape(expanded))
+        else:
+            expanded = expand_string(seg.text, env)
+            literal_parts.append(expanded)
+            pattern_parts.append(expanded)
+            if _GLOB_CHARS & set(expanded):
+                has_glob = True
+    literal = "".join(literal_parts)
+    if not has_glob:
+        return [literal]
+    matches = _glob(ctx, "".join(pattern_parts))
+    return matches if matches else [literal]
+
+
+def expand_words(ctx: ExecContext, env: Mapping[str, str], words) -> list[str]:
+    out: list[str] = []
+    for w in words:
+        out.extend(expand_word(ctx, env, w))
+    return out
+
+
+def _glob(ctx: ExecContext, pattern: str) -> list[str]:
+    """Pathname expansion against the simulated filesystem."""
+    absolute = pattern.startswith("/")
+    comps = [c for c in pattern.split("/") if c]
+    if not comps:
+        return []
+    base = "/" if absolute else ctx.sys.getcwd()
+    candidates = [base if absolute else ""]
+    for comp in comps:
+        nxt: list[str] = []
+        for cand in candidates:
+            prefix = cand if cand else "."
+            if _GLOB_CHARS & set(comp):
+                try:
+                    entries = ctx.sys.readdir(prefix if cand else ctx.sys.getcwd())
+                except KernelError:
+                    continue
+                for e in entries:
+                    if e.name.startswith(".") and not comp.startswith("."):
+                        continue
+                    if fnmatch.fnmatchcase(e.name, comp):
+                        nxt.append(_join(cand, e.name))
+            else:
+                path = _join(cand, comp)
+                if ctx.sys.exists(path if absolute or cand else path):
+                    nxt.append(path)
+        candidates = nxt
+    return sorted(c for c in candidates if c)
+
+
+def _join(prefix: str, name: str) -> str:
+    if not prefix:
+        return name
+    if prefix == "/":
+        return "/" + name
+    return f"{prefix}/{name}"

@@ -1,0 +1,418 @@
+"""The mini-shell interpreter.
+
+Implements the POSIX-sh subset that distribution tooling and ch-image's
+--force initialization steps actually use: ``set -ex`` tracing/errexit,
+``if``, ``!``, ``&&``/``||``, pipelines, redirections, globbing, and the
+standard special builtins.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError
+from .ast import (
+    AndOr,
+    Command,
+    CommandList,
+    IfClause,
+    Pipeline,
+    SimpleCommand,
+)
+from .context import ExecContext, OutputSink
+from .executor import execute, find_program
+from .expand import expand_word, expand_words
+from .parser import ShellSyntaxError, parse
+
+__all__ = ["Interpreter", "ShellExit", "run_shell", "render_argv"]
+
+
+class ShellExit(Exception):
+    """Raised by ``exit`` and by ``set -e`` aborts."""
+
+    def __init__(self, status: int):
+        self.status = status
+        super().__init__(f"exit {status}")
+
+
+def render_argv(argv: list[str]) -> str:
+    """Render a command for ``set -x`` tracing."""
+    out = []
+    for a in argv:
+        if a == "" or any(c in a for c in " \t\n'\"\\$&|;<>*?[]()"):
+            out.append("'" + a.replace("'", "'\\''") + "'")
+        else:
+            out.append(a)
+    return " ".join(out)
+
+
+class Interpreter:
+    """One shell invocation (one ``/bin/sh -c`` or one script)."""
+
+    def __init__(self, ctx: ExecContext):
+        self.ctx = ctx
+        self.opt_errexit = False
+        self.opt_xtrace = False
+        self.last_status = 0
+        self.positional: list[str] = []
+
+    def set_positional(self, argv: list[str]) -> None:
+        self.positional = list(argv)
+
+    # -- entry points ----------------------------------------------------------------
+
+    def run(self, text: str) -> int:
+        try:
+            ast = parse(text)
+        except ShellSyntaxError as err:
+            self.ctx.stderr.writeline(f"/bin/sh: syntax error: {err}")
+            return 2
+        try:
+            return self.exec_list(ast, safe=False)
+        except ShellExit as ex:
+            return ex.status
+
+    # -- variable view ------------------------------------------------------------------
+
+    def _env_view(self) -> dict[str, str]:
+        view = dict(self.ctx.env)
+        view["?"] = str(self.last_status)
+        view["#"] = str(max(0, len(self.positional) - 1))
+        for i, val in enumerate(self.positional[:10]):
+            view[str(i)] = val
+        return view
+
+    # -- execution ----------------------------------------------------------------------
+
+    def exec_list(self, lst: CommandList, *, safe: bool) -> int:
+        status = 0
+        for andor in lst.items:
+            status = self.exec_andor(andor, safe=safe)
+        return status
+
+    def exec_andor(self, andor: AndOr, *, safe: bool) -> int:
+        # Every pipeline except the last is "tested" (immune to set -e).
+        status = self.exec_pipeline(
+            andor.items[0], safe=safe or bool(andor.ops)
+        )
+        for i, op in enumerate(andor.ops):
+            run_it = (status == 0) if op == "&&" else (status != 0)
+            if run_it:
+                is_last = i == len(andor.ops) - 1
+                status = self.exec_pipeline(
+                    andor.items[i + 1], safe=safe or not is_last
+                )
+        self.last_status = status
+        return status
+
+    def exec_pipeline(self, pipe: Pipeline, *, safe: bool) -> int:
+        inner_safe = safe or pipe.negated
+        if len(pipe.commands) == 1:
+            status = self.exec_command(
+                pipe.commands[0], stdin=self.ctx.stdin,
+                stdout=self.ctx.stdout, safe=inner_safe,
+            )
+        else:
+            data = self.ctx.stdin
+            status = 0
+            for i, cmd in enumerate(pipe.commands):
+                last = i == len(pipe.commands) - 1
+                sink = self.ctx.stdout if last else OutputSink()
+                status = self.exec_command(cmd, stdin=data, stdout=sink,
+                                           safe=True if not last else inner_safe)
+                if not last:
+                    data = sink.bytes()
+        if pipe.negated:
+            status = 0 if status != 0 else 1
+        self.last_status = status
+        if status != 0 and self.opt_errexit and not safe and not pipe.negated:
+            raise ShellExit(status)
+        return status
+
+    def exec_command(self, cmd: Command, *, stdin: bytes, stdout: OutputSink,
+                     safe: bool) -> int:
+        if isinstance(cmd, IfClause):
+            for cond, body in zip(cmd.conditions, cmd.bodies):
+                if self.exec_list(cond, safe=True) == 0:
+                    return self.exec_list(body, safe=safe)
+            if cmd.else_body is not None:
+                return self.exec_list(cmd.else_body, safe=safe)
+            return 0
+        return self.exec_simple(cmd, stdin=stdin, stdout=stdout)
+
+    # -- simple commands -----------------------------------------------------------------
+
+    def exec_simple(self, cmd: SimpleCommand, *, stdin: bytes,
+                    stdout: OutputSink) -> int:
+        env_view = self._env_view()
+        assignments = {
+            name: "".join(expand_word(self.ctx, env_view, w))
+            for name, w in cmd.assignments
+        }
+        argv = expand_words(self.ctx, env_view, cmd.words)
+
+        if not argv:
+            self.ctx.env.update(assignments)
+            return 0
+
+        if self.opt_xtrace:
+            self.ctx.stderr.writeline("+ " + render_argv(argv))
+
+        # Redirections: capture into buffers, flush to files afterwards.
+        out_sink = stdout
+        err_sink = self.ctx.stderr
+        out_redirect: tuple[str, str] | None = None  # (path, mode)
+        err_redirect: tuple[str, str] | None = None
+        merge_err = False
+        for r in cmd.redirects:
+            if r.op == "2>&1":
+                merge_err = True
+                continue
+            assert r.target is not None
+            target = "".join(expand_word(self.ctx, env_view, r.target))
+            if r.op in (">", ">>"):
+                out_sink = OutputSink()
+                out_redirect = (target, r.op)
+            elif r.op in ("2>", "2>>"):
+                err_sink = OutputSink()
+                err_redirect = (target, r.op)
+            elif r.op == "<":
+                try:
+                    stdin = self.ctx.sys.read_file(target)
+                except KernelError as err:
+                    self.ctx.stderr.writeline(
+                        f"/bin/sh: {target}: {err.strerror}")
+                    return 1
+        if merge_err:
+            err_sink = out_sink
+
+        run_env = dict(self.ctx.env)
+        run_env.update(assignments)
+        child = self.ctx.child(env=run_env, stdout=out_sink, stderr=err_sink,
+                               stdin=stdin)
+
+        name = argv[0]
+        if name in _BUILTINS:
+            status = _BUILTINS[name](self, child, argv)
+        else:
+            status = execute(child, argv)
+
+        for sink, redirect in ((out_sink, out_redirect),
+                               (err_sink, err_redirect)):
+            if redirect is None:
+                continue
+            path, op = redirect
+            try:
+                self.ctx.sys.write_file(path, sink.bytes(),
+                                        append=(op.endswith(">>")))
+            except KernelError as err:
+                self.ctx.stderr.writeline(f"/bin/sh: {path}: {err.strerror}")
+                status = 1
+        self.last_status = status
+        return status
+
+
+# -- builtins -------------------------------------------------------------------------
+
+
+def _builtin_cd(interp: Interpreter, ctx: ExecContext, argv: list[str]) -> int:
+    target = argv[1] if len(argv) > 1 else ctx.env.get("HOME", "/")
+    try:
+        interp.ctx.sys.chdir(target)
+    except KernelError as err:
+        ctx.stderr.writeline(f"cd: {target}: {err.strerror}")
+        return 1
+    interp.ctx.env["PWD"] = interp.ctx.sys.getcwd()
+    return 0
+
+
+def _builtin_set(interp: Interpreter, ctx: ExecContext, argv: list[str]) -> int:
+    for arg in argv[1:]:
+        if arg.startswith("-") or arg.startswith("+"):
+            enable = arg[0] == "-"
+            for flag in arg[1:]:
+                if flag == "e":
+                    interp.opt_errexit = enable
+                elif flag == "x":
+                    interp.opt_xtrace = enable
+                elif flag == "u":
+                    pass  # accepted, not enforced
+                else:
+                    ctx.stderr.writeline(f"set: unknown option -{flag}")
+                    return 2
+    return 0
+
+
+def _builtin_export(interp: Interpreter, ctx: ExecContext,
+                    argv: list[str]) -> int:
+    for arg in argv[1:]:
+        name, eq, value = arg.partition("=")
+        if eq:
+            interp.ctx.env[name] = value
+        # names without '=' are already visible: single env table
+    return 0
+
+
+def _builtin_unset(interp: Interpreter, ctx: ExecContext,
+                   argv: list[str]) -> int:
+    for arg in argv[1:]:
+        interp.ctx.env.pop(arg, None)
+    return 0
+
+
+def _builtin_true(interp, ctx, argv) -> int:
+    return 0
+
+
+def _builtin_false(interp, ctx, argv) -> int:
+    return 1
+
+
+def _builtin_exit(interp: Interpreter, ctx: ExecContext,
+                  argv: list[str]) -> int:
+    status = interp.last_status
+    if len(argv) > 1:
+        try:
+            status = int(argv[1]) & 0xFF
+        except ValueError:
+            status = 2
+    raise ShellExit(status)
+
+
+def _builtin_umask(interp: Interpreter, ctx: ExecContext,
+                   argv: list[str]) -> int:
+    if len(argv) == 1:
+        ctx.stdout.writeline(f"{interp.ctx.proc.umask:04o}")
+        return 0
+    try:
+        interp.ctx.sys.umask(int(argv[1], 8))
+        return 0
+    except ValueError:
+        ctx.stderr.writeline(f"umask: bad mask {argv[1]!r}")
+        return 1
+
+
+def _builtin_pwd(interp: Interpreter, ctx: ExecContext,
+                 argv: list[str]) -> int:
+    ctx.stdout.writeline(interp.ctx.sys.getcwd())
+    return 0
+
+
+def _builtin_command(interp: Interpreter, ctx: ExecContext,
+                     argv: list[str]) -> int:
+    args = argv[1:]
+    if args and args[0] == "-v":
+        if len(args) < 2:
+            return 2
+        name = args[1]
+        if name in _BUILTINS:
+            ctx.stdout.writeline(name)
+            return 0
+        path = find_program(ctx, name)
+        if path is None:
+            return 1
+        ctx.stdout.writeline(path)
+        return 0
+    if args:
+        if args[0] in _BUILTINS:
+            return _BUILTINS[args[0]](interp, ctx, args)
+        return execute(ctx, args)
+    return 0
+
+
+def _builtin_echo(interp: Interpreter, ctx: ExecContext,
+                  argv: list[str]) -> int:
+    args = argv[1:]
+    newline = True
+    if args and args[0] == "-n":
+        newline = False
+        args = args[1:]
+    ctx.stdout.write(" ".join(args) + ("\n" if newline else ""))
+    return 0
+
+
+def _builtin_test(interp: Interpreter, ctx: ExecContext,
+                  argv: list[str]) -> int:
+    args = argv[1:]
+    if argv[0] == "[":
+        if not args or args[-1] != "]":
+            ctx.stderr.writeline("[: missing ]")
+            return 2
+        args = args[:-1]
+    try:
+        return 0 if _eval_test(interp.ctx, args) else 1
+    except ValueError as err:
+        ctx.stderr.writeline(f"test: {err}")
+        return 2
+
+
+def _eval_test(ctx: ExecContext, args: list[str]) -> bool:
+    if not args:
+        return False
+    if args[0] == "!":
+        return not _eval_test(ctx, args[1:])
+    if len(args) == 1:
+        return args[0] != ""
+    if len(args) == 2:
+        op, operand = args
+        sys = ctx.sys
+        if op == "-n":
+            return operand != ""
+        if op == "-z":
+            return operand == ""
+        try:
+            if op == "-e":
+                return sys.exists(operand)
+            if op == "-f":
+                st = sys.stat(operand)
+                return st.ftype.name == "REG"
+            if op == "-d":
+                return sys.stat(operand).ftype.name == "DIR"
+            if op == "-x":
+                return sys.access(operand, execute=True)
+            if op == "-r":
+                return sys.access(operand, read=True)
+            if op == "-w":
+                return sys.access(operand, write=True)
+            if op == "-s":
+                return sys.stat(operand).st_size > 0
+        except KernelError:
+            return False
+        raise ValueError(f"unknown unary operator {op}")
+    if len(args) == 3:
+        a, op, b = args
+        if op == "=":
+            return a == b
+        if op == "!=":
+            return a != b
+        int_ops = {"-eq": "==", "-ne": "!=", "-gt": ">", "-lt": "<",
+                   "-ge": ">=", "-le": "<="}
+        if op in int_ops:
+            ia, ib = int(a), int(b)
+            return {
+                "-eq": ia == ib, "-ne": ia != ib, "-gt": ia > ib,
+                "-lt": ia < ib, "-ge": ia >= ib, "-le": ia <= ib,
+            }[op]
+        raise ValueError(f"unknown binary operator {op}")
+    raise ValueError("too many arguments")
+
+
+_BUILTINS = {
+    "cd": _builtin_cd,
+    "set": _builtin_set,
+    "export": _builtin_export,
+    "unset": _builtin_unset,
+    "true": _builtin_true,
+    "false": _builtin_false,
+    ":": _builtin_true,
+    "exit": _builtin_exit,
+    "umask": _builtin_umask,
+    "pwd": _builtin_pwd,
+    "command": _builtin_command,
+    "echo": _builtin_echo,
+    "test": _builtin_test,
+    "[": _builtin_test,
+}
+
+
+def run_shell(ctx: ExecContext, text: str) -> int:
+    """Run *text* as a shell script in *ctx* (the ``/bin/sh -c`` entry)."""
+    return Interpreter(ctx).run(text)

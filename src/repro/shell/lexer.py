@@ -1,0 +1,149 @@
+"""Tokenizer for the mini shell."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from .ast import Segment, Word
+
+__all__ = ["Token", "ShellSyntaxError", "tokenize"]
+
+
+class ShellSyntaxError(ReproError):
+    """Unparseable shell input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """kind is 'WORD', 'OP' (;, &&, ||, |, !, (, )), 'REDIR'
+    (>, >>, <, 2>, 2>>, 2>&1), or 'NEWLINE'."""
+
+    kind: str
+    value: str = ""
+    word: Word | None = None
+
+
+_OP_CHARS = set(";&|!()\n<>")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split shell input into tokens, preserving quoting structure."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    segments: list[Segment] = []
+    buf: list[str] = []
+    buf_quote = ""
+
+    def flush_buf() -> None:
+        nonlocal buf
+        if buf:
+            segments.append(Segment("".join(buf), buf_quote))
+            buf = []
+
+    def flush_word() -> None:
+        flush_buf()
+        nonlocal segments
+        if segments:
+            tokens.append(Token("WORD", word=Word(tuple(segments))))
+            segments = []
+
+    while i < n:
+        c = text[i]
+        if c == "#" and not buf and not segments:
+            # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c in " \t":
+            flush_word()
+            i += 1
+            continue
+        if c == "\n":
+            flush_word()
+            tokens.append(Token("NEWLINE", "\n"))
+            i += 1
+            continue
+        if c == "\\":
+            if i + 1 >= n:
+                raise ShellSyntaxError("trailing backslash")
+            nxt = text[i + 1]
+            if nxt == "\n":  # line continuation
+                i += 2
+                continue
+            # a backslash-escaped character behaves like a single-quoted one
+            flush_buf()
+            segments.append(Segment(nxt, "'"))
+            i += 2
+            continue
+        if c == "'":
+            flush_buf()
+            end = text.find("'", i + 1)
+            if end == -1:
+                raise ShellSyntaxError("unterminated single quote")
+            segments.append(Segment(text[i + 1:end], "'"))
+            i = end + 1
+            continue
+        if c == '"':
+            flush_buf()
+            j = i + 1
+            out = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n and text[j + 1] in '"\\$':
+                    out.append(text[j + 1])
+                    j += 2
+                else:
+                    out.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ShellSyntaxError("unterminated double quote")
+            segments.append(Segment("".join(out), '"'))
+            i = j + 1
+            continue
+        if c in _OP_CHARS:
+            # '2>' redirection needs the '2' attached to the current word
+            if c in "<>":
+                prefix = ""
+                if buf == ["2"] and not segments:
+                    buf.clear()
+                    prefix = "2"
+                elif not buf and segments == [Segment("2", "")]:
+                    segments.clear()
+                    prefix = "2"
+                flush_word()
+                if c == ">" and text[i:i + 3] == ">&1" and prefix == "2":
+                    tokens.append(Token("REDIR", "2>&1"))
+                    i += 3
+                    continue
+                if text[i:i + 2] == ">>":
+                    tokens.append(Token("REDIR", prefix + ">>"))
+                    i += 2
+                    continue
+                tokens.append(Token("REDIR", prefix + c))
+                i += 1
+                continue
+            flush_word()
+            if text[i:i + 2] in ("&&", "||"):
+                tokens.append(Token("OP", text[i:i + 2]))
+                i += 2
+                continue
+            if c == "&":
+                raise ShellSyntaxError("background jobs (&) not supported")
+            if c == "!":
+                # '!' is an operator only as a standalone word
+                if i + 1 < n and text[i + 1] not in " \t\n":
+                    buf.append(c)
+                    i += 1
+                    continue
+                tokens.append(Token("OP", "!"))
+                i += 1
+                continue
+            tokens.append(Token("OP", c))
+            i += 1
+            continue
+        buf.append(c)
+        i += 1
+
+    flush_word()
+    return tokens

@@ -1,0 +1,225 @@
+"""Recursive-descent parser for the mini shell."""
+
+from __future__ import annotations
+
+import re
+
+from .ast import (
+    AndOr,
+    Command,
+    CommandList,
+    IfClause,
+    Pipeline,
+    Redirect,
+    SimpleCommand,
+    Word,
+)
+from .lexer import ShellSyntaxError, Token, tokenize
+
+__all__ = ["parse", "ShellSyntaxError"]
+
+_ASSIGN_RE = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*)=(.*)$", re.S)
+
+_KEYWORDS = {"if", "then", "elif", "else", "fi"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ShellSyntaxError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def at_keyword(self, *names: str) -> bool:
+        tok = self.peek()
+        return (
+            tok is not None
+            and tok.kind == "WORD"
+            and tok.word is not None
+            and tok.word.raw() in names
+            and all(s.quote == "" for s in tok.word.segments)
+        )
+
+    def eat_keyword(self, name: str) -> None:
+        if not self.at_keyword(name):
+            got = self.peek()
+            raise ShellSyntaxError(
+                f"expected {name!r}, got "
+                f"{got.word.raw() if got and got.word else got}"
+            )
+        self.next()
+
+    def skip_separators(self) -> None:
+        while True:
+            tok = self.peek()
+            if tok is None:
+                return
+            if tok.kind == "NEWLINE" or (tok.kind == "OP" and tok.value == ";"):
+                self.next()
+                continue
+            return
+
+    # -- grammar --------------------------------------------------------------------
+
+    def parse_list(self, stop_keywords: frozenset[str] = frozenset()
+                   ) -> CommandList:
+        items: list[AndOr] = []
+        self.skip_separators()
+        while True:
+            tok = self.peek()
+            if tok is None:
+                break
+            if stop_keywords and self.at_keyword(*stop_keywords):
+                break
+            if tok.kind == "OP" and tok.value == ")":
+                break
+            items.append(self.parse_andor(stop_keywords))
+            tok = self.peek()
+            if tok is not None and (
+                tok.kind == "NEWLINE" or (tok.kind == "OP" and tok.value == ";")
+            ):
+                self.skip_separators()
+                continue
+            break
+        return CommandList(tuple(items))
+
+    def parse_andor(self, stop_keywords: frozenset[str]) -> AndOr:
+        items = [self.parse_pipeline(stop_keywords)]
+        ops: list[str] = []
+        while True:
+            tok = self.peek()
+            if tok is not None and tok.kind == "OP" and tok.value in ("&&", "||"):
+                ops.append(self.next().value)
+                # allow a newline after && / ||
+                while (t := self.peek()) is not None and t.kind == "NEWLINE":
+                    self.next()
+                items.append(self.parse_pipeline(stop_keywords))
+            else:
+                break
+        return AndOr(tuple(items), tuple(ops))
+
+    def parse_pipeline(self, stop_keywords: frozenset[str]) -> Pipeline:
+        negated = False
+        while self.peek() is not None and self.peek().kind == "OP" \
+                and self.peek().value == "!":
+            self.next()
+            negated = not negated
+        cmds = [self.parse_command(stop_keywords)]
+        while (tok := self.peek()) is not None and tok.kind == "OP" \
+                and tok.value == "|":
+            self.next()
+            cmds.append(self.parse_command(stop_keywords))
+        return Pipeline(tuple(cmds), negated)
+
+    def parse_command(self, stop_keywords: frozenset[str]) -> Command:
+        if self.at_keyword("if"):
+            return self.parse_if()
+        return self.parse_simple(stop_keywords)
+
+    def parse_if(self) -> IfClause:
+        self.eat_keyword("if")
+        conditions = [self.parse_list(frozenset({"then"}))]
+        self.eat_keyword("then")
+        bodies = [self.parse_list(frozenset({"elif", "else", "fi"}))]
+        else_body = None
+        while self.at_keyword("elif"):
+            self.next()
+            conditions.append(self.parse_list(frozenset({"then"})))
+            self.eat_keyword("then")
+            bodies.append(self.parse_list(frozenset({"elif", "else", "fi"})))
+        if self.at_keyword("else"):
+            self.next()
+            else_body = self.parse_list(frozenset({"fi"}))
+        self.eat_keyword("fi")
+        return IfClause(tuple(conditions), tuple(bodies), else_body)
+
+    def parse_simple(self, stop_keywords: frozenset[str]) -> SimpleCommand:
+        assignments: list[tuple[str, Word]] = []
+        words: list[Word] = []
+        redirects: list[Redirect] = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                break
+            if tok.kind == "NEWLINE":
+                break
+            if tok.kind == "OP":
+                if tok.value in (";", "&&", "||", "|", "!", ")"):
+                    break
+                raise ShellSyntaxError(f"unexpected operator {tok.value!r}")
+            if tok.kind == "REDIR":
+                op = self.next().value
+                if op == "2>&1":
+                    redirects.append(Redirect(op, None))
+                    continue
+                target = self.next()
+                if target.kind != "WORD":
+                    raise ShellSyntaxError(f"redirect {op} needs a target")
+                redirects.append(Redirect(op, target.word))
+                continue
+            # WORD
+            if stop_keywords and words == [] and assignments == [] and \
+                    self.at_keyword(*stop_keywords):
+                break
+            if words and self.at_keyword(*_KEYWORDS) and stop_keywords and \
+                    self.at_keyword(*stop_keywords):
+                break
+            self.next()
+            assert tok.word is not None
+            if not words:
+                m = _ASSIGN_RE.match(tok.word.raw())
+                if (
+                    m
+                    and tok.word.segments
+                    and tok.word.segments[0].quote == ""
+                    and "=" in tok.word.segments[0].text
+                ):
+                    name = m.group(1)
+                    # Value keeps original segments minus the name= prefix.
+                    value = _strip_assignment_prefix(tok.word, len(name) + 1)
+                    assignments.append((name, value))
+                    continue
+            words.append(tok.word)
+        if not words and not assignments and not redirects:
+            raise ShellSyntaxError("empty command")
+        return SimpleCommand(tuple(assignments), tuple(words), tuple(redirects))
+
+
+def _strip_assignment_prefix(word: Word, drop: int) -> Word:
+    """Remove the leading ``NAME=`` characters from a word's segments."""
+    segs = []
+    remaining = drop
+    for seg in word.segments:
+        if remaining >= len(seg.text):
+            remaining -= len(seg.text)
+            continue
+        if remaining:
+            segs.append(type(seg)(seg.text[remaining:], seg.quote))
+            remaining = 0
+        else:
+            segs.append(seg)
+    if not segs:
+        segs = [type(word.segments[0])("", "'")]
+    return Word(tuple(segs))
+
+
+def parse(text: str) -> CommandList:
+    """Parse shell *text* into a CommandList."""
+    parser = _Parser(tokenize(text))
+    result = parser.parse_list()
+    parser.skip_separators()
+    if parser.peek() is not None:
+        raise ShellSyntaxError(
+            f"trailing input at token {parser.peek()!r}"
+        )
+    return result

@@ -1,0 +1,42 @@
+"""Registry of simulated userland binary implementations.
+
+Inodes of executables carry an ``exe_impl`` string; the executor looks the
+implementation up here.  Packages install files pointing at these impls, so
+"which binaries exist in an image" is decided by the image's filesystem, not
+by this table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .context import ExecContext
+
+__all__ = ["binary", "get_binary", "has_binary", "BinaryImpl"]
+
+BinaryImpl = Callable[[ExecContext, list[str]], int]
+
+_REGISTRY: dict[str, BinaryImpl] = {}
+
+
+def binary(name: str) -> Callable[[BinaryImpl], BinaryImpl]:
+    """Register a binary implementation under *name*."""
+
+    def deco(fn: BinaryImpl) -> BinaryImpl:
+        if name in _REGISTRY:
+            raise ValueError(f"binary impl {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def get_binary(name: str) -> BinaryImpl:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"no binary implementation registered for {name!r}")
+
+
+def has_binary(name: str) -> bool:
+    return name in _REGISTRY

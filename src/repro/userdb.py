@@ -1,0 +1,196 @@
+"""/etc/passwd and /etc/group parsing.
+
+"The kernel is concerned only with IDs ... translation to username and group
+names is a user-space operation and may differ between host and container
+even for the same ID" (paper §2.1, footnote 4).  This module IS that
+user-space operation: it reads the passwd/group files of whatever filesystem
+tree it is pointed at, so the same kernel ID can render differently inside
+and outside a container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import KernelError, ReproError
+from .kernel import Syscalls
+
+__all__ = ["PasswdEntry", "GroupEntry", "UserDb", "UserDbError"]
+
+
+class UserDbError(ReproError):
+    """Malformed passwd/group data."""
+
+
+@dataclass(frozen=True)
+class PasswdEntry:
+    name: str
+    uid: int
+    gid: int
+    gecos: str = ""
+    home: str = "/"
+    shell: str = "/bin/sh"
+
+    def format(self) -> str:
+        return f"{self.name}:x:{self.uid}:{self.gid}:{self.gecos}:{self.home}:{self.shell}"
+
+
+@dataclass(frozen=True)
+class GroupEntry:
+    name: str
+    gid: int
+    members: tuple[str, ...] = ()
+
+    def format(self) -> str:
+        return f"{self.name}:x:{self.gid}:{','.join(self.members)}"
+
+
+class UserDb:
+    """A view of one tree's /etc/passwd + /etc/group."""
+
+    def __init__(self, passwd: list[PasswdEntry], groups: list[GroupEntry]):
+        self.passwd = passwd
+        self.groups = groups
+
+    # -- loading -------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, sys: Syscalls, root: str = "") -> "UserDb":
+        """Read from *root*/etc/{passwd,group}; missing files = empty db."""
+        prefix = root.rstrip("/")
+        passwd, groups = [], []
+        try:
+            passwd = cls.parse_passwd(
+                sys.read_file(f"{prefix}/etc/passwd").decode())
+        except KernelError:
+            pass
+        try:
+            groups = cls.parse_group(
+                sys.read_file(f"{prefix}/etc/group").decode())
+        except KernelError:
+            pass
+        return cls(passwd, groups)
+
+    def store(self, sys: Syscalls, root: str = "") -> None:
+        prefix = root.rstrip("/")
+        sys.write_file(f"{prefix}/etc/passwd",
+                       "".join(e.format() + "\n" for e in self.passwd).encode())
+        sys.write_file(f"{prefix}/etc/group",
+                       "".join(e.format() + "\n" for e in self.groups).encode())
+
+    @staticmethod
+    def parse_passwd(text: str) -> list[PasswdEntry]:
+        entries = []
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(":")
+            if len(parts) != 7:
+                raise UserDbError(f"passwd line {lineno}: need 7 fields")
+            try:
+                entries.append(PasswdEntry(
+                    parts[0], int(parts[2]), int(parts[3]), parts[4],
+                    parts[5], parts[6]))
+            except ValueError as exc:
+                raise UserDbError(f"passwd line {lineno}: {exc}") from exc
+        return entries
+
+    @staticmethod
+    def parse_group(text: str) -> list[GroupEntry]:
+        entries = []
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(":")
+            if len(parts) != 4:
+                raise UserDbError(f"group line {lineno}: need 4 fields")
+            try:
+                members = tuple(m for m in parts[3].split(",") if m)
+                entries.append(GroupEntry(parts[0], int(parts[2]), members))
+            except ValueError as exc:
+                raise UserDbError(f"group line {lineno}: {exc}") from exc
+        return entries
+
+    # -- queries --------------------------------------------------------------------
+
+    def user_by_name(self, name: str) -> Optional[PasswdEntry]:
+        for e in self.passwd:
+            if e.name == name:
+                return e
+        return None
+
+    def user_by_uid(self, uid: int) -> Optional[PasswdEntry]:
+        for e in self.passwd:
+            if e.uid == uid:
+                return e
+        return None
+
+    def group_by_name(self, name: str) -> Optional[GroupEntry]:
+        for g in self.groups:
+            if g.name == name:
+                return g
+        return None
+
+    def group_by_gid(self, gid: int) -> Optional[GroupEntry]:
+        for g in self.groups:
+            if g.gid == gid:
+                return g
+        return None
+
+    def username(self, uid: int, *, default: Optional[str] = None) -> str:
+        e = self.user_by_uid(uid)
+        if e is not None:
+            return e.name
+        return default if default is not None else str(uid)
+
+    def groupname(self, gid: int, *, default: Optional[str] = None) -> str:
+        g = self.group_by_gid(gid)
+        if g is not None:
+            return g.name
+        return default if default is not None else str(gid)
+
+    def resolve_owner(self, owner: str) -> int:
+        """Name-or-number to UID."""
+        if owner.isdigit():
+            return int(owner)
+        e = self.user_by_name(owner)
+        if e is None:
+            raise UserDbError(f"invalid user: {owner!r}")
+        return e.uid
+
+    def resolve_group(self, group: str) -> int:
+        if group.isdigit():
+            return int(group)
+        g = self.group_by_name(group)
+        if g is None:
+            raise UserDbError(f"invalid group: {group!r}")
+        return g.gid
+
+    # -- mutation (useradd/groupadd semantics) ------------------------------------------
+
+    def next_system_uid(self) -> int:
+        used = {e.uid for e in self.passwd}
+        for uid in range(999, 200, -1):  # system accounts count down from 999
+            if uid not in used:
+                return uid
+        raise UserDbError("no free system UIDs")
+
+    def next_system_gid(self) -> int:
+        used = {g.gid for g in self.groups}
+        for gid in range(999, 200, -1):
+            if gid not in used:
+                return gid
+        raise UserDbError("no free system GIDs")
+
+    def add_user(self, entry: PasswdEntry) -> None:
+        if self.user_by_name(entry.name) is not None:
+            raise UserDbError(f"user {entry.name!r} exists")
+        self.passwd.append(entry)
+
+    def add_group(self, entry: GroupEntry) -> None:
+        if self.group_by_name(entry.name) is not None:
+            raise UserDbError(f"group {entry.name!r} exists")
+        self.groups.append(entry)

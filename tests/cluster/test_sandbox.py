@@ -1,0 +1,59 @@
+"""§3.2 option 1: sandboxed build systems and their limitation."""
+
+import pytest
+
+from repro.cluster import EphemeralVmBuilder, make_machine
+from repro.containers import Podman
+
+LICENSED_DOCKERFILE = """\
+FROM centos:7
+RUN echo '[site]' > /etc/yum.repos.d/site.repo
+RUN echo 'name=Site licensed' >> /etc/yum.repos.d/site.repo
+RUN echo 'baseurl=repo://site/licensed-x86_64' >> /etc/yum.repos.d/site.repo
+RUN echo 'enabled=1' >> /etc/yum.repos.d/site.repo
+RUN yum install -y vendor-compiler
+"""
+
+PUBLIC_DOCKERFILE = "FROM centos:7\nRUN yum install -y openssh\n"
+
+
+class TestEphemeralVm:
+    def test_public_build_works(self, world):
+        builder = EphemeralVmBuilder(world)
+        build = builder.build(PUBLIC_DOCKERFILE, "pub")
+        assert build.success, build.result.text
+        assert build.layers  # image returned for pushing
+
+    def test_each_build_gets_fresh_vm(self, world):
+        builder = EphemeralVmBuilder(world)
+        b1 = builder.build(PUBLIC_DOCKERFILE, "a")
+        b2 = builder.build(PUBLIC_DOCKERFILE, "b")
+        assert b1.vm_hostname != b2.vm_hostname
+        assert builder.vms_provisioned == 2
+
+    def test_privileged_build_is_safe_in_sandbox(self, world):
+        """Type I inside the VM: fine, nothing shared (§2: 'in both build
+        workflows, privileged build is a reasonable choice')."""
+        builder = EphemeralVmBuilder(world)
+        build = builder.build(PUBLIC_DOCKERFILE, "pub")
+        assert build.success  # root-equivalent docker worked; VM discarded
+
+    def test_licensed_software_unreachable(self, world):
+        """§3.2: 'isolated build environments may not be able to access
+        needed resources, such as private code or licenses'."""
+        builder = EphemeralVmBuilder(world)
+        build = builder.build(LICENSED_DOCKERFILE, "lic")
+        assert not build.success
+        assert "site-internal" in build.result.text or \
+            "cannot reach" in build.result.text
+
+    def test_same_build_works_on_site_login_node(self, world):
+        """...while the HPC login node, on the site network, reaches the
+        license-gated repo — the argument for building on HPC resources."""
+        login = make_machine("site-login", network=world.network)
+        podman = Podman(login, login.login("alice"))
+        result = podman.build(LICENSED_DOCKERFILE, "lic")
+        assert result.success, result.text
+        tree = podman.buildah.image_tree("lic")
+        assert podman.buildah.driver.sys.exists(
+            f"{tree}/opt/vendor/bin/vcc")

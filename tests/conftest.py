@@ -1,0 +1,59 @@
+"""Shared fixtures for integration-level tests."""
+
+import pytest
+
+from repro.cluster import make_machine, make_world
+
+#: the paper's Figure 2 Dockerfile
+FIG2_DOCKERFILE = """\
+FROM centos:7
+RUN echo hello
+RUN yum install -y openssh
+"""
+
+#: the paper's Figure 3 Dockerfile
+FIG3_DOCKERFILE = """\
+FROM debian:buster
+RUN echo hello
+RUN apt-get update
+RUN apt-get install -y openssh-client
+"""
+
+#: the paper's Figure 8 Dockerfile (manual fakeroot, CentOS)
+FIG8_DOCKERFILE = """\
+FROM centos:7
+RUN yum install -y epel-release
+RUN yum install -y fakeroot
+RUN echo hello
+RUN fakeroot yum install -y openssh
+"""
+
+#: the paper's Figure 9 Dockerfile (manual workarounds, Debian)
+FIG9_DOCKERFILE = """\
+FROM debian:buster
+RUN echo 'APT::Sandbox::User "root";' > /etc/apt/apt.conf.d/no-sandbox
+RUN echo hello
+RUN apt-get update
+RUN apt-get install -y pseudo
+RUN fakeroot apt-get install -y openssh-client
+"""
+
+
+@pytest.fixture
+def world():
+    return make_world(arches=("x86_64",))
+
+
+@pytest.fixture
+def world_multiarch():
+    return make_world()
+
+
+@pytest.fixture
+def login(world):
+    return make_machine("login1", network=world.network)
+
+
+@pytest.fixture
+def alice(login):
+    return login.login("alice")

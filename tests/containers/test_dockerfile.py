@@ -1,0 +1,71 @@
+"""Dockerfile parser tests."""
+
+import pytest
+
+from repro.containers import Instruction, parse_dockerfile, split_env_args
+from repro.errors import BuildError
+
+
+class TestParse:
+    def test_figure2_dockerfile(self):
+        text = "FROM centos:7\nRUN echo hello\nRUN yum install -y openssh\n"
+        instrs = parse_dockerfile(text)
+        assert [i.kind for i in instrs] == ["FROM", "RUN", "RUN"]
+        assert instrs[2].shell_words() == \
+            ["/bin/sh", "-c", "yum install -y openssh"]
+
+    def test_comments_and_blanks(self):
+        instrs = parse_dockerfile(
+            "# header\n\nFROM centos:7\n  # indented comment\nRUN ls\n")
+        assert len(instrs) == 2
+
+    def test_continuations(self):
+        instrs = parse_dockerfile(
+            "FROM centos:7\nRUN yum install -y \\\n  gcc \\\n  make\n")
+        assert instrs[1].args == "yum install -y gcc make"
+        assert instrs[1].lineno == 2
+
+    def test_exec_form(self):
+        instrs = parse_dockerfile('FROM a\nRUN ["/usr/bin/tool", "--x"]\n')
+        assert instrs[1].exec_form == ("/usr/bin/tool", "--x")
+        assert instrs[1].shell_words() == ["/usr/bin/tool", "--x"]
+
+    def test_bad_exec_form(self):
+        with pytest.raises(BuildError):
+            parse_dockerfile('FROM a\nRUN [1, 2]\n')
+
+    def test_must_start_with_from(self):
+        with pytest.raises(BuildError):
+            parse_dockerfile("RUN echo hi\n")
+        with pytest.raises(BuildError):
+            parse_dockerfile("")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(BuildError):
+            parse_dockerfile("FROM a\nFOO bar\n")
+
+    def test_case_insensitive_kinds(self):
+        instrs = parse_dockerfile("from a\nrun echo x\n")
+        assert [i.kind for i in instrs] == ["FROM", "RUN"]
+
+    def test_all_kinds_accepted(self):
+        text = (
+            "FROM a\nENV K=V\nARG X=1\nWORKDIR /w\nLABEL maint=me\n"
+            "USER nobody\nEXPOSE 8080\nVOLUME /data\nCOPY a b\n"
+            "CMD [\"/bin/sh\"]\nENTRYPOINT [\"/init\"]\n"
+        )
+        instrs = parse_dockerfile(text)
+        assert len(instrs) == 11
+
+
+class TestSplitEnvArgs:
+    def test_equals_form(self):
+        assert split_env_args("A=1 B=two") == [("A", "1"), ("B", "two")]
+
+    def test_quoted_values(self):
+        assert split_env_args('MSG="hello world" X=1') == \
+            [("MSG", "hello world"), ("X", "1")]
+
+    def test_space_form(self):
+        assert split_env_args("PATH /usr/bin:/bin") == \
+            [("PATH", "/usr/bin:/bin")]

@@ -1,0 +1,121 @@
+"""Image references, manifests, and registry behaviour."""
+
+import pytest
+
+from repro.archive import TarArchive, TarMember
+from repro.containers import ImageConfig, ImageRef, Registry
+from repro.errors import RegistryError
+from repro.kernel import FileType
+
+
+def layer(name: str, data: bytes = b"payload") -> TarArchive:
+    return TarArchive([TarMember(name, FileType.REG, 0o644, 0, 0, data=data)])
+
+
+class TestImageRef:
+    @pytest.mark.parametrize(
+        "text,repo,tag,registry",
+        [
+            ("centos:7", "centos", "7", None),
+            ("centos", "centos", "latest", None),
+            ("debian:buster", "debian", "buster", None),
+            ("library/ubuntu:20.04", "library/ubuntu", "20.04", None),
+            ("gitlab.lanl.gov/app:v1", "app", "v1", "gitlab.lanl.gov"),
+            ("localhost/foo", "foo", "latest", "localhost"),
+        ],
+    )
+    def test_parse(self, text, repo, tag, registry):
+        ref = ImageRef.parse(text)
+        assert ref.repository == repo
+        assert ref.tag == tag
+        assert ref.registry == registry
+
+    def test_parse_invalid(self):
+        with pytest.raises(RegistryError):
+            ImageRef.parse("UPPER CASE!!")
+
+    def test_str_roundtrip(self):
+        assert str(ImageRef.parse("gitlab.x.gov/a/b:v2")) == \
+            "gitlab.x.gov/a/b:v2"
+
+    def test_flat_name(self):
+        assert "/" not in ImageRef.parse("a/b:c").flat_name
+        assert ":" not in ImageRef.parse("a/b:c").flat_name
+
+
+class TestRegistry:
+    def test_push_pull_roundtrip(self):
+        r = Registry("hub")
+        cfg = ImageConfig(arch="x86_64", env=("A=1",))
+        r.push("app:v1", cfg, [layer("f1"), layer("f2", b"other")])
+        config, layers = r.pull("app:v1")
+        assert config.env == ("A=1",)
+        assert [m.path for l in layers for m in l] == ["f1", "f2"]
+
+    def test_pull_unknown(self):
+        with pytest.raises(RegistryError):
+            Registry("hub").pull("nope:1")
+
+    def test_blob_dedup_on_push(self):
+        r = Registry("hub")
+        base = layer("base", b"x" * 100)
+        r.push("a:1", ImageConfig(), [base, layer("d1", b"1")])
+        before = r.stats.bytes_pushed
+        r.push("a:2", ImageConfig(), [base, layer("d2", b"2")])
+        # base layer not re-sent
+        assert r.stats.blobs_push_skipped == 1
+        assert r.stats.bytes_pushed - before < base.serialize().__len__()
+
+    def test_multiarch_variants(self):
+        r = Registry("hub")
+        r.push("centos:7", ImageConfig(arch="x86_64"), [layer("x")])
+        r.push("centos:7", ImageConfig(arch="aarch64"), [layer("a")])
+        cfg, _ = r.pull("centos:7", arch="aarch64")
+        assert cfg.arch == "aarch64"
+        with pytest.raises(RegistryError):
+            r.pull("centos:7")  # ambiguous without arch
+
+    def test_single_arch_served_for_any_platform(self):
+        """The laptop trap: an x86-only image pulls fine on aarch64."""
+        r = Registry("hub")
+        r.push("app:v1", ImageConfig(arch="x86_64"), [layer("x")])
+        cfg, _ = r.pull("app:v1", arch="aarch64")
+        assert cfg.arch == "x86_64"
+
+    def test_tags_and_repositories(self):
+        r = Registry("hub")
+        r.push("app:v1", ImageConfig(), [layer("x")])
+        r.push("app:v2", ImageConfig(), [layer("y")])
+        r.push("other:1", ImageConfig(), [layer("z")])
+        assert r.tags("app") == ["v1", "v2"]
+        assert r.repositories() == ["app", "other"]
+
+    def test_history_persists_old_manifests(self):
+        """§4.2: registry persistence for debugging old versions."""
+        r = Registry("hub")
+        r.push("app:v1", ImageConfig(labels=(("gen", "1"),)), [layer("x")])
+        r.push("app:v1", ImageConfig(labels=(("gen", "2"),)),
+               [layer("x", b"new")])
+        assert len(r.history("app")) == 2
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(RegistryError):
+            Registry("hub").push("a:1", ImageConfig(), [])
+
+    def test_pull_counts_bytes(self):
+        r = Registry("hub")
+        r.push("a:1", ImageConfig(), [layer("x", b"d" * 50)])
+        r.pull("a:1")
+        assert r.stats.blobs_pulled == 1
+        assert r.stats.bytes_pulled > 0
+
+
+class TestManifest:
+    def test_digests_are_stable(self):
+        cfg = ImageConfig(arch="x86_64")
+        assert cfg.digest() == ImageConfig(arch="x86_64").digest()
+        assert cfg.digest() != ImageConfig(arch="aarch64").digest()
+
+    def test_config_history(self):
+        cfg = ImageConfig().with_history("step 1").with_history("step 2")
+        assert cfg.history == ("step 1", "step 2")

@@ -1,0 +1,111 @@
+"""The Docker-CLI-compatibility claim of §4: 'alias docker=podman'."""
+
+import pytest
+
+from repro.containers import Podman, podman_cli
+from repro.kernel import Syscalls
+from tests.conftest import FIG2_DOCKERFILE
+
+
+@pytest.fixture
+def podman(login, alice):
+    Syscalls(alice).write_file("/home/alice/Dockerfile",
+                               FIG2_DOCKERFILE.encode())
+    return Podman(login, alice)
+
+
+class TestDockerCliCompat:
+    def test_build_docker_syntax(self, podman):
+        """`docker build -t foo -f Dockerfile .` works verbatim."""
+        status, out = podman_cli(podman, [
+            "build", "-t", "foo", "-f", "/home/alice/Dockerfile", "."])
+        assert status == 0, out
+        assert "COMMIT foo" in out
+
+    def test_long_options_too(self, podman):
+        status, _ = podman_cli(podman, [
+            "build", "--tag", "foo2", "--file", "/home/alice/Dockerfile",
+            "."])
+        assert status == 0
+
+    def test_run(self, podman):
+        podman_cli(podman, ["build", "-t", "foo", "-f",
+                            "/home/alice/Dockerfile", "."])
+        status, out = podman_cli(podman, ["run", "foo", "id", "-u"])
+        assert status == 0
+        assert out.strip() == "0"
+
+    def test_pull_and_images(self, podman):
+        status, out = podman_cli(podman, ["pull", "debian:buster"])
+        assert status == 0
+        status, out = podman_cli(podman, ["images"])
+        assert "debian buster" in out
+
+    def test_push(self, podman, world):
+        podman_cli(podman, ["build", "-t", "foo", "-f",
+                            "/home/alice/Dockerfile", "."])
+        status, out = podman_cli(
+            podman, ["push", "foo", "gitlab.example.gov/alice/foo:v1"])
+        assert status == 0
+        assert world.site_registry.has("alice/foo:v1")
+
+    def test_unshare_uid_map(self, podman):
+        """`podman unshare cat /proc/self/uid_map` — the Figure 4 check."""
+        status, out = podman_cli(podman,
+                                 ["unshare", "cat", "/proc/self/uid_map"])
+        assert status == 0
+        lines = [l.split() for l in out.splitlines()]
+        assert lines[0] == ["0", "1000", "1"]
+        assert lines[1][0] == "1" and lines[1][2] == "65536"
+
+    def test_error_statuses(self, podman):
+        assert podman_cli(podman, [])[0] == 125
+        assert podman_cli(podman, ["build"])[0] == 125
+        assert podman_cli(podman, ["run"])[0] == 125
+        assert podman_cli(podman, ["frobnicate"])[0] == 125
+        assert podman_cli(podman, ["build", "-t", "x", "-f",
+                                   "/missing", "."])[0] == 125
+
+
+class TestRpmQuery:
+    def test_rpm_q_and_qa(self, login, alice):
+        from repro.containers import enter_container
+        from repro.core import ChImage
+        from repro.shell import OutputSink, execute
+        ch = ChImage(login, alice)
+        tree = ch.pull("centos:7")
+        ctx = enter_container(alice, tree, "type3", dev_fs=login.dev_fs)
+
+        def sh(cmd):
+            sink = OutputSink()
+            st = execute(ctx.child(stdout=sink, stderr=sink),
+                         ["/bin/sh", "-c", cmd])
+            return st, sink.text()
+
+        st, out = sh("rpm -qa")
+        assert st == 0 and "yum-3.4.3" in out
+        st, out = sh("rpm -q bash")
+        assert st == 0 and out.startswith("bash-")
+        st, out = sh("rpm -q no-such")
+        assert st == 1 and "not installed" in out
+
+
+class TestChImageCliForceMode:
+    def test_force_seccomp_flag(self, login, alice):
+        from repro.core import ChImage, ch_image_cli
+        Syscalls(alice).write_file("/home/alice/d.dockerfile",
+                                   FIG2_DOCKERFILE.encode())
+        ch = ChImage(login, alice)
+        status, out = ch_image_cli(ch, [
+            "build", "--force=seccomp", "-t", "foo", "-f",
+            "/home/alice/d.dockerfile", "."])
+        assert status == 0, out
+        assert "will use --force: seccomp" in out
+        assert ch.force_mode == "fakeroot"  # restored after the call
+
+    def test_bad_force_mode(self, login, alice):
+        from repro.core import ChImage, ch_image_cli
+        ch = ChImage(login, alice)
+        status, out = ch_image_cli(ch, [
+            "build", "--force=ebpf", "-t", "x", "-f", "/nope", "."])
+        assert status == 1 and "unknown --force mode" in out

@@ -1,0 +1,151 @@
+"""Storage driver tests: functional equivalence, cost asymmetry, and the
+shared-filesystem failures of §6.1."""
+
+import pytest
+
+from repro.archive import TarArchive, TarMember
+from repro.containers import DriverError, OverlayDriver, VfsDriver, make_driver
+from repro.kernel import FileType, Kernel, Syscalls, make_ext4, make_lustre, make_nfs
+
+
+def simple_layer():
+    return TarArchive([
+        TarMember("etc", FileType.DIR, 0o755, 0, 0),
+        TarMember("etc/hosts", FileType.REG, 0o644, 0, 0, data=b"hosts"),
+        TarMember("big.bin", FileType.REG, 0o644, 0, 0, data=b"x" * 1000),
+    ])
+
+
+@pytest.fixture
+def host():
+    k = Kernel(make_ext4())
+    sys0 = Syscalls(k.init_process)
+    sys0.mkdir_p("/home/alice")
+    sys0.chown("/home/alice", 1000, 1000)
+    return k
+
+
+def user_sys(host):
+    proc = host.login(1000, 1000, user="alice", home="/home/alice")
+    sys = Syscalls(proc)
+    sys.setup_single_id_userns()
+    return sys
+
+
+class TestVfs:
+    def test_unpack_and_build(self, host):
+        d = make_driver("vfs", user_sys(host), "/home/alice/storage")
+        d.unpack_image("base", [simple_layer()], preserve_owner=True)
+        tree = d.begin_build("base", "work")
+        assert d.sys.read_file(f"{tree}/etc/hosts") == b"hosts"
+
+    def test_commit_charges_full_tree(self, host):
+        d = make_driver("vfs", user_sys(host), "/home/alice/storage")
+        d.unpack_image("base", [simple_layer()], preserve_owner=True)
+        tree = d.begin_build("base", "work")
+        d.sys.write_file(f"{tree}/small.txt", b"tiny")
+        diff = d.commit(tree)
+        assert {m.path for m in diff} == {"small.txt"}  # diff manifest...
+        assert d.stats.storage_bytes >= 1000  # ...but full-copy cost
+
+    def test_works_on_nfs(self, host):
+        """vfs needs no xattrs: it is the fallback for shared filesystems."""
+        sys0 = Syscalls(host.init_process)
+        sys0.mkdir_p("/nfs")
+        host.init_process.mnt_ns.add_mount("/nfs", make_nfs())
+        sys0.chown("/nfs", 1000, 1000)
+        make_driver("vfs", user_sys(host), "/nfs/storage")
+
+
+class TestOverlay:
+    def test_commit_charges_only_diff(self, host):
+        d = make_driver("overlay", user_sys(host), "/home/alice/storage")
+        d.unpack_image("base", [simple_layer()], preserve_owner=True)
+        tree = d.begin_build("base", "work")
+        d.sys.write_file(f"{tree}/small.txt", b"tiny")
+        diff = d.commit(tree)
+        assert {m.path for m in diff} == {"small.txt"}
+        assert d.stats.storage_bytes == 4  # just "tiny"
+
+    def test_whiteouts_for_deletions(self, host):
+        d = make_driver("overlay", user_sys(host), "/home/alice/storage")
+        d.unpack_image("base", [simple_layer()], preserve_owner=True)
+        tree = d.begin_build("base", "work")
+        d.sys.unlink(f"{tree}/etc/hosts")
+        diff = d.commit(tree)
+        wh = [m for m in diff if m.path == "etc/hosts"]
+        assert wh and wh[0].ftype is FileType.CHR  # whiteout marker
+
+    def test_refuses_default_nfs(self, host):
+        """§6.1: fuse-overlayfs's xattr bookkeeping clashes with
+        default-configured shared filesystems."""
+        sys0 = Syscalls(host.init_process)
+        sys0.mkdir_p("/nfs")
+        host.init_process.mnt_ns.add_mount("/nfs", make_nfs())
+        sys0.chown("/nfs", 1000, 1000)
+        with pytest.raises(DriverError) as exc:
+            make_driver("overlay", user_sys(host), "/nfs/storage")
+        assert "user xattrs" in str(exc.value)
+
+    def test_refuses_default_lustre(self, host):
+        sys0 = Syscalls(host.init_process)
+        sys0.mkdir_p("/scratch")
+        host.init_process.mnt_ns.add_mount("/scratch", make_lustre())
+        sys0.chown("/scratch", 1000, 1000)
+        with pytest.raises(DriverError):
+            make_driver("overlay", user_sys(host), "/scratch/storage")
+
+    def test_accepts_xattr_enabled_nfs(self, host):
+        """§6.2.1: NFSv4.2 + Linux 5.9 xattr support makes it workable."""
+        sys0 = Syscalls(host.init_process)
+        sys0.mkdir_p("/nfs")
+        host.init_process.mnt_ns.add_mount("/nfs",
+                                           make_nfs(xattr_support=True))
+        sys0.chown("/nfs", 1000, 1000)
+        make_driver("overlay", user_sys(host), "/nfs/storage")
+
+    def test_fuse_superblock_owned_by_namespace(self, host):
+        d = make_driver("overlay", user_sys(host), "/home/alice/storage")
+        fs = d.backing_fs()
+        assert fs.fstype == "overlay"
+        assert fs.owning_userns is d.sys.cred.userns
+
+
+class TestCommon:
+    def test_unknown_driver(self, host):
+        with pytest.raises(DriverError):
+            make_driver("zfs", user_sys(host), "/home/alice/s")
+
+    def test_duplicate_image_rejected(self, host):
+        d = make_driver("vfs", user_sys(host), "/home/alice/storage")
+        d.unpack_image("base", [simple_layer()], preserve_owner=True)
+        with pytest.raises(DriverError):
+            d.unpack_image("base", [simple_layer()], preserve_owner=True)
+
+    def test_delete(self, host):
+        d = make_driver("vfs", user_sys(host), "/home/alice/storage")
+        d.unpack_image("base", [simple_layer()], preserve_owner=True)
+        assert d.exists("base")
+        d.delete("base")
+        assert not d.exists("base")
+
+    def test_export_full_flatten(self, host):
+        d = make_driver("vfs", user_sys(host), "/home/alice/storage")
+        d.unpack_image("base", [simple_layer()], preserve_owner=True)
+        exported = d.export_full(d.image_path("base"), flatten=True)
+        assert all((m.uid, m.gid) == (0, 0) for m in exported)
+
+    def test_vfs_copies_more_than_overlay(self, host):
+        """The §4.1 claim, as cost accounting."""
+        layers = [simple_layer()]
+        v = make_driver("vfs", user_sys(host), "/home/alice/sv")
+        o = make_driver("overlay", user_sys(host), "/home/alice/so")
+        for d in (v, o):
+            d.unpack_image("base", layers, preserve_owner=True)
+            tree = d.begin_build("base", "w")
+            d.sys.write_file(f"{tree}/new", b"1")
+            d.commit(tree)
+            d.sys.write_file(f"{tree}/new2", b"2")
+            d.commit(tree)
+        assert v.stats.bytes_copied > 3 * o.stats.bytes_copied
+        assert v.stats.storage_bytes > 100 * o.stats.storage_bytes

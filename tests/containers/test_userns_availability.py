@@ -1,0 +1,63 @@
+"""§3.1's history lesson: "user namespaces were not available until Linux
+3.8 ... Without user namespaces, only Type I containers are possible."
+"""
+
+import pytest
+
+from repro.cluster import make_machine
+from repro.containers import ContainerError, DockerDaemon, PodmanError, Podman
+from repro.core import ChImage
+from repro.errors import Errno, KernelError
+from repro.kernel import Syscalls
+from tests.conftest import FIG2_DOCKERFILE
+
+
+@pytest.fixture
+def old_rhel(world):
+    """A RHEL-7.5-era node: kernel too old / userns disabled."""
+    return make_machine("rhel75", network=world.network,
+                        kernel_version=(3, 10), userns_enabled=False)
+
+
+class TestWithoutUserNamespaces:
+    def test_unshare_fails(self, old_rhel):
+        alice = old_rhel.login("alice")
+        with pytest.raises(KernelError) as exc:
+            Syscalls(alice.fork()).unshare_user()
+        assert exc.value.errno == Errno.EPERM
+
+    def test_chimage_build_fails_clearly(self, old_rhel):
+        ch = ChImage(old_rhel, old_rhel.login("alice"))
+        r = ch.build(tag="foo", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert not r.success
+        assert "user namespace" in r.text
+
+    def test_podman_rootless_fails(self, old_rhel):
+        with pytest.raises((PodmanError, ContainerError, KernelError)):
+            Podman(old_rhel, old_rhel.login("alice"))
+
+    def test_docker_type1_still_works(self, old_rhel):
+        """Type I needs no user namespaces — which is why Docker (2013,
+        Linux 2.6.24) predates them and became the standard."""
+        docker = DockerDaemon(old_rhel, docker_group={1000})
+        r = docker.build(old_rhel.login("alice"), FIG2_DOCKERFILE, "foo")
+        assert r.success, r.text
+
+
+class TestSysctlDisabled:
+    def test_admin_can_disable_userns(self, world):
+        m = make_machine("locked", network=world.network)
+        m.kernel.sysctl["user.max_user_namespaces"] = 0
+        ch = ChImage(m, m.login("alice"))
+        r = ch.build(tag="foo", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert not r.success
+
+    def test_namespace_quota_exhaustion(self, world):
+        m = make_machine("tight", network=world.network)
+        m.kernel.sysctl["user.max_user_namespaces"] = 2
+        alice = m.login("alice")
+        Syscalls(alice.fork()).unshare_user()
+        Syscalls(alice.fork()).unshare_user()
+        with pytest.raises(KernelError) as exc:
+            Syscalls(alice.fork()).unshare_user()
+        assert exc.value.errno == Errno.ENOSPC

@@ -1,0 +1,152 @@
+"""Tests for the §6.2 future-work features implemented as extensions:
+ch-image build cache, §6.2.4 kernel auto-maps, §6.2.5 registry policy."""
+
+import pytest
+
+from repro.containers import Podman, Registry
+from repro.core import ChImage, push_image
+from repro.errors import KernelError, RegistryError
+from repro.kernel import IdMapEntry, Syscalls
+from tests.conftest import FIG2_DOCKERFILE
+
+
+class TestChImageBuildCache:
+    """§6.2.2: 'Charliecloud-specific improvements like ... build caching'."""
+
+    def test_cache_hit_skips_execution(self, login, alice):
+        ch = ChImage(login, alice, cache=True)
+        r1 = ch.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r1.success, r1.text
+        r2 = ch.build(tag="b", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r2.success
+        assert r2.text.count("RUN: using build cache") == 2
+        assert "Installing: openssh" not in r2.text  # yum never re-ran
+
+    def test_cached_result_is_correct(self, login, alice):
+        ch = ChImage(login, alice, cache=True)
+        ch.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        ch.build(tag="b", dockerfile=FIG2_DOCKERFILE, force=True)
+        path = ch.storage.path_of("b")
+        assert ch.sys.exists(f"{path}/usr/bin/ssh")
+
+    def test_prefix_change_invalidates(self, login, alice):
+        ch = ChImage(login, alice, cache=True)
+        ch.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        changed = FIG2_DOCKERFILE.replace("echo hello", "echo changed")
+        r = ch.build(tag="c", dockerfile=changed, force=True)
+        assert r.success
+        assert "using build cache" not in r.text.split("yum install")[0] or \
+            r.text.count("RUN: using build cache") < 2
+
+    def test_force_flag_partitions_cache(self, login, alice):
+        ch = ChImage(login, alice, cache=True)
+        ch.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        r = ch.build(tag="d", dockerfile=FIG2_DOCKERFILE, force=False)
+        assert not r.success  # no cache hit from the forced build
+
+    def test_default_is_no_cache(self, login, alice):
+        ch = ChImage(login, alice)
+        ch.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        r = ch.build(tag="b", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert "using build cache" not in r.text
+
+
+class TestAutoSubUserns:
+    """§6.2.4: kernel-provided guaranteed-unique ID maps, no helpers."""
+
+    def test_disabled_by_default(self, login, alice):
+        sys = Syscalls(alice.fork())
+        sys.unshare_user()
+        start, count = login.kernel.autosub_range(1000)
+        with pytest.raises(KernelError):
+            sys.write_uid_map([IdMapEntry(0, 1000, 1),
+                               IdMapEntry(1, start, count)])
+
+    def test_enabled_grants_full_map(self, login, alice):
+        login.kernel.sysctl["user.autosub_userns"] = 1
+        sys = Syscalls(alice.fork())
+        ns = sys.setup_auto_userns()
+        assert sys.geteuid() == 0
+        start, _ = login.kernel.autosub_range(1000)
+        assert ns.uid_to_host(1) == start
+        assert ns.uid_to_host(65535) == start + 65534
+
+    def test_ranges_unique_per_user(self, login):
+        login.kernel.sysctl["user.autosub_userns"] = 1
+        a = login.kernel.autosub_range(1000)
+        b = login.kernel.autosub_range(1001)
+        assert a[0] + a[1] <= b[0]  # disjoint by construction
+
+    def test_wrong_range_still_rejected(self, login, alice):
+        """Only the caller's own kernel-derived range is granted."""
+        login.kernel.sysctl["user.autosub_userns"] = 1
+        sys = Syscalls(alice.fork())
+        sys.unshare_user()
+        other_start, count = login.kernel.autosub_range(1001)  # bob's!
+        with pytest.raises(KernelError):
+            sys.write_uid_map([IdMapEntry(0, 1000, 1),
+                               IdMapEntry(1, other_start, count)])
+
+    def test_gid_map_requires_setgroups_deny(self, login, alice):
+        """The §2.1.4 trap stays closed even with kernel grants."""
+        login.kernel.sysctl["user.autosub_userns"] = 1
+        sys = Syscalls(alice.fork())
+        sys.unshare_user()
+        start, count = login.kernel.autosub_range(1000)
+        sys.write_uid_map([IdMapEntry(0, 1000, 1),
+                           IdMapEntry(1, start, count)])
+        with pytest.raises(KernelError):
+            sys.write_gid_map([IdMapEntry(0, 1000, 1),
+                               IdMapEntry(1, start, count)])
+        sys.deny_setgroups()
+        sys.write_gid_map([IdMapEntry(0, 1000, 1),
+                           IdMapEntry(1, start, count)])
+
+    def test_chimage_auto_map_builds_without_fakeroot(self, login, alice):
+        """The payoff: with future-kernel maps, the Figure 2 Dockerfile
+        builds unprivileged with NO fakeroot and NO --force — 'eliminating
+        the need for Type II privileged code or Type III wrappers'."""
+        login.kernel.sysctl["user.autosub_userns"] = 1
+        ch = ChImage(login, alice, auto_map=True)
+        r = ch.build(tag="foo", dockerfile=FIG2_DOCKERFILE, force=False)
+        assert r.success, r.text
+        assert "fakeroot" not in r.text
+        # correct in-image ownership, stored at kernel-granted host IDs
+        path = ch.storage.path_of("foo")
+        st = ch.sys.stat(f"{path}/usr/libexec/openssh/ssh-keysign")
+        start, _ = login.kernel.autosub_range(1000)
+        assert st.kgid >= start
+
+    def test_auto_map_without_sysctl_fails_gracefully(self, login, alice):
+        ch = ChImage(login, alice, auto_map=True)
+        r = ch.build(tag="foo", dockerfile=FIG2_DOCKERFILE)
+        assert not r.success
+
+
+class TestRegistryOwnershipPolicy:
+    """§6.2.5: explicit marking of ownership-flattened images."""
+
+    def test_flattened_push_accepted(self, login, alice, world):
+        world.site_registry.set_repo_policy("alice/safe",
+                                            require_flattened=True)
+        ch = ChImage(login, alice)
+        assert ch.build(tag="foo", dockerfile=FIG2_DOCKERFILE,
+                        force=True).success
+        push_image(ch.storage, "foo", "gitlab.example.gov/alice/safe:v1")
+        assert world.site_registry.has("alice/safe:v1")
+
+    def test_unflattened_push_rejected(self, login, alice, world):
+        world.site_registry.set_repo_policy("alice/safe",
+                                            require_flattened=True)
+        podman = Podman(login, alice)
+        assert podman.build(FIG2_DOCKERFILE, "foo").success
+        with pytest.raises(RegistryError) as exc:
+            podman.push("foo", "gitlab.example.gov/alice/safe:v1")
+        assert "ownership-flattened" in str(exc.value)
+
+    def test_policy_scoped_per_repo(self, login, alice, world):
+        world.site_registry.set_repo_policy("alice/safe",
+                                            require_flattened=True)
+        podman = Podman(login, alice)
+        assert podman.build(FIG2_DOCKERFILE, "foo").success
+        podman.push("foo", "gitlab.example.gov/alice/other:v1")  # fine

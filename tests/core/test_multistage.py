@@ -1,0 +1,73 @@
+"""Multi-stage Dockerfile builds in ch-image (FROM ... AS + COPY --from)."""
+
+import pytest
+
+from repro.core import ChImage
+
+MULTISTAGE = """\
+FROM centos:7 AS builder
+RUN yum install -y gcc
+RUN echo compiled-artifact > /opt/app.bin
+
+FROM centos:7
+COPY --from=builder /opt/app.bin /usr/local/bin/app.bin
+RUN cat /usr/local/bin/app.bin
+"""
+
+
+@pytest.fixture
+def ch(login, alice):
+    return ChImage(login, alice, force_mode="seccomp")
+
+
+class TestMultiStage:
+    def test_builds(self, ch):
+        r = ch.build(tag="app", dockerfile=MULTISTAGE, force=True)
+        assert r.success, r.text
+
+    def test_artifact_copied_from_builder_stage(self, ch):
+        r = ch.build(tag="app", dockerfile=MULTISTAGE, force=True)
+        assert r.success
+        path = ch.storage.path_of("app")
+        assert ch.sys.read_file(f"{path}/usr/local/bin/app.bin") == \
+            b"compiled-artifact\n"
+        assert "compiled-artifact" in r.text  # final RUN saw it
+
+    def test_builder_tools_not_in_final_image(self, ch):
+        """The point of multi-stage: gcc stays in the builder stage."""
+        r = ch.build(tag="app", dockerfile=MULTISTAGE, force=True)
+        assert r.success
+        path = ch.storage.path_of("app")
+        assert not ch.sys.exists(f"{path}/usr/bin/gcc")
+        builder_path = ch.storage.path_of("app%stage0")
+        assert ch.sys.exists(f"{builder_path}/usr/bin/gcc")
+
+    def test_copy_from_index(self, ch):
+        df = MULTISTAGE.replace("--from=builder", "--from=0")
+        r = ch.build(tag="app", dockerfile=df, force=True)
+        assert r.success, r.text
+
+    def test_copy_from_unknown_stage(self, ch):
+        df = MULTISTAGE.replace("--from=builder", "--from=wrong")
+        r = ch.build(tag="app", dockerfile=df, force=True)
+        assert not r.success
+        assert "no such stage" in r.text
+
+    def test_from_stage_by_name(self, ch):
+        df = ("FROM centos:7 AS base\nRUN echo marker > /marker\n"
+              "FROM base\nRUN cat /marker\n")
+        r = ch.build(tag="chain", dockerfile=df, force=True)
+        assert r.success, r.text
+        assert "marker" in r.text
+
+    def test_instruction_numbering_continues(self, ch):
+        r = ch.build(tag="app", dockerfile=MULTISTAGE, force=True)
+        assert "  4 FROM centos:7" in r.text
+        assert "grown in 6 instructions: app" in r.text
+
+    def test_single_stage_unaffected(self, login, alice):
+        ch_plain = ChImage(login, alice)
+        r = ch_plain.build(tag="one",
+                           dockerfile="FROM centos:7\nRUN echo hi\n")
+        assert r.success
+        assert "grown in 2 instructions: one" in r.text

@@ -1,0 +1,114 @@
+"""ch-image --force=seccomp: the §6.2.2(3) 'move fakeroot into the
+container implementation' recommendation, as real Charliecloud later
+shipped it."""
+
+import pytest
+
+from repro.core import ChImage, SeccompSyscalls, push_image
+from repro.kernel import FileType, Syscalls
+from tests.conftest import FIG2_DOCKERFILE, FIG3_DOCKERFILE
+
+
+@pytest.fixture
+def ch(login, alice):
+    return ChImage(login, alice, force_mode="seccomp")
+
+
+class TestSeccompBuilds:
+    def test_centos_builds(self, ch):
+        r = ch.build(tag="c", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r.success, r.text
+        assert "will use --force: seccomp" in r.text
+        assert r.modified_runs == 2  # every RUN is covered
+
+    def test_debian_builds_without_sandbox_config(self, ch):
+        """Unlike fakeroot(1), the runtime filter fakes set*id too, so the
+        APT sandbox drop 'succeeds' — no apt.conf change needed at all."""
+        r = ch.build(tag="d", dockerfile=FIG3_DOCKERFILE, force=True)
+        assert r.success, r.text
+        path = ch.storage.path_of("d")
+        assert not ch.sys.exists(f"{path}/etc/apt/apt.conf.d/no-sandbox")
+
+    def test_no_image_modification(self, ch):
+        """The §6.1 complication removed: fakeroot is NOT installed into
+        the image; no EPEL, no pseudo."""
+        r = ch.build(tag="c", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r.success
+        path = ch.storage.path_of("c")
+        assert not ch.sys.exists(f"{path}/usr/bin/fakeroot")
+        assert not ch.sys.exists(f"{path}/etc/yum.repos.d/epel.repo")
+
+    def test_without_force_still_fails(self, ch):
+        r = ch.build(tag="c", dockerfile=FIG2_DOCKERFILE, force=False)
+        assert not r.success
+
+    def test_covers_file_capabilities(self, ch):
+        """The filter intercepts xattrs, so iputils installs (the A6 gap of
+        classic fakeroot closed by the runtime approach)."""
+        df = "FROM centos:7\nRUN yum install -y iputils\n"
+        r = ch.build(tag="ip", dockerfile=df, force=True)
+        assert r.success, r.text
+
+    def test_covers_static_binaries(self, ch):
+        """Process-level interception wraps static helpers too (the other
+        LD_PRELOAD blind spot)."""
+        df = "FROM centos:7\nRUN yum install -y sash\n"
+        r = ch.build(tag="sash", dockerfile=df, force=True)
+        assert r.success, r.text
+
+    def test_invalid_mode_rejected(self, login, alice):
+        with pytest.raises(ValueError):
+            ChImage(login, alice, force_mode="ebpf")
+
+
+class TestHostSideLieDatabase:
+    def test_lies_persist_across_runs(self, ch):
+        """The DB lives in the builder (host side), so later RUNs see the
+        ownership earlier RUNs faked — pseudo-style persistence for free."""
+        df = ("FROM centos:7\n"
+              "RUN yum install -y openssh\n"
+              "RUN ls -lh /usr/libexec/openssh/ssh-keysign\n")
+        r = ch.build(tag="c", dockerfile=df, force=True)
+        assert r.success, r.text
+        assert "root ssh_keys" in r.text  # the faked group, seen later
+
+    def test_ownership_preserving_push_from_seccomp_db(self, ch, world):
+        """§6.2.2(2)+(3) combined: the runtime's database feeds the push."""
+        r = ch.build(tag="c", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r.success
+        push_image(ch.storage, "c", "gitlab.example.gov/alice/keep:v1",
+                   fakeroot_db=ch.seccomp_db)
+        _, layers = world.site_registry.pull("alice/keep:v1")
+        member = layers[0].member("usr/libexec/openssh/ssh-keysign")
+        assert member.gid not in (0, 1000)  # the packaged group id, kept
+
+
+class TestSeccompSyscalls:
+    def test_setid_family_faked(self, login, alice):
+        sys = SeccompSyscalls(Syscalls(alice))
+        sys.setgroups([65534])  # would be EPERM raw
+        sys.seteuid(100)  # would be EINVAL/EPERM raw
+        sys.setresgid(100, 100, 100)
+        assert alice.cred.euid == 1000  # nothing actually changed
+
+    def test_inherited_across_fork(self, login, alice):
+        parent = SeccompSyscalls(Syscalls(alice))
+        child_proc = alice.fork()
+        child = parent.clone_for(child_proc)
+        assert isinstance(child, SeccompSyscalls)
+        assert child.db is parent.db  # shared lie database
+
+    def test_wraps_static_binaries(self):
+        from repro.core import SECCOMP_ENGINE
+        assert SECCOMP_ENGINE.wraps_static_binaries
+
+    def test_mknod_and_chown_lies(self, login, alice):
+        sys = SeccompSyscalls(Syscalls(alice))
+        sys.write_file("/home/alice/f", b"")
+        sys.chown("/home/alice/f", 12, 13)
+        sys.mknod("/home/alice/dev", FileType.BLK, rdev=(8, 0))
+        assert sys.stat("/home/alice/f").st_uid == 12
+        assert sys.stat("/home/alice/dev").ftype is FileType.BLK
+        raw = Syscalls(alice)
+        assert raw.stat("/home/alice/f").kuid == 1000
+        assert raw.stat("/home/alice/dev").ftype is FileType.REG

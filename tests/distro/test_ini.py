@@ -1,0 +1,52 @@
+"""INI parser unit tests (yum config files)."""
+
+from repro.distro.ini import format_ini, parse_ini
+
+SAMPLE = """\
+# CentOS-Base.repo
+[main]
+cachedir=/var/cache/yum
+
+[base]
+name=CentOS-7 - Base
+baseurl=repo://centos7/base-x86_64
+enabled=1
+
+[epel]
+name = Extra Packages
+enabled = 0
+"""
+
+
+class TestParseIni:
+    def test_sections(self):
+        sections = parse_ini(SAMPLE)
+        assert set(sections) == {"main", "base", "epel"}
+
+    def test_values(self):
+        sections = parse_ini(SAMPLE)
+        assert sections["base"]["enabled"] == "1"
+        assert sections["base"]["baseurl"] == "repo://centos7/base-x86_64"
+
+    def test_whitespace_around_equals(self):
+        sections = parse_ini(SAMPLE)
+        assert sections["epel"]["name"] == "Extra Packages"
+        assert sections["epel"]["enabled"] == "0"
+
+    def test_comments_ignored(self):
+        assert "# CentOS-Base.repo" not in parse_ini(SAMPLE)
+
+    def test_keys_outside_section_ignored(self):
+        assert parse_ini("stray=1\n[a]\nk=v\n") == {"a": {"k": "v"}}
+
+    def test_empty(self):
+        assert parse_ini("") == {}
+
+    def test_roundtrip(self):
+        sections = parse_ini(SAMPLE)
+        again = parse_ini(format_ini(sections))
+        assert again == sections
+
+    def test_value_with_equals(self):
+        sections = parse_ini("[s]\nopt=a=b=c\n")
+        assert sections["s"]["opt"] == "a=b=c"

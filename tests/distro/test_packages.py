@@ -1,0 +1,135 @@
+"""Unit tests for the package model, dependency resolver, and repositories."""
+
+import pytest
+
+from repro.distro import (
+    Package,
+    PackageDb,
+    PackageFile,
+    PackageUniverse,
+    Repository,
+    make_universe,
+    resolve_dependencies,
+)
+from repro.errors import PackageError
+from repro.kernel import Kernel, Syscalls, make_ext4
+
+
+def pkg(name, *requires):
+    return Package(name=name, version="1.0", requires=tuple(requires))
+
+
+class TestDependencyResolution:
+    def test_simple_order(self):
+        available = {p.name: p for p in
+                     [pkg("a"), pkg("b", "a"), pkg("c", "b")]}
+        order = resolve_dependencies(["c"], available, {})
+        assert [p.name for p in order] == ["a", "b", "c"]
+
+    def test_installed_skipped(self):
+        available = {p.name: p for p in [pkg("a"), pkg("b", "a")]}
+        order = resolve_dependencies(["b"], available, {"a": "1.0"})
+        assert [p.name for p in order] == ["b"]
+
+    def test_diamond(self):
+        available = {p.name: p for p in
+                     [pkg("base"), pkg("l", "base"), pkg("r", "base"),
+                      pkg("top", "l", "r")]}
+        order = resolve_dependencies(["top"], available, {})
+        names = [p.name for p in order]
+        assert names.index("base") < names.index("l")
+        assert names.index("base") < names.index("r")
+        assert names[-1] == "top"
+
+    def test_unknown_package(self):
+        with pytest.raises(PackageError):
+            resolve_dependencies(["nope"], {}, {})
+
+    def test_cycle_detected(self):
+        available = {p.name: p for p in [pkg("a", "b"), pkg("b", "a")]}
+        with pytest.raises(PackageError) as exc:
+            resolve_dependencies(["a"], available, {})
+        assert "cycle" in str(exc.value)
+
+
+class TestPackageDb:
+    @pytest.fixture
+    def db(self):
+        k = Kernel(make_ext4())
+        return PackageDb(Syscalls(k.init_process), "/var/lib/rpm/packages")
+
+    def test_empty(self, db):
+        assert db.installed() == {}
+        assert not db.is_installed("x")
+
+    def test_add_remove(self, db):
+        db.add(pkg("openssh"))
+        assert db.is_installed("openssh")
+        assert db.installed()["openssh"] == "1.0"
+        db.remove("openssh")
+        assert not db.is_installed("openssh")
+
+    def test_persistence_in_file(self, db):
+        db.add(pkg("zlib"))
+        raw = db.sys.read_file("/var/lib/rpm/packages").decode()
+        assert "zlib|1.0" in raw
+
+
+class TestRepository:
+    def test_fetch_logged(self):
+        r = Repository("test/repo", "Test").add(pkg("a"))
+        r.fetch("a")
+        r.fetch("a")
+        assert r.fetch_log == ["a", "a"]
+
+    def test_missing_package(self):
+        r = Repository("test/repo", "Test")
+        with pytest.raises(PackageError):
+            r.get("nope")
+
+    def test_universe_lookup(self):
+        u = PackageUniverse()
+        u.add_repo(Repository("d/main", "D"))
+        assert u.repo("d/main").name == "D"
+        assert u.repo("repo://d/main").name == "D"
+        assert u.has_repo("repo://d/main")
+        with pytest.raises(PackageError):
+            u.repo("other/repo")
+
+
+class TestCatalog:
+    def test_universe_has_all_repos(self):
+        u = make_universe()
+        for arch in ("x86_64", "aarch64"):
+            assert u.has_repo(f"centos7/base-{arch}")
+            assert u.has_repo(f"centos7/epel-{arch}")
+            assert u.has_repo(f"debian10/main-{arch}")
+
+    def test_openssh_has_foreign_group_payload(self):
+        """The Figure 2 trigger must exist: a payload file owned by a
+        non-root group."""
+        u = make_universe()
+        openssh = u.repo("centos7/base-x86_64").get("openssh")
+        assert any(f.group == "ssh_keys" for f in openssh.files)
+        assert openssh.pre_script and "ssh_keys" in openssh.pre_script
+
+    def test_fakeroot_lives_in_epel_only(self):
+        u = make_universe()
+        assert not u.repo("centos7/base-x86_64").has("fakeroot")
+        assert u.repo("centos7/epel-x86_64").has("fakeroot")
+
+    def test_nevra_format(self):
+        u = make_universe()
+        openssh = u.repo("centos7/base-x86_64").get("openssh")
+        assert openssh.nevra == "openssh-7.4p1-21.el7.x86_64"
+
+    def test_arch_specific_binaries(self):
+        u = make_universe()
+        atse = u.repo("centos7/base-aarch64").get("atse")
+        execs = [f for f in atse.files if f.exe_impl]
+        assert execs and all(f.exe_arch == "aarch64" for f in execs)
+
+    def test_debian_pseudo_provides_fakeroot_command(self):
+        u = make_universe()
+        pseudo = u.repo("debian10/main-x86_64").get("pseudo")
+        assert any(f.path == "/usr/bin/fakeroot" for f in pseudo.files)

@@ -1,0 +1,211 @@
+"""yum/rpm and apt/dpkg behaviour inside containers of each privilege type.
+
+These are the §2.3 mechanics: "distribution package managers assume
+privileged access, and key packages need multiple UIDs/GIDs and privileged
+system calls like chown(2) to install."
+"""
+
+import pytest
+
+from repro.containers import enter_container
+from repro.core import ChImage
+from repro.shell import OutputSink, execute
+
+
+def run_in(ctx, cmd):
+    sink = OutputSink()
+    status = execute(ctx.child(stdout=sink, stderr=sink),
+                     ["/bin/sh", "-c", cmd])
+    return status, sink.text()
+
+
+@pytest.fixture
+def centos_tree(login, alice):
+    ch = ChImage(login, alice)
+    return ch.pull("centos:7")
+
+
+@pytest.fixture
+def debian_tree(login, alice):
+    ch = ChImage(login, alice)
+    return ch.pull("debian:buster")
+
+
+def type3(login, alice, tree):
+    return enter_container(alice, tree, "type3", dev_fs=login.dev_fs)
+
+
+def type2(login, alice, tree):
+    return enter_container(alice, tree, "type2", dev_fs=login.dev_fs,
+                           shadow=login.shadow)
+
+
+class TestYum:
+    def test_install_all_root_package_works_type3(self, login, alice,
+                                                  centos_tree):
+        ctx = type3(login, alice, centos_tree)
+        status, out = run_in(ctx, "yum install -y epel-release")
+        assert status == 0, out
+        assert "Complete!" in out
+
+    def test_openssh_fails_type3_with_cpio_chown(self, login, alice,
+                                                 centos_tree):
+        ctx = type3(login, alice, centos_tree)
+        status, out = run_in(ctx, "yum install -y openssh")
+        assert status == 1
+        assert "cpio: chown" in out
+        assert "Error unpacking rpm package openssh-7.4p1-21.el7.x86_64" in out
+
+    def test_openssh_succeeds_type2(self, login, alice, centos_tree):
+        ctx = type2(login, alice, centos_tree)
+        status, out = run_in(ctx, "yum install -y openssh")
+        assert status == 0, out
+        # the payload file really carries the packaged group (mapped)
+        from repro.userdb import UserDb
+        db = UserDb.load(ctx.sys)
+        ssh_keys = db.group_by_name("ssh_keys")
+        st = ctx.sys.stat("/usr/libexec/openssh/ssh-keysign")
+        assert st.st_gid == ssh_keys.gid  # in-namespace view
+        assert st.kgid != ssh_keys.gid  # on disk: a subordinate ID
+        assert st.st_mode & 0o2000  # setgid preserved
+
+    def test_already_installed(self, login, alice, centos_tree):
+        ctx = type3(login, alice, centos_tree)
+        run_in(ctx, "yum install -y epel-release")
+        status, out = run_in(ctx, "yum install -y epel-release")
+        assert status == 0
+        assert "already installed" in out
+
+    def test_dependencies_pulled(self, login, alice, centos_tree):
+        ctx = type2(login, alice, centos_tree)
+        status, out = run_in(ctx, "yum install -y atse")
+        assert status == 0
+        for dep in ("gcc", "openmpi", "hdf5", "atse"):
+            assert f"Installing: {dep}" in out
+
+    def test_unknown_package(self, login, alice, centos_tree):
+        ctx = type3(login, alice, centos_tree)
+        status, out = run_in(ctx, "yum install -y no-such-pkg")
+        assert status == 1
+
+    def test_requires_dash_y(self, login, alice, centos_tree):
+        ctx = type3(login, alice, centos_tree)
+        status, _ = run_in(ctx, "yum install epel-release")
+        assert status == 1
+
+    def test_enablerepo_flag(self, login, alice, centos_tree):
+        """fakeroot only installs from EPEL via --enablerepo (§5.3.1)."""
+        ctx = type3(login, alice, centos_tree)
+        status, _ = run_in(ctx, "yum install -y fakeroot")
+        assert status == 1  # not in base, EPEL not configured
+        run_in(ctx, "yum install -y epel-release")
+        run_in(ctx, "yum-config-manager --disable epel")
+        status, _ = run_in(ctx, "yum install -y fakeroot")
+        assert status == 1  # EPEL installed but disabled
+        status, out = run_in(ctx,
+                             "yum --enablerepo=epel install -y fakeroot")
+        assert status == 0, out
+
+    def test_config_manager_edits_repo_file(self, login, alice, centos_tree):
+        ctx = type3(login, alice, centos_tree)
+        run_in(ctx, "yum install -y epel-release")
+        raw = ctx.sys.read_file("/etc/yum.repos.d/epel.repo").decode()
+        assert "enabled=1" in raw
+        run_in(ctx, "yum-config-manager --disable epel")
+        raw = ctx.sys.read_file("/etc/yum.repos.d/epel.repo").decode()
+        assert "enabled=0" in raw
+
+    def test_repolist(self, login, alice, centos_tree):
+        ctx = type3(login, alice, centos_tree)
+        status, out = run_in(ctx, "yum repolist")
+        assert status == 0 and "base" in out
+
+
+class TestApt:
+    def test_update_fails_type3_with_sandbox_errors(self, login, alice,
+                                                    debian_tree):
+        """Figure 3's exact error lines."""
+        ctx = type3(login, alice, debian_tree)
+        status, out = run_in(ctx, "apt-get update")
+        assert status == 100
+        assert ("E: setgroups 65534 failed - setgroups "
+                "(1: Operation not permitted)") in out
+        assert ("E: seteuid 100 failed - seteuid "
+                "(22: Invalid argument)") in out
+
+    def test_update_succeeds_type2(self, login, alice, debian_tree):
+        """§4.1: with mapped IDs the sandbox drop works."""
+        ctx = type2(login, alice, debian_tree)
+        status, out = run_in(ctx, "apt-get update")
+        assert status == 0, out
+        assert "Reading package lists..." in out
+
+    def test_no_sandbox_config_lets_type3_update(self, login, alice,
+                                                 debian_tree):
+        ctx = type3(login, alice, debian_tree)
+        run_in(ctx, "echo 'APT::Sandbox::User \"root\";' > "
+                    "/etc/apt/apt.conf.d/no-sandbox")
+        status, out = run_in(ctx, "apt-get update")
+        assert status == 0, out
+
+    def test_install_without_indexes_fails(self, login, alice, debian_tree):
+        """'The base image contains none, so no packages can be installed
+        without this update' (§5.2)."""
+        ctx = type2(login, alice, debian_tree)
+        status, out = run_in(ctx, "apt-get install -y pseudo")
+        assert status == 100
+        assert "Unable to locate package pseudo" in out
+
+    def test_pseudo_installs_unprivileged_with_term_log_warning(
+            self, login, alice, debian_tree):
+        """Figure 9 line 21: pseudo (all root:root) installs fine in
+        Type III once sandboxing is off, but the root:adm chown of
+        term.log warns."""
+        ctx = type3(login, alice, debian_tree)
+        run_in(ctx, "echo 'APT::Sandbox::User \"root\";' > "
+                    "/etc/apt/apt.conf.d/no-sandbox")
+        run_in(ctx, "apt-get update")
+        status, out = run_in(ctx, "apt-get install -y pseudo")
+        assert status == 0, out
+        assert "W: chown to root:adm of file /var/log/apt/term.log failed" \
+            in out
+
+    def test_openssh_client_fails_type3_even_without_sandbox(
+            self, login, alice, debian_tree):
+        ctx = type3(login, alice, debian_tree)
+        run_in(ctx, "echo 'APT::Sandbox::User \"root\";' > "
+                    "/etc/apt/apt.conf.d/no-sandbox")
+        run_in(ctx, "apt-get update")
+        status, out = run_in(ctx, "apt-get install -y openssh-client")
+        assert status == 100
+        assert "dpkg: error processing" in out
+
+    def test_openssh_client_on_plain_ext4_fails_at_setcap(
+            self, login, alice, debian_tree):
+        """Subtlety: even in Type II, *file capabilities* need a superblock
+        the namespace owns.  On a plain ext4 directory the setcap postinst
+        step fails; it works under Podman because fuse-overlayfs provides
+        such a superblock (see containers tests)."""
+        ctx = type2(login, alice, debian_tree)
+        run_in(ctx, "apt-get update")
+        status, out = run_in(ctx, "apt-get install -y openssh-client")
+        assert status == 100
+        assert "Failed to set capabilities" in out
+        # ...but the chown root:_ssh part DID work before the caps step
+        st = ctx.sys.stat("/usr/bin/ssh-agent")
+        assert st.st_mode & 0o2000
+
+    def test_apt_config_dump(self, login, alice, debian_tree):
+        ctx = type3(login, alice, debian_tree)
+        status, out = run_in(ctx, "apt-config dump")
+        assert status == 0 and "APT::Sandbox" not in out
+        run_in(ctx, "echo 'APT::Sandbox::User \"root\";' > "
+                    "/etc/apt/apt.conf.d/no-sandbox")
+        status, out = run_in(ctx, "apt-config dump")
+        assert 'APT::Sandbox::User "root";' in out
+
+    def test_dpkg_l(self, login, alice, debian_tree):
+        ctx = type3(login, alice, debian_tree)
+        status, out = run_in(ctx, "dpkg -l")
+        assert status == 0
+        assert "libc-bin" in out

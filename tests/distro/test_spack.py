@@ -1,0 +1,94 @@
+"""Spack-like source builds (§5.3.3): the proof that HPC *application*
+stacks need no build privilege — only distribution packaging does."""
+
+import pytest
+
+from repro.containers import enter_container
+from repro.core import ChImage, ChRun
+from repro.shell import OutputSink, execute
+
+SPACK_DOCKERFILE = """\
+FROM centos:7
+RUN yum install -y gcc spack
+RUN spack install lammps
+"""
+
+
+def sh(ctx, cmd):
+    sink = OutputSink()
+    status = execute(ctx.child(stdout=sink, stderr=sink),
+                     ["/bin/sh", "-c", cmd])
+    return status, sink.text()
+
+
+@pytest.fixture
+def ctr(login, alice):
+    ch = ChImage(login, alice)
+    tree = ch.pull("centos:7")
+    ctx = enter_container(alice, tree, "type3", dev_fs=login.dev_fs)
+    st, out = sh(ctx, "yum install -y gcc spack")
+    assert st == 0, out
+    return ctx
+
+
+class TestSpack:
+    def test_install_with_dependencies(self, ctr):
+        st, out = sh(ctr, "spack install hdf5")
+        assert st == 0, out
+        for dep in ("zlib", "openmpi", "hdf5"):
+            assert f"==> Installing {dep}@" in out
+
+    def test_find_lists_installed(self, ctr):
+        sh(ctr, "spack install zlib")
+        st, out = sh(ctr, "spack find")
+        assert st == 0
+        assert "zlib@1.2.11" in out
+
+    def test_idempotent(self, ctr):
+        sh(ctr, "spack install zlib")
+        st, out = sh(ctr, "spack install zlib")
+        assert st == 0
+        assert "Installing" not in out  # nothing to do
+
+    def test_requires_compiler(self, login, alice):
+        ch = ChImage(login, alice)
+        tree = ch.pull("centos:7")
+        ctx = enter_container(alice, tree, "type3", dev_fs=login.dev_fs)
+        sh(ctx, "yum install -y spack")  # spack but no gcc
+        st, out = sh(ctx, "spack install zlib")
+        assert st == 1
+        assert "No compilers available" in out
+
+    def test_unknown_spec(self, ctr):
+        st, out = sh(ctr, "spack install left-pad")
+        assert st == 1 and "unknown package" in out
+
+    def test_artifacts_owned_by_user_no_privilege(self, ctr):
+        """The §5.3.3 punchline: the whole stack lands under the invoking
+        user's ownership; no chown, no fakeroot, no failures."""
+        st, _ = sh(ctr, "spack install lammps")
+        assert st == 0
+        st = ctr.sys.stat("/opt/spack/lammps-2021.05/bin/lmp")
+        assert st.kuid == 1000
+
+
+class TestSpackInBuild:
+    def test_full_dockerfile_without_force(self, login, alice):
+        """A Spack-stack Dockerfile builds WITHOUT --force — contrast with
+        Figure 2's distro-package failure."""
+        ch = ChImage(login, alice)
+        r = ch.build(tag="lmp", dockerfile=SPACK_DOCKERFILE)
+        assert r.success, r.text
+        assert "fakeroot" not in r.text
+
+    def test_built_app_runs_under_chrun(self, login, alice):
+        ch = ChImage(login, alice)
+        r = ch.build(tag="lmp", dockerfile=SPACK_DOCKERFILE)
+        assert r.success
+        res = ChRun(login, alice).run(
+            ch.storage.path_of("lmp"),
+            ["mpirun", "-np", "2", "lmp"],
+            env={"PATH": "/usr/bin:/bin"})
+        assert res.status == 0, res.output
+        assert "rank 0/2" in res.output
+        assert "rank 1/2" in res.output

@@ -1,0 +1,95 @@
+"""Tests for /etc/subuid parsing and allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.helpers import SUB_ID_MIN, SubidEntry, SubidError, SubidFile
+
+
+class TestSubidEntry:
+    def test_range(self):
+        e = SubidEntry("alice", 200000, 65536)
+        assert e.end == 265535
+        assert e.contains_range(200000, 65536)
+        assert e.contains_range(200024, 1)
+        assert not e.contains_range(199999, 1)
+        assert not e.contains_range(265535, 2)
+
+    def test_overlap(self):
+        a = SubidEntry("alice", 100000, 65536)
+        b = SubidEntry("bob", 165536, 65536)
+        assert not a.overlaps(b)
+        c = SubidEntry("carol", 165535, 10)
+        assert a.overlaps(c)
+
+    def test_bad_count(self):
+        with pytest.raises(SubidError):
+            SubidEntry("x", 0, 0)
+
+    def test_format(self):
+        assert SubidEntry("alice", 200000, 65536).format() == "alice:200000:65536"
+
+
+class TestSubidFile:
+    FIG4 = "alice:200000:65536\nbob:265536:65536\n"
+
+    def test_parse_figure4(self):
+        """The Figure 4 example file."""
+        f = SubidFile.parse(self.FIG4)
+        assert len(f) == 2
+        alice = f.entries_for("alice")
+        assert alice[0].start == 200000 and alice[0].count == 65536
+
+    def test_parse_comments_and_blanks(self):
+        f = SubidFile.parse("# header\n\nalice:1000:10\n")
+        assert len(f) == 1
+
+    def test_parse_garbage(self):
+        with pytest.raises(SubidError):
+            SubidFile.parse("alice:1000\n")
+        with pytest.raises(SubidError):
+            SubidFile.parse("alice:x:y\n")
+
+    def test_numeric_owner_matching(self):
+        f = SubidFile.parse("1000:200000:65536\n")
+        assert f.entries_for("alice", 1000)
+        assert not f.entries_for("alice", 1001)
+
+    def test_authorizes(self):
+        f = SubidFile.parse(self.FIG4)
+        assert f.authorizes("alice", 1000, 200000, 65536)
+        assert f.authorizes("alice", 1000, 200100, 50)
+        assert not f.authorizes("alice", 1000, 265536, 1)  # bob's range
+        assert not f.authorizes("bob", 1001, 200000, 1)
+
+    def test_format_roundtrip(self):
+        f = SubidFile.parse(self.FIG4)
+        assert SubidFile.parse(f.format()).format() == f.format()
+
+    def test_add_rejects_overlap(self):
+        f = SubidFile.parse(self.FIG4)
+        with pytest.raises(SubidError):
+            f.add(SubidEntry("carol", 200005, 10))
+
+    def test_allocate_first_fit(self):
+        f = SubidFile()
+        a = f.allocate("alice")
+        b = f.allocate("bob")
+        assert a.start == SUB_ID_MIN
+        assert b.start == SUB_ID_MIN + 65536
+        assert not a.overlaps(b)
+
+    def test_allocate_fills_gap(self):
+        f = SubidFile([SubidEntry("x", SUB_ID_MIN + 65536, 65536)])
+        a = f.allocate("alice")
+        assert a.start == SUB_ID_MIN
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=8))
+def test_allocations_never_overlap(sizes):
+    """Property: successive automatic allocations are pairwise disjoint."""
+    f = SubidFile()
+    entries = [f.allocate(f"u{i}", 1 + s) for i, s in enumerate(sizes)]
+    for i, a in enumerate(entries):
+        for b in entries[i + 1:]:
+            assert not a.overlaps(b)

@@ -1,0 +1,79 @@
+"""Shared fixtures: a host kernel with users and the three container types
+of paper §2.2."""
+
+import pytest
+
+from repro.kernel import (
+    Credentials,
+    FileType,
+    IdMapEntry,
+    Kernel,
+    Syscalls,
+    make_ext4,
+)
+
+
+@pytest.fixture
+def kernel():
+    """A host with /, /etc, /home/alice, /home/bob, /tmp, /data."""
+    k = Kernel(make_ext4(), hostname="host")
+    sys0 = Syscalls(k.init_process)
+    sys0.mkdir("/etc", 0o755)
+    sys0.mkdir("/home", 0o755)
+    sys0.mkdir("/home/alice", 0o777)
+    sys0.chown("/home/alice", 1000, 1000)
+    sys0.chmod("/home/alice", 0o755)
+    sys0.mkdir("/home/bob", 0o777)
+    sys0.chown("/home/bob", 1001, 1001)
+    sys0.chmod("/home/bob", 0o755)
+    sys0.mkdir("/tmp", 0o777)
+    sys0.chmod("/tmp", 0o1777)
+    sys0.mkdir("/data", 0o777)
+    return k
+
+
+@pytest.fixture
+def root_sys(kernel):
+    return Syscalls(kernel.init_process)
+
+
+@pytest.fixture
+def alice(kernel):
+    return kernel.login(1000, 1000, user="alice", home="/home/alice")
+
+
+@pytest.fixture
+def alice_sys(alice):
+    return Syscalls(alice)
+
+
+@pytest.fixture
+def bob_sys(kernel):
+    bob = kernel.login(1001, 1001, user="bob", home="/home/bob")
+    return Syscalls(bob)
+
+
+@pytest.fixture
+def type3_sys(kernel, alice):
+    """Type III: alice in an unprivileged userns mapped to container root."""
+    proc = alice.fork(comm="type3")
+    sys = Syscalls(proc)
+    sys.setup_single_id_userns()
+    return sys
+
+
+@pytest.fixture
+def type2_sys(kernel, alice):
+    """Type II: alice in a privileged-helper userns (0->1000, 1..->200000..),
+    like Figure 1 / Figure 4."""
+    proc = alice.fork(comm="type2")
+    sys = Syscalls(proc)
+    sys.unshare_user()
+    helper = Syscalls(kernel.init_process.fork(comm="newuidmap"))
+    helper.write_uid_map(
+        [IdMapEntry(0, 1000, 1), IdMapEntry(1, 200000, 65535)], target=proc
+    )
+    helper.write_gid_map(
+        [IdMapEntry(0, 1000, 1), IdMapEntry(1, 300000, 65535)], target=proc
+    )
+    return sys

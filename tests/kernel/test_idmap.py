@@ -1,0 +1,151 @@
+"""Unit tests for UID/GID maps (paper §2.1.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import Errno, KernelError
+from repro.kernel import ID_MAX, IdMap, IdMapEntry
+
+
+class TestIdMapEntry:
+    def test_basic_ranges(self):
+        e = IdMapEntry(0, 200000, 65536)
+        assert e.inside_end == 65535
+        assert e.outside_end == 265535
+
+    def test_contains(self):
+        e = IdMapEntry(1, 100000, 10)
+        assert e.contains_inside(1) and e.contains_inside(10)
+        assert not e.contains_inside(0) and not e.contains_inside(11)
+        assert e.contains_outside(100000) and e.contains_outside(100009)
+        assert not e.contains_outside(99999)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            IdMapEntry(0, 0, 0)
+        with pytest.raises(ValueError):
+            IdMapEntry(0, 0, -3)
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            IdMapEntry(-1, 0, 1)
+        with pytest.raises(ValueError):
+            IdMapEntry(ID_MAX, 0, 2)  # overflows 32-bit space
+
+    def test_format_is_proc_columns(self):
+        line = IdMapEntry(0, 1000, 1).format()
+        assert line.split() == ["0", "1000", "1"]
+
+
+class TestIdMap:
+    def test_translation_both_directions(self):
+        m = IdMap([IdMapEntry(0, 1000, 1), IdMapEntry(1, 200000, 65535)])
+        assert m.to_outside(0) == 1000
+        assert m.to_outside(1) == 200000
+        assert m.to_outside(65535) == 265534
+        assert m.to_inside(1000) == 0
+        assert m.to_inside(200007) == 8
+
+    def test_unmapped_returns_none(self):
+        m = IdMap.single(0, 1000)
+        assert m.to_outside(1) is None
+        assert m.to_inside(0) is None
+        assert m.to_inside(999) is None
+
+    def test_overlapping_inside_rejected(self):
+        with pytest.raises(KernelError) as exc:
+            IdMap([IdMapEntry(0, 1000, 10), IdMapEntry(5, 50000, 10)])
+        assert exc.value.errno == Errno.EINVAL
+
+    def test_overlapping_outside_rejected(self):
+        with pytest.raises(KernelError) as exc:
+            IdMap([IdMapEntry(0, 1000, 10), IdMapEntry(100, 1005, 10)])
+        assert exc.value.errno == Errno.EINVAL
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(KernelError):
+            IdMap([])
+
+    def test_entry_count_limit(self):
+        entries = [IdMapEntry(i * 2, 100000 + i * 2, 1) for i in range(341)]
+        with pytest.raises(KernelError):
+            IdMap(entries)
+
+    def test_identity_map_covers_everything(self):
+        m = IdMap.identity()
+        assert m.to_outside(0) == 0
+        assert m.to_outside(ID_MAX) == ID_MAX
+        assert m.to_inside(12345) == 12345
+
+    def test_parse_round_trip(self):
+        m = IdMap([IdMapEntry(0, 1000, 1), IdMapEntry(1, 200000, 65535)])
+        again = IdMap.parse(m.format())
+        assert again == m
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(KernelError):
+            IdMap.parse("0 1000\n")
+        with pytest.raises(KernelError):
+            IdMap.parse("a b c\n")
+
+    def test_is_single(self):
+        assert IdMap.single(0, 1000).is_single()
+        assert not IdMap([IdMapEntry(0, 1000, 2)]).is_single()
+
+    def test_mapped_count(self):
+        m = IdMap([IdMapEntry(0, 1000, 1), IdMapEntry(1, 200000, 65535)])
+        assert m.mapped_count() == 65536
+
+
+# -- property-based: the one-to-one guarantee of §2.1.1 --------------------------
+
+_entry = st.builds(
+    IdMapEntry,
+    inside_start=st.integers(0, 10**6),
+    outside_start=st.integers(0, 10**6),
+    count=st.integers(1, 10**5),
+)
+
+
+def _disjoint(entries):
+    try:
+        return IdMap(entries)
+    except KernelError:
+        return None
+
+
+@given(st.lists(_entry, min_size=1, max_size=6))
+def test_roundtrip_identity_on_mapped_ranges(entries):
+    """inside -> outside -> inside is the identity wherever defined."""
+    m = _disjoint(entries)
+    if m is None:
+        return
+    for e in m.entries:
+        for ns_id in (e.inside_start, e.inside_end,
+                      (e.inside_start + e.inside_end) // 2):
+            out = m.to_outside(ns_id)
+            assert out is not None
+            assert m.to_inside(out) == ns_id
+
+
+@given(st.lists(_entry, min_size=1, max_size=6))
+def test_no_squashing(entries):
+    """Distinct inside IDs never map to the same outside ID."""
+    m = _disjoint(entries)
+    if m is None:
+        return
+    seen = {}
+    for e in m.entries:
+        probes = {e.inside_start, e.inside_end}
+        for ns_id in probes:
+            out = m.to_outside(ns_id)
+            assert out not in seen or seen[out] == ns_id
+            seen[out] = ns_id
+
+
+@given(st.lists(_entry, min_size=1, max_size=6))
+def test_format_parse_roundtrip(entries):
+    m = _disjoint(entries)
+    if m is None:
+        return
+    assert IdMap.parse(m.format()) == m

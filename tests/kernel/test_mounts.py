@@ -1,0 +1,204 @@
+"""Mount namespace and path resolution tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import Errno, KernelError
+from repro.kernel import (
+    Credentials,
+    FileType,
+    MountNamespace,
+    UserNamespace,
+    make_ext4,
+    make_tmpfs,
+    normpath,
+)
+
+
+@pytest.fixture
+def ns():
+    return UserNamespace.initial()
+
+
+@pytest.fixture
+def root_cred(ns):
+    return Credentials.root(ns)
+
+
+@pytest.fixture
+def world(ns):
+    """An ext4 root with /home/alice, /etc/hosts, symlinks and a tmpfs /tmp."""
+    fs = make_ext4()
+    home = fs.alloc(FileType.DIR, 0o755, 0, 0)
+    fs.link_child(fs.root, "home", home)
+    alice = fs.alloc(FileType.DIR, 0o700, 1000, 1000)
+    fs.link_child(home, "alice", alice)
+    etc = fs.alloc(FileType.DIR, 0o755, 0, 0)
+    fs.link_child(fs.root, "etc", etc)
+    hosts = fs.alloc(FileType.REG, 0o644, 0, 0, data=b"127.0.0.1 localhost\n")
+    fs.link_child(etc, "hosts", hosts)
+    lnk = fs.alloc(FileType.SYMLINK, 0o777, 0, 0, target="/etc/hosts")
+    fs.link_child(fs.root, "hosts-link", lnk)
+    rel = fs.alloc(FileType.SYMLINK, 0o777, 0, 0, target="hosts")
+    fs.link_child(etc, "hosts-rel", rel)
+    tmpdir = fs.alloc(FileType.DIR, 0o1777, 0, 0)
+    fs.link_child(fs.root, "tmp", tmpdir)
+    mnt = MountNamespace(fs, owning_userns=UserNamespace.initial())
+    mnt.add_mount("/tmp", make_tmpfs())
+    return fs, mnt
+
+
+class TestNormpath:
+    @pytest.mark.parametrize(
+        "raw,canon",
+        [
+            ("/", "/"),
+            ("//", "/"),
+            ("/a//b", "/a/b"),
+            ("/a/./b", "/a/b"),
+            ("/a/../b", "/b"),
+            ("/../..", "/"),
+            ("/a/b/../../c", "/c"),
+        ],
+    )
+    def test_cases(self, raw, canon):
+        assert normpath(raw) == canon
+
+    def test_relative_rejected(self):
+        with pytest.raises(KernelError):
+            normpath("a/b")
+
+
+class TestResolution:
+    def test_simple_walk(self, world, root_cred):
+        _, mnt = world
+        res = mnt.resolve("/etc/hosts", root_cred)
+        assert res.inode.data.startswith(b"127.0.0.1")
+        assert res.path == "/etc/hosts"
+
+    def test_enoent(self, world, root_cred):
+        _, mnt = world
+        with pytest.raises(KernelError) as exc:
+            mnt.resolve("/etc/nope", root_cred)
+        assert exc.value.errno == Errno.ENOENT
+
+    def test_enotdir(self, world, root_cred):
+        _, mnt = world
+        with pytest.raises(KernelError) as exc:
+            mnt.resolve("/etc/hosts/deeper", root_cred)
+        assert exc.value.errno == Errno.ENOTDIR
+
+    def test_search_permission_enforced(self, world, ns):
+        _, mnt = world
+        bob = Credentials.for_user(1001, 1001, userns=ns)
+        with pytest.raises(KernelError) as exc:
+            mnt.resolve("/home/alice/secret", bob)
+        assert exc.value.errno == Errno.EACCES
+
+    def test_absolute_symlink(self, world, root_cred):
+        _, mnt = world
+        res = mnt.resolve("/hosts-link", root_cred)
+        assert res.path == "/etc/hosts"
+
+    def test_relative_symlink(self, world, root_cred):
+        _, mnt = world
+        res = mnt.resolve("/etc/hosts-rel", root_cred)
+        assert res.path == "/etc/hosts"
+
+    def test_nofollow_final(self, world, root_cred):
+        _, mnt = world
+        res = mnt.resolve("/hosts-link", root_cred, follow=False)
+        assert res.inode.ftype is FileType.SYMLINK
+
+    def test_symlink_loop_eloop(self, world, root_cred):
+        fs, mnt = world
+        a = fs.alloc(FileType.SYMLINK, 0o777, 0, 0, target="/loop-b")
+        fs.link_child(fs.root, "loop-a", a)
+        b = fs.alloc(FileType.SYMLINK, 0o777, 0, 0, target="/loop-a")
+        fs.link_child(fs.root, "loop-b", b)
+        with pytest.raises(KernelError) as exc:
+            mnt.resolve("/loop-a", root_cred)
+        assert exc.value.errno == Errno.ELOOP
+
+    def test_dotdot(self, world, root_cred):
+        _, mnt = world
+        res = mnt.resolve("/etc/../etc/hosts", root_cred)
+        assert res.path == "/etc/hosts"
+
+    def test_dotdot_above_root_stays_at_root(self, world, root_cred):
+        _, mnt = world
+        res = mnt.resolve("/../../etc/hosts", root_cred)
+        assert res.path == "/etc/hosts"
+
+    def test_relative_path_uses_cwd(self, world, root_cred):
+        _, mnt = world
+        res = mnt.resolve("hosts", root_cred, cwd="/etc")
+        assert res.path == "/etc/hosts"
+
+    def test_mount_crossing(self, world, root_cred):
+        _, mnt = world
+        res = mnt.resolve("/tmp", root_cred)
+        assert res.fs.fstype == "tmpfs"
+
+    def test_mount_hides_underlying_tree(self, world, root_cred):
+        fs, mnt = world
+        # Place a file in the underlying /tmp, then verify the tmpfs wins.
+        tmp_underlying = fs.lookup(fs.root, "tmp")
+        f = fs.alloc(FileType.REG, 0o644, 0, 0, data=b"hidden")
+        fs.link_child(tmp_underlying, "under", f)
+        with pytest.raises(KernelError):
+            mnt.resolve("/tmp/under", root_cred)
+
+    def test_resolve_parent(self, world, root_cred):
+        _, mnt = world
+        rp = mnt.resolve_parent("/etc/newfile", root_cred)
+        assert rp.name == "newfile"
+        assert rp.dir_inode.is_dir
+
+    def test_clone_is_independent(self, world, root_cred):
+        _, mnt = world
+        dup = mnt.clone()
+        dup.add_mount("/home", make_tmpfs())
+        assert mnt.resolve("/home/alice", root_cred)  # original unaffected
+        with pytest.raises(KernelError):
+            dup.resolve("/home/alice", root_cred)
+
+    def test_set_root_pivots(self, world, root_cred):
+        fs, mnt = world
+        mnt.set_root(fs, fs.lookup(fs.root, "etc").ino)
+        res = mnt.resolve("/hosts", root_cred)
+        assert res.inode.data.startswith(b"127.0.0.1")
+
+    def test_umount(self, world, root_cred):
+        _, mnt = world
+        mnt.remove_mount("/tmp")
+        res = mnt.resolve("/tmp", root_cred)
+        assert res.fs.fstype == "ext4"
+
+    def test_umount_root_rejected(self, world):
+        _, mnt = world
+        with pytest.raises(KernelError):
+            mnt.remove_mount("/")
+
+    def test_nosuid_implied_for_userns_mounts(self, world, ns):
+        _, mnt = world
+        child = UserNamespace(ns, 1000, 1000)
+        m = mnt.add_mount("/home", make_tmpfs(), owning_userns=child)
+        assert m.effective_nosuid
+        m2 = mnt.mounts["/tmp"]
+        assert not m2.effective_nosuid
+
+
+# -- property: normpath idempotence & shape ---------------------------------------
+
+_seg = st.sampled_from(["a", "b", "cc", ".", "..", ""])
+
+
+@given(st.lists(_seg, max_size=8))
+def test_normpath_idempotent(segs):
+    p = "/" + "/".join(segs)
+    once = normpath(p)
+    assert normpath(once) == once
+    assert once.startswith("/")
+    assert ".." not in once.split("/")
+    assert "." not in once.split("/")[1:]

@@ -1,0 +1,82 @@
+"""PID namespace tests and the §3.1 process-tracking property."""
+
+import pytest
+
+from repro.kernel import Syscalls
+
+
+class TestPidNamespace:
+    def test_default_ns_pid_is_host_pid(self, alice):
+        sys = Syscalls(alice)
+        assert sys.getpid() == alice.pid
+
+    def test_new_pid_ns_starts_at_one(self, alice):
+        child = alice.fork(new_pid_ns=True)
+        assert Syscalls(child).getpid() == 1
+        assert child.pid != 1  # host pid unchanged
+
+    def test_children_number_sequentially(self, alice):
+        init = alice.fork(new_pid_ns=True)
+        c1 = init.fork()
+        c2 = init.fork()
+        assert Syscalls(c1).getpid() == 2
+        assert Syscalls(c2).getpid() == 3
+
+    def test_getppid_inside_ns(self, alice):
+        init = alice.fork(new_pid_ns=True)
+        child = init.fork()
+        assert Syscalls(child).getppid() == 1
+
+    def test_ns_init_parent_shows_zero(self, alice):
+        """PID 1's parent is outside the namespace: getppid() == 0."""
+        init = alice.fork(new_pid_ns=True)
+        assert Syscalls(init).getppid() == 0
+
+    def test_host_still_sees_real_pids(self, alice, kernel):
+        init = alice.fork(new_pid_ns=True)
+        assert init.pid in kernel.processes
+        assert kernel.processes[init.pid].ppid == alice.pid
+
+
+class TestProcessTracking:
+    """§3.1: docker containers hide in a PID namespace under the daemon;
+    ch-run jobs are ordinary children of the user's shell."""
+
+    def test_chrun_job_visible_in_host_pid_space(self, world):
+        from repro.cluster import make_machine
+        from repro.containers import enter_container
+        from repro.core import ChImage
+        login = make_machine("track", network=world.network)
+        alice = login.login("alice")
+        ch = ChImage(login, alice)
+        tree = ch.pull("centos:7")
+        ctx = enter_container(alice, tree, "type3", dev_fs=login.dev_fs)
+        # no pid namespace: the resource manager sees the job as-is
+        assert ctx.proc.pid_ns is None
+        assert ctx.sys.getpid() == ctx.proc.pid
+        assert ctx.proc.ppid == alice.pid
+
+    def test_podman_container_gets_pid_1(self, world):
+        from repro.cluster import make_machine
+        from repro.containers import Podman
+        login = make_machine("track2", network=world.network)
+        podman = Podman(login, login.login("alice"))
+        podman.build("FROM centos:7\nRUN true\n", "base")
+        out = podman.run("base", ["ps"])
+        assert out.status == 0
+        lines = out.output.splitlines()
+        assert any(l.strip().startswith("1 ") for l in lines[1:])
+        # only the container's own processes are listed
+        assert all("dockerd" not in l for l in lines)
+
+    def test_docker_container_in_own_pid_ns(self, world):
+        from repro.cluster import make_machine
+        from repro.containers import DockerDaemon
+        login = make_machine("track3", network=world.network)
+        docker = DockerDaemon(login, docker_group={1000})
+        alice = login.login("alice")
+        docker.build(alice, "FROM centos:7\nRUN true\n", "base")
+        status, out = docker.run(alice, "base", ["ps"])
+        assert status == 0
+        # the container sees itself as PID 1, divorced from alice's shell
+        assert any(l.strip().startswith("1 ") for l in out.splitlines()[1:])

@@ -1,0 +1,155 @@
+"""User namespace tests: map installation rules, translation, setgroups trap."""
+
+import pytest
+
+from repro.errors import Errno, KernelError
+from repro.kernel import (
+    IdMap,
+    IdMapEntry,
+    OVERFLOW_GID,
+    OVERFLOW_UID,
+    SetgroupsPolicy,
+    UserNamespace,
+)
+
+
+@pytest.fixture
+def init_ns():
+    return UserNamespace.initial()
+
+
+@pytest.fixture
+def child_ns(init_ns):
+    return UserNamespace(init_ns, owner_uid=1000, owner_gid=1000)
+
+
+class TestMapInstall:
+    def test_maps_start_unset(self, child_ns):
+        assert child_ns.uid_map is None
+        assert child_ns.gid_map is None
+
+    def test_unprivileged_single_map_ok(self, child_ns):
+        child_ns.set_uid_map(IdMap.single(0, 1000), writer_euid=1000,
+                             writer_privileged=False)
+        assert child_ns.uid_to_host(0) == 1000
+
+    def test_unprivileged_multi_map_rejected(self, child_ns):
+        m = IdMap([IdMapEntry(0, 1000, 1), IdMapEntry(1, 200000, 10)])
+        with pytest.raises(KernelError) as exc:
+            child_ns.set_uid_map(m, writer_euid=1000, writer_privileged=False)
+        assert exc.value.errno == Errno.EPERM
+
+    def test_unprivileged_map_must_be_own_id(self, child_ns):
+        with pytest.raises(KernelError):
+            child_ns.set_uid_map(IdMap.single(0, 1001), writer_euid=1000,
+                                 writer_privileged=False)
+
+    def test_privileged_multi_map_ok(self, child_ns):
+        m = IdMap([IdMapEntry(0, 1000, 1), IdMapEntry(1, 200000, 65535)])
+        child_ns.set_uid_map(m, writer_euid=0, writer_privileged=True)
+        assert child_ns.uid_to_host(25) == 200024
+
+    def test_map_write_is_once_only(self, child_ns):
+        child_ns.set_uid_map(IdMap.single(0, 1000), writer_euid=1000,
+                             writer_privileged=False)
+        with pytest.raises(KernelError) as exc:
+            child_ns.set_uid_map(IdMap.single(0, 1000), writer_euid=1000,
+                                 writer_privileged=False)
+        assert exc.value.errno == Errno.EPERM
+
+    def test_initial_ns_map_is_immutable(self, init_ns):
+        with pytest.raises(KernelError):
+            init_ns.set_uid_map(IdMap.single(0, 0), writer_euid=0,
+                                writer_privileged=True)
+
+
+class TestSetgroupsTrap:
+    """Paper §2.1.4: gid_map vs setgroups ordering."""
+
+    def test_unprivileged_gid_map_requires_setgroups_denied(self, child_ns):
+        with pytest.raises(KernelError) as exc:
+            child_ns.set_gid_map(IdMap.single(0, 1000), writer_egid=1000,
+                                 writer_privileged=False)
+        assert exc.value.errno == Errno.EPERM
+
+    def test_deny_then_gid_map_ok(self, child_ns):
+        child_ns.deny_setgroups()
+        child_ns.set_gid_map(IdMap.single(0, 1000), writer_egid=1000,
+                             writer_privileged=False)
+        assert child_ns.gid_to_host(0) == 1000
+
+    def test_privileged_helper_may_skip_deny(self, child_ns):
+        # newgidmap acting with CAP_SETGID in the parent is allowed to
+        # install the map with setgroups still "allow" (it is responsible
+        # for the policy decision — cf. CVE-2018-7169).
+        child_ns.set_gid_map(IdMap.single(0, 1000), writer_egid=0,
+                             writer_privileged=True)
+        assert child_ns.setgroups == SetgroupsPolicy.ALLOW
+
+    def test_setgroups_frozen_after_gid_map(self, child_ns):
+        child_ns.deny_setgroups()
+        child_ns.set_gid_map(IdMap.single(0, 1000), writer_egid=1000,
+                             writer_privileged=False)
+        with pytest.raises(KernelError):
+            child_ns.deny_setgroups()
+
+
+class TestTranslation:
+    def _mapped(self, init_ns):
+        ns = UserNamespace(init_ns, owner_uid=1000, owner_gid=1000)
+        ns.set_uid_map(
+            IdMap([IdMapEntry(0, 1000, 1), IdMapEntry(1, 200000, 65535)]),
+            writer_euid=0, writer_privileged=True,
+        )
+        ns.set_gid_map(
+            IdMap([IdMapEntry(0, 1000, 1), IdMapEntry(1, 300000, 65535)]),
+            writer_egid=0, writer_privileged=True,
+        )
+        return ns
+
+    def test_to_host_and_back(self, init_ns):
+        ns = self._mapped(init_ns)
+        assert ns.uid_to_host(0) == 1000
+        assert ns.uid_from_host(1000) == 0
+        assert ns.uid_to_host(48) == 200047
+        assert ns.uid_from_host(200047) == 48
+
+    def test_unmapped_host_id_displays_as_overflow(self, init_ns):
+        """Paper §2.1.1 case 3: in use on host, unmapped -> nobody/nogroup."""
+        ns = self._mapped(init_ns)
+        assert ns.uid_from_host(5) is None
+        assert ns.uid_display(5) == OVERFLOW_UID
+        assert ns.gid_display(7) == OVERFLOW_GID
+
+    def test_nested_namespace_translation(self, init_ns):
+        outer = self._mapped(init_ns)
+        inner = UserNamespace(outer, owner_uid=1000, owner_gid=1000)
+        inner.set_uid_map(IdMap.single(0, 0), writer_euid=0,
+                          writer_privileged=True)
+        # inner 0 -> outer 0 -> host 1000
+        assert inner.uid_to_host(0) == 1000
+        assert inner.uid_from_host(1000) == 0
+        assert inner.uid_from_host(200000) is None  # outer 1 unmapped in inner
+
+    def test_nested_outside_range_must_map_in_parent(self, init_ns):
+        outer = self._mapped(init_ns)
+        inner = UserNamespace(outer, owner_uid=1000, owner_gid=1000)
+        # outer has no mapping for inside id 70000
+        with pytest.raises(KernelError):
+            inner.set_uid_map(IdMap.single(0, 70000), writer_euid=0,
+                              writer_privileged=True)
+
+    def test_ancestry(self, init_ns, child_ns):
+        assert init_ns.is_ancestor_of(child_ns)
+        assert not child_ns.is_ancestor_of(init_ns)
+        grand = UserNamespace(child_ns, 1000, 1000)
+        assert init_ns.is_ancestor_of(grand)
+        assert child_ns.is_ancestor_of(grand)
+
+    def test_nesting_limit(self, init_ns):
+        ns = init_ns
+        for _ in range(32):
+            ns = UserNamespace(ns, 0, 0)
+        with pytest.raises(KernelError) as exc:
+            UserNamespace(ns, 0, 0)
+        assert exc.value.errno == Errno.EUSERS

@@ -1,0 +1,74 @@
+"""UTS namespace tests: per-container hostnames."""
+
+import pytest
+
+from repro.errors import Errno, KernelError
+from repro.kernel import Syscalls
+
+
+class TestUts:
+    def test_default_is_kernel_hostname(self, kernel, alice_sys):
+        assert alice_sys.gethostname() == "host"
+
+    def test_host_root_may_sethostname(self, root_sys, kernel):
+        root_sys.sethostname("renamed")
+        assert kernel.hostname == "renamed"
+
+    def test_user_may_not_sethostname(self, alice_sys):
+        with pytest.raises(KernelError) as exc:
+            alice_sys.sethostname("mine")
+        assert exc.value.errno == Errno.EPERM
+
+    def test_unshare_requires_cap(self, alice_sys):
+        with pytest.raises(KernelError):
+            alice_sys.unshare_uts()
+
+    def test_container_root_gets_private_hostname(self, type3_sys, kernel):
+        type3_sys.unshare_uts()
+        type3_sys.sethostname("container1")
+        assert type3_sys.gethostname() == "container1"
+        assert kernel.hostname == "host"  # host unaffected
+
+    def test_children_inherit_uts(self, type3_sys):
+        type3_sys.unshare_uts()
+        type3_sys.sethostname("ctr")
+        child = Syscalls(type3_sys.proc.fork())
+        assert child.gethostname() == "ctr"
+
+    def test_fork_before_unshare_not_affected(self, type3_sys, kernel):
+        sibling = Syscalls(type3_sys.proc.fork())
+        type3_sys.unshare_uts()
+        type3_sys.sethostname("ctr")
+        assert sibling.gethostname() == "host"
+
+    def test_hostname_length_limit(self, type3_sys):
+        type3_sys.unshare_uts()
+        with pytest.raises(KernelError) as exc:
+            type3_sys.sethostname("x" * 65)
+        assert exc.value.errno == Errno.EINVAL
+
+
+class TestContainerHostname:
+    def test_podman_style_hostname(self, kernel, alice):
+        from repro.containers import enter_container
+        from repro.kernel import Syscalls as S
+        root = S(kernel.init_process)
+        root.mkdir_p("/img/proc")
+        root.mkdir_p("/img/dev")
+        root.chown("/img", 1000, 1000)
+        root.chown("/img/proc", 1000, 1000)
+        root.chown("/img/dev", 1000, 1000)
+        ctx = enter_container(alice, "/img", "type3",
+                              hostname="f00dcafe")
+        assert ctx.sys.gethostname() == "f00dcafe"
+        assert ctx.sys.read_file(
+            "/proc/sys/kernel/hostname").decode().strip() == "f00dcafe"
+
+    def test_chrun_keeps_host_hostname(self, kernel, alice):
+        from repro.containers import enter_container
+        from repro.kernel import Syscalls as S
+        root = S(kernel.init_process)
+        root.mkdir_p("/img2")
+        root.chown("/img2", 1000, 1000)
+        ctx = enter_container(alice, "/img2", "type3")
+        assert ctx.sys.gethostname() == "host"

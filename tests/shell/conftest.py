@@ -1,0 +1,62 @@
+"""A small 'distribution' tree with the coreutils installed, for shell tests."""
+
+import pytest
+
+from repro.kernel import Kernel, Syscalls, make_ext4
+from repro.shell import ExecContext
+from repro.shell.install import install_binary, install_script
+
+_CORE = {
+    "echo": "coreutils.echo", "cat": "coreutils.cat", "touch": "coreutils.touch",
+    "ls": "coreutils.ls", "chown": "coreutils.chown", "chgrp": "coreutils.chgrp",
+    "chmod": "coreutils.chmod", "mknod": "coreutils.mknod", "rm": "coreutils.rm",
+    "mkdir": "coreutils.mkdir", "mv": "coreutils.mv", "cp": "coreutils.cp",
+    "ln": "coreutils.ln", "id": "coreutils.id", "whoami": "coreutils.whoami",
+    "uname": "coreutils.uname", "hostname": "coreutils.hostname",
+    "env": "coreutils.env", "stat": "coreutils.stat",
+    "grep": "grep.grep", "egrep": "grep.egrep", "fgrep": "grep.fgrep",
+    "tar": "tar.tar", "sh": "sh.posix",
+    "useradd": "shadow.useradd", "groupadd": "shadow.groupadd",
+}
+
+
+def populate_userland(sys: Syscalls) -> None:
+    """Install coreutils into /usr/bin plus /etc files and /dev/null."""
+    for name, impl in _CORE.items():
+        install_binary(sys, f"/usr/bin/{name}", impl)
+    sys.mkdir_p("/bin")
+    if not sys.exists("/bin/sh"):
+        sys.symlink("/usr/bin/sh", "/bin/sh")
+    sys.mkdir_p("/etc")
+    sys.write_file("/etc/passwd", b"root:x:0:0:root:/root:/bin/sh\n"
+                                  b"nobody:x:65534:65534::/:/sbin/nologin\n")
+    sys.write_file("/etc/group", b"root:x:0:\nnogroup:x:65534:\n")
+    sys.mkdir_p("/tmp")
+    sys.chmod("/tmp", 0o1777)
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(make_ext4(), hostname="shellhost")
+    sys0 = Syscalls(k.init_process)
+    populate_userland(sys0)
+    from repro.kernel import FileType
+    sys0.mkdir_p("/dev")
+    sys0.mknod("/dev/null", FileType.CHR, 0o666, rdev=(1, 3))
+    sys0.mkdir_p("/home/alice")
+    sys0.chown("/home/alice", 1000, 1000)
+    return k
+
+
+@pytest.fixture
+def root_ctx(kernel):
+    proc = kernel.init_process.fork(comm="sh")
+    return ExecContext(proc, Syscalls(proc),
+                       env={"PATH": "/usr/bin:/bin", "HOME": "/root"})
+
+
+@pytest.fixture
+def alice_ctx(kernel):
+    proc = kernel.login(1000, 1000, user="alice", home="/home/alice")
+    return ExecContext(proc, Syscalls(proc),
+                       env={"PATH": "/usr/bin:/bin", "HOME": "/home/alice"})

@@ -1,0 +1,273 @@
+"""Interpreter + userland integration tests."""
+
+import pytest
+
+from repro.kernel import FileType, Syscalls
+from repro.shell import ExecContext, OutputSink, run_shell
+from repro.shell.install import install_binary, install_script
+
+
+def sh(ctx, script):
+    """Run script with fresh output sinks; return (status, stdout, stderr)."""
+    child = ctx.child(stdout=OutputSink(), stderr=OutputSink())
+    status = run_shell(child, script)
+    return status, child.stdout.text(), child.stderr.text()
+
+
+class TestBasics:
+    def test_echo_builtin(self, root_ctx):
+        st, out, _ = sh(root_ctx, "echo hello world")
+        assert st == 0 and out == "hello world\n"
+
+    def test_echo_n(self, root_ctx):
+        _, out, _ = sh(root_ctx, "echo -n hi")
+        assert out == "hi"
+
+    def test_exit_status_chain(self, root_ctx):
+        st, out, _ = sh(root_ctx, "false && echo yes")
+        assert st == 1 and out == ""
+        st, out, _ = sh(root_ctx, "false || echo no")
+        assert st == 0 and out == "no\n"
+
+    def test_semicolon_list(self, root_ctx):
+        _, out, _ = sh(root_ctx, "echo a; echo b")
+        assert out == "a\nb\n"
+
+    def test_negation(self, root_ctx):
+        st, _, _ = sh(root_ctx, "! false")
+        assert st == 0
+        st, _, _ = sh(root_ctx, "! true")
+        assert st == 1
+
+    def test_command_not_found_127(self, root_ctx):
+        st, _, err = sh(root_ctx, "no-such-cmd")
+        assert st == 127
+        assert "command not found" in err
+
+    def test_variables(self, root_ctx):
+        _, out, _ = sh(root_ctx, "FOO=bar; echo $FOO ${FOO}baz")
+        assert out == "bar barbaz\n"
+
+    def test_single_quotes_no_expansion(self, root_ctx):
+        _, out, _ = sh(root_ctx, "FOO=x; echo '$FOO'")
+        assert out == "$FOO\n"
+
+    def test_double_quotes_expand(self, root_ctx):
+        _, out, _ = sh(root_ctx, 'FOO=x; echo "v=$FOO"')
+        assert out == "v=x\n"
+
+    def test_exit_builtin(self, root_ctx):
+        st, _, _ = sh(root_ctx, "exit 3; echo unreachable")
+        assert st == 3
+
+    def test_temp_assignment_visible_to_command(self, root_ctx):
+        st, out, _ = sh(root_ctx, "GREETING=hi env | grep GREETING")
+        assert st == 0 and "GREETING=hi" in out
+
+    def test_question_mark_var(self, root_ctx):
+        _, out, _ = sh(root_ctx, "false; echo $?; true; echo $?")
+        assert out == "1\n0\n"
+
+
+class TestSetFlags:
+    def test_set_e_aborts(self, root_ctx):
+        st, out, _ = sh(root_ctx, "set -e; false; echo survived")
+        assert st == 1 and out == ""
+
+    def test_set_e_spares_conditions(self, root_ctx):
+        st, out, _ = sh(root_ctx,
+                        "set -e; if false; then echo a; fi; echo ok")
+        assert st == 0 and out == "ok\n"
+
+    def test_set_e_spares_andor_left(self, root_ctx):
+        st, out, _ = sh(root_ctx, "set -e; false || echo rescued")
+        assert st == 0 and out == "rescued\n"
+
+    def test_set_x_traces(self, root_ctx):
+        _, _, err = sh(root_ctx, "set -x; echo hello")
+        assert "+ echo hello" in err
+
+    def test_set_ex_combo(self, root_ctx):
+        st, _, err = sh(root_ctx, "set -ex; echo one; false; echo two")
+        assert st == 1
+        assert "+ echo one" in err and "+ echo two" not in err
+
+
+class TestControlFlow:
+    def test_if_else(self, root_ctx):
+        _, out, _ = sh(root_ctx,
+                       "if test -e /etc/passwd; then echo yes; else echo no; fi")
+        assert out == "yes\n"
+        _, out, _ = sh(root_ctx,
+                       "if test -e /nope; then echo yes; else echo no; fi")
+        assert out == "no\n"
+
+    def test_if_negated_condition(self, root_ctx):
+        _, out, _ = sh(root_ctx,
+                       "if ! test -e /nope; then echo absent; fi")
+        assert out == "absent\n"
+
+    def test_elif(self, root_ctx):
+        _, out, _ = sh(root_ctx,
+                       "if false; then echo a; elif true; then echo b; "
+                       "else echo c; fi")
+        assert out == "b\n"
+
+    def test_bracket_test(self, root_ctx):
+        st, _, _ = sh(root_ctx, "[ hello = hello ]")
+        assert st == 0
+        st, _, _ = sh(root_ctx, "[ 3 -gt 5 ]")
+        assert st == 1
+
+
+class TestPipesAndRedirects:
+    def test_pipeline(self, root_ctx):
+        _, out, _ = sh(root_ctx, "cat /etc/passwd | grep -F root")
+        assert "root:x:0:0" in out
+
+    def test_pipeline_status_is_last(self, root_ctx):
+        st, _, _ = sh(root_ctx, "false | true")
+        assert st == 0
+
+    def test_redirect_out(self, root_ctx):
+        st, _, _ = sh(root_ctx, "echo data > /tmp/out.txt")
+        assert st == 0
+        assert root_ctx.sys.read_file("/tmp/out.txt") == b"data\n"
+
+    def test_redirect_append(self, root_ctx):
+        sh(root_ctx, "echo one > /tmp/log; echo two >> /tmp/log")
+        assert root_ctx.sys.read_file("/tmp/log") == b"one\ntwo\n"
+
+    def test_redirect_devnull(self, root_ctx):
+        st, out, _ = sh(root_ctx, "echo discarded > /dev/null")
+        assert st == 0 and out == ""
+
+    def test_redirect_stdin(self, root_ctx):
+        root_ctx.sys.write_file("/tmp/in.txt", b"needle\n")
+        st, out, _ = sh(root_ctx, "grep -F needle < /tmp/in.txt")
+        assert st == 0 and "needle" in out
+
+    def test_redirect_stderr(self, root_ctx):
+        sh(root_ctx, "ls /enoent 2> /tmp/err.txt")
+        assert b"cannot access" in root_ctx.sys.read_file("/tmp/err.txt")
+
+    def test_merge_2to1(self, root_ctx):
+        _, out, _ = sh(root_ctx, "ls /enoent 2>&1")
+        assert "cannot access" in out
+
+
+class TestGlobbing:
+    def test_star(self, root_ctx):
+        root_ctx.sys.mkdir_p("/etc/yum.repos.d")
+        root_ctx.sys.write_file("/etc/yum.repos.d/base.repo", b"[base]\n")
+        root_ctx.sys.write_file("/etc/yum.repos.d/extra.repo", b"[extra]\n")
+        _, out, _ = sh(root_ctx, "echo /etc/yum.repos.d/*")
+        assert out == "/etc/yum.repos.d/base.repo /etc/yum.repos.d/extra.repo\n"
+
+    def test_no_match_stays_literal(self, root_ctx):
+        _, out, _ = sh(root_ctx, "echo /nope/*")
+        assert out == "/nope/*\n"
+
+    def test_quoted_glob_is_literal(self, root_ctx):
+        _, out, _ = sh(root_ctx, "echo '/etc/*'")
+        assert out == "/etc/*\n"
+
+    def test_grep_over_glob(self, root_ctx):
+        """The rhel7 --force check: grep -Eq '\\[epel\\]' over globbed files."""
+        root_ctx.sys.write_file("/etc/yum.conf", b"[main]\n")
+        root_ctx.sys.mkdir_p("/etc/yum.repos.d")
+        root_ctx.sys.write_file("/etc/yum.repos.d/base.repo", b"[base]\n")
+        st, _, _ = sh(root_ctx,
+                      "grep -Eq '\\[epel\\]' /etc/yum.conf /etc/yum.repos.d/*")
+        assert st == 1
+        root_ctx.sys.write_file("/etc/yum.repos.d/epel.repo", b"[epel]\n")
+        st, _, _ = sh(root_ctx,
+                      "grep -Eq '\\[epel\\]' /etc/yum.conf /etc/yum.repos.d/*")
+        assert st == 0
+
+
+class TestCommandBuiltin:
+    def test_command_v_found(self, root_ctx):
+        st, out, _ = sh(root_ctx, "command -v grep")
+        assert st == 0 and out.strip() == "/usr/bin/grep"
+
+    def test_command_v_missing(self, root_ctx):
+        st, out, _ = sh(root_ctx, "command -v fakeroot > /dev/null")
+        assert st == 1 and out == ""
+
+    def test_command_v_builtin(self, root_ctx):
+        st, out, _ = sh(root_ctx, "command -v cd")
+        assert st == 0 and out.strip() == "cd"
+
+
+class TestUserland:
+    def test_ls_l_format(self, root_ctx):
+        sh(root_ctx, "echo x > /tmp/file.txt; chmod 644 /tmp/file.txt")
+        _, out, _ = sh(root_ctx, "ls -lh /tmp/file.txt")
+        assert out.startswith("-rw-r--r-- 1 root root")
+
+    def test_chown_by_name(self, root_ctx):
+        sh(root_ctx, "touch /tmp/f")
+        st, _, _ = sh(root_ctx, "chown nobody /tmp/f")
+        assert st == 0
+        assert root_ctx.sys.stat("/tmp/f").kuid == 65534
+
+    def test_chown_unknown_user(self, root_ctx):
+        sh(root_ctx, "touch /tmp/f")
+        st, _, err = sh(root_ctx, "chown wizard /tmp/f")
+        assert st == 1 and "invalid user" in err
+
+    def test_mkdir_p_and_rm_r(self, root_ctx):
+        sh(root_ctx, "mkdir -p /tmp/a/b/c; touch /tmp/a/b/c/f")
+        st, _, _ = sh(root_ctx, "rm -rf /tmp/a")
+        assert st == 0 and not root_ctx.sys.exists("/tmp/a")
+
+    def test_id_and_whoami(self, root_ctx):
+        _, out, _ = sh(root_ctx, "whoami")
+        assert out == "root\n"
+        _, out, _ = sh(root_ctx, "id -u")
+        assert out == "0\n"
+
+    def test_uname(self, root_ctx):
+        _, out, _ = sh(root_ctx, "uname -m")
+        assert out == "x86_64\n"
+
+    def test_script_execution(self, root_ctx):
+        install_script(root_ctx.sys, "/usr/bin/hello.sh",
+                       "echo hello from script\n")
+        st, out, _ = sh(root_ctx, "hello.sh")
+        assert st == 0 and out == "hello from script\n"
+
+    def test_useradd_groupadd(self, root_ctx):
+        st, _, _ = sh(root_ctx, "groupadd -r ssh_keys && useradd -r sshd")
+        assert st == 0
+        from repro.userdb import UserDb
+        db = UserDb.load(root_ctx.sys)
+        assert db.group_by_name("ssh_keys") is not None
+        assert db.user_by_name("sshd") is not None
+
+    def test_tar_roundtrip(self, root_ctx):
+        sh(root_ctx, "mkdir -p /tmp/src/sub; echo v > /tmp/src/sub/f")
+        st, _, err = sh(root_ctx, "tar -cf /tmp/a.tar /tmp/src && "
+                                  "mkdir /tmp/dst && "
+                                  "tar -xf /tmp/a.tar -C /tmp/dst")
+        assert st == 0, err
+        assert root_ctx.sys.read_file("/tmp/dst/sub/f") == b"v\n"
+
+    def test_unprivileged_user_cannot_chown(self, alice_ctx):
+        sh(alice_ctx, "touch /home/alice/f")
+        st, _, err = sh(alice_ctx, "chown nobody /home/alice/f")
+        assert st == 1 and "Operation not permitted" in err
+
+    def test_alice_identity(self, alice_ctx):
+        _, out, _ = sh(alice_ctx, "id -u")
+        assert out == "1000\n"
+
+
+class TestArchMismatch:
+    def test_foreign_binary_exec_format_error(self, root_ctx):
+        install_binary(root_ctx.sys, "/usr/bin/armapp", "coreutils.echo",
+                       arch="aarch64")
+        st, _, err = sh(root_ctx, "armapp hi")
+        assert st == 126
+        assert "Exec format error" in err

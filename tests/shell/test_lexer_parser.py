@@ -1,0 +1,157 @@
+"""Lexer and parser tests, including the exact command lines from the
+paper's ch-image --force init steps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.shell import ShellSyntaxError, parse, tokenize
+from repro.shell.ast import IfClause, Pipeline, SimpleCommand
+
+
+def words_of(cmd):
+    return [w.raw() for w in cmd.words]
+
+
+class TestLexer:
+    def test_simple(self):
+        toks = tokenize("echo hello world")
+        assert [t.word.raw() for t in toks] == ["echo", "hello", "world"]
+
+    def test_single_quotes_block_expansion(self):
+        toks = tokenize("echo '$HOME'")
+        assert toks[1].word.segments[0].quote == "'"
+
+    def test_double_quotes(self):
+        toks = tokenize('echo "a b"')
+        assert toks[1].word.raw() == "a b"
+        assert toks[1].word.segments[0].quote == '"'
+
+    def test_mixed_quoting_one_word(self):
+        toks = tokenize("""echo a'b'"c"d""")
+        assert toks[1].word.raw() == "abcd"
+        assert len(toks[1].word.segments) == 4
+
+    def test_backslash_escape(self):
+        toks = tokenize(r"grep \[epel\]")
+        assert toks[1].word.raw() == "[epel]"
+        assert all(s.quote == "'" for s in toks[1].word.segments
+                   if s.text in "[]")
+
+    def test_operators(self):
+        toks = tokenize("a && b || c ; d | e")
+        ops = [t.value for t in toks if t.kind == "OP"]
+        assert ops == ["&&", "||", ";", "|"]
+
+    def test_redirections(self):
+        toks = tokenize("cmd > out 2> err >> app 2>&1 < in")
+        redirs = [t.value for t in toks if t.kind == "REDIR"]
+        assert redirs == [">", "2>", ">>", "2>&1", "<"]
+
+    def test_comments_stripped(self):
+        toks = tokenize("echo hi # comment ; echo bye")
+        assert len([t for t in toks if t.kind == "WORD"]) == 2
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ShellSyntaxError):
+            tokenize("echo 'oops")
+        with pytest.raises(ShellSyntaxError):
+            tokenize('echo "oops')
+
+    def test_line_continuation(self):
+        toks = tokenize("echo a \\\n b")
+        assert len([t for t in toks if t.kind == "WORD"]) == 3
+        assert not [t for t in toks if t.kind == "NEWLINE"]
+
+
+class TestParser:
+    def test_list_and_andor(self):
+        ast = parse("a; b && c || d")
+        assert len(ast.items) == 2
+        assert ast.items[1].ops == ("&&", "||")
+
+    def test_pipeline_negation(self):
+        ast = parse("! fgrep -q _apt /etc/passwd")
+        pipe = ast.items[0].items[0]
+        assert pipe.negated
+
+    def test_pipeline(self):
+        ast = parse("apt-config dump | fgrep -q 'APT::Sandbox'")
+        pipe = ast.items[0].items[0]
+        assert len(pipe.commands) == 2
+
+    def test_if_clause(self):
+        ast = parse("if test -e /x; then echo yes; else echo no; fi")
+        cmd = ast.items[0].items[0].commands[0]
+        assert isinstance(cmd, IfClause)
+        assert cmd.else_body is not None
+
+    def test_elif(self):
+        ast = parse("if a; then b; elif c; then d; else e; fi")
+        cmd = ast.items[0].items[0].commands[0]
+        assert len(cmd.conditions) == 2
+
+    def test_assignments(self):
+        ast = parse("FOO=bar BAZ=qux cmd arg")
+        cmd = ast.items[0].items[0].commands[0]
+        assert isinstance(cmd, SimpleCommand)
+        assert [a[0] for a in cmd.assignments] == ["FOO", "BAZ"]
+        assert words_of(cmd) == ["cmd", "arg"]
+
+    def test_assignment_only(self):
+        ast = parse("FOO=bar")
+        cmd = ast.items[0].items[0].commands[0]
+        assert cmd.assignments[0][0] == "FOO"
+        assert not cmd.words
+
+    def test_rhel7_init_line_parses(self):
+        """The exact §5.3.1 rhel7 init step."""
+        line = (
+            "set -ex; if ! grep -Eq '\\[epel\\]' /etc/yum.conf "
+            "/etc/yum.repos.d/*; then yum install -y epel-release; "
+            "yum-config-manager --disable epel; fi; "
+            "yum --enablerepo=epel install -y fakeroot"
+        )
+        ast = parse(line)
+        assert len(ast.items) == 3
+        if_cmd = ast.items[1].items[0].commands[0]
+        assert isinstance(if_cmd, IfClause)
+        assert if_cmd.conditions[0].items[0].items[0].negated
+
+    def test_debderiv_check_line_parses(self):
+        """The §5.3.2 debderiv check."""
+        line = ("apt-config dump | fgrep -q 'APT::Sandbox::User \"root\"' "
+                "|| ! fgrep -q _apt /etc/passwd")
+        ast = parse(line)
+        andor = ast.items[0]
+        assert andor.ops == ("||",)
+        assert andor.items[1].negated
+
+    def test_redirect_parse(self):
+        ast = parse("echo 'APT::Sandbox::User \"root\";' > "
+                    "/etc/apt/apt.conf.d/no-sandbox")
+        cmd = ast.items[0].items[0].commands[0]
+        assert cmd.redirects[0].op == ">"
+        assert cmd.redirects[0].target.raw() == "/etc/apt/apt.conf.d/no-sandbox"
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("&& foo")
+
+    def test_unterminated_if(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("if a; then b")
+
+
+# -- property: tokenizing rendered plain words round-trips -----------------------
+
+_plain = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters="-_./=:"),
+    min_size=1, max_size=12,
+).filter(lambda s: "=" not in s or not s[0].isalpha())
+
+
+@given(st.lists(_plain, min_size=1, max_size=6))
+def test_tokenize_roundtrip_plain_words(words):
+    toks = tokenize(" ".join(words))
+    assert [t.word.raw() for t in toks if t.kind == "WORD"] == words

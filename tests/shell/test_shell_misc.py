@@ -1,0 +1,133 @@
+"""Additional shell behaviours: builtins, expansions, error paths."""
+
+import pytest
+
+from repro.shell import OutputSink, render_argv, run_shell
+from repro.shell.expand import expand_string
+
+
+def sh(ctx, script):
+    child = ctx.child(stdout=OutputSink(), stderr=OutputSink())
+    status = run_shell(child, script)
+    return status, child.stdout.text(), child.stderr.text()
+
+
+class TestBuiltinsMisc:
+    def test_pwd(self, root_ctx):
+        root_ctx.sys.chdir("/etc")
+        _, out, _ = sh(root_ctx, "pwd")
+        assert out == "/etc\n"
+
+    def test_cd_home_default(self, root_ctx):
+        root_ctx.sys.mkdir_p("/root")
+        st, _, _ = sh(root_ctx, "cd")
+        assert st == 0
+        assert root_ctx.sys.getcwd() == "/root"
+
+    def test_cd_missing_dir(self, root_ctx):
+        st, _, err = sh(root_ctx, "cd /nonexistent")
+        assert st == 1 and "cd:" in err
+
+    def test_export_and_unset(self, root_ctx):
+        st, out, _ = sh(root_ctx,
+                        "export FOO=1; echo $FOO; unset FOO; echo [$FOO]")
+        assert out == "1\n[]\n"
+
+    def test_umask_builtin(self, root_ctx):
+        _, out, _ = sh(root_ctx, "umask")
+        assert out.strip() == "0022"
+        st, _, _ = sh(root_ctx, "umask 077")
+        assert st == 0
+
+    def test_exit_without_status_uses_last(self, root_ctx):
+        st, _, _ = sh(root_ctx, "false; exit")
+        assert st == 1
+
+    def test_colon_noop(self, root_ctx):
+        st, _, _ = sh(root_ctx, ": ignored args")
+        assert st == 0
+
+    def test_test_builtin_operators(self, root_ctx):
+        for expr, expected in [
+            ("-n x", 0), ("-z ''", 0), ("-z x", 1),
+            ("5 -eq 5", 0), ("5 -ne 4", 0), ("2 -le 1", 1),
+            ("abc != abd", 0),
+        ]:
+            st, _, _ = sh(root_ctx, f"test {expr}")
+            assert st == expected, expr
+
+    def test_test_file_operators(self, root_ctx):
+        root_ctx.sys.write_file("/tmp/f", b"content")
+        root_ctx.sys.mkdir_p("/tmp/d")
+        assert sh(root_ctx, "test -f /tmp/f")[0] == 0
+        assert sh(root_ctx, "test -d /tmp/d")[0] == 0
+        assert sh(root_ctx, "test -d /tmp/f")[0] == 1
+        assert sh(root_ctx, "test -s /tmp/f")[0] == 0
+        assert sh(root_ctx, "test -e /tmp/missing")[0] == 1
+
+    def test_bracket_missing_close(self, root_ctx):
+        st, _, err = sh(root_ctx, "[ x = x")
+        assert st == 2 and "missing ]" in err
+
+
+class TestErrorPaths:
+    def test_syntax_error_status_2(self, root_ctx):
+        st, _, err = sh(root_ctx, "if true; then echo x")
+        assert st == 2 and "syntax error" in err
+
+    def test_redirect_missing_input(self, root_ctx):
+        st, _, err = sh(root_ctx, "cat < /nope")
+        assert st == 1 and "No such file" in err
+
+    def test_exec_permission_126(self, root_ctx):
+        root_ctx.sys.write_file("/tmp/noexec", b"#!/bin/sh\necho hi\n")
+        st, _, _ = sh(root_ctx, "/tmp/noexec")
+        assert st == 126
+
+    def test_background_jobs_rejected(self, root_ctx):
+        st, _, err = sh(root_ctx, "sleep 1 &")
+        assert st == 2
+
+
+class TestExpansion:
+    def test_expand_string_forms(self):
+        env = {"A": "1", "LONG_name2": "x"}
+        assert expand_string("$A", env) == "1"
+        assert expand_string("${A}", env) == "1"
+        assert expand_string("$LONG_name2!", env) == "x!"
+        assert expand_string("$MISSING", env) == ""
+        assert expand_string("no vars", env) == "no vars"
+
+    def test_positional_params(self, root_ctx):
+        from repro.shell.install import install_script
+        install_script(root_ctx.sys, "/usr/bin/args.sh",
+                       'echo "$0 got $1 and $2 (count $#)"\n')
+        st, out, _ = sh(root_ctx, "args.sh one two")
+        assert st == 0
+        assert "got one and two (count 2)" in out
+
+    def test_render_argv_quoting(self):
+        assert render_argv(["echo", "plain"]) == "echo plain"
+        assert render_argv(["echo", "two words"]) == "echo 'two words'"
+        assert render_argv(["grep", "[epel]"]) == "grep '[epel]'"
+        assert render_argv(["x", ""]) == "x ''"
+
+
+class TestNestedControl:
+    def test_nested_if(self, root_ctx):
+        _, out, _ = sh(root_ctx,
+                       "if true; then if false; then echo a; "
+                       "else echo b; fi; fi")
+        assert out == "b\n"
+
+    def test_if_with_pipeline_condition(self, root_ctx):
+        root_ctx.sys.write_file("/etc/test.conf", b"enabled=1\n")
+        _, out, _ = sh(root_ctx,
+                       "if cat /etc/test.conf | grep -q enabled; "
+                       "then echo on; fi")
+        assert out == "on\n"
+
+    def test_andor_chain_with_if(self, root_ctx):
+        _, out, _ = sh(root_ctx,
+                       "test -e /etc/passwd && echo have || echo missing")
+        assert out == "have\n"

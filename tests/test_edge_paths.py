@@ -1,0 +1,127 @@
+"""Edge-path tests across modules: executor limits, config plumbing,
+error branches not covered elsewhere."""
+
+import pytest
+
+from repro.containers import Podman
+from repro.errors import Errno, KernelError
+from repro.kernel import FileType, Syscalls
+from repro.shell import ExecContext, OutputSink, execute
+from repro.shell.install import install_binary, install_script
+
+
+class TestExecutor:
+    def _ctx(self, login, alice):
+        return ExecContext(alice, Syscalls(alice),
+                           env={"PATH": "/usr/bin:/bin"})
+
+    def test_recursion_limit(self, login, alice):
+        root = login.root_sys()
+        install_script(root, "/usr/bin/loop.sh", "loop.sh\n")
+        install_binary(root, "/usr/bin/sh", "sh.posix")
+        ctx = self._ctx(login, alice)
+        sink = OutputSink()
+        status = execute(ctx.child(stdout=sink, stderr=sink), ["loop.sh"])
+        assert status == 126
+        assert "recursion limit" in sink.text()
+
+    def test_broken_impl_reference(self, login, alice):
+        root = login.root_sys()
+        install_binary(root, "/usr/bin/ghost", "no.such.impl")
+        ctx = self._ctx(login, alice)
+        sink = OutputSink()
+        status = execute(ctx.child(stdout=sink, stderr=sink), ["ghost"])
+        assert status == 126
+        assert "broken executable" in sink.text()
+
+    def test_raw_binary_without_impl(self, login, alice):
+        root = login.root_sys()
+        root.write_file("/usr/bin/blob", b"\x7fELF raw")
+        root.chmod("/usr/bin/blob", 0o755)
+        ctx = self._ctx(login, alice)
+        sink = OutputSink()
+        status = execute(ctx.child(stdout=sink, stderr=sink), ["blob"])
+        assert status == 126
+        assert "cannot execute binary file" in sink.text()
+
+    def test_empty_argv(self, login, alice):
+        ctx = self._ctx(login, alice)
+        assert execute(ctx, []) == 0
+
+
+class TestBuildahConfig:
+    def test_cmd_entrypoint_and_run(self, login, alice):
+        podman = Podman(login, alice)
+        df = ('FROM centos:7\n'
+              'ENV APP_MODE=fast\n'
+              'LABEL maintainer=alice\n'
+              'WORKDIR /srv\n'
+              'ENTRYPOINT ["echo", "entry:"]\n'
+              'CMD ["default"]\n')
+        res = podman.build(df, "cfg")
+        assert res.success, res.text
+        img = podman.buildah.images["cfg"]
+        assert img.config.entrypoint == ("echo", "entry:")
+        assert img.config.cmd == ("default",)
+        assert ("maintainer", "alice") in img.config.labels
+        assert "APP_MODE=fast" in img.config.env
+        out = podman.run("cfg", [])
+        assert out.status == 0
+        assert out.output.strip() == "entry: default"
+        out = podman.run("cfg", ["override"])
+        assert out.output.strip() == "entry: override"
+
+    def test_exec_form_run(self, login, alice):
+        podman = Podman(login, alice)
+        df = 'FROM centos:7\nRUN ["/usr/bin/echo", "exec form"]\n'
+        res = podman.build(df, "ef")
+        assert res.success
+        assert "exec form" in res.text
+
+
+class TestMknodValidation:
+    def test_invalid_type_einval(self, login, alice):
+        sys = Syscalls(alice)
+        with pytest.raises(KernelError) as exc:
+            sys.mknod("/home/alice/x", FileType.DIR)
+        assert exc.value.errno == Errno.EINVAL
+
+
+class TestFakerootStateErrors:
+    def test_save_to_unwritable_location(self, login, alice):
+        from repro.fakeroot import FAKEROOT_CLASSIC, FakerootSyscalls
+        fr = FakerootSyscalls(Syscalls(alice), FAKEROOT_CLASSIC)
+        with pytest.raises(KernelError):
+            fr.save_state("/etc/state")  # not writable by alice
+
+    def test_load_missing_file(self, login, alice):
+        from repro.fakeroot import FAKEROOT_CLASSIC, FakerootSyscalls
+        fr = FakerootSyscalls(Syscalls(alice), FAKEROOT_CLASSIC)
+        with pytest.raises(KernelError):
+            fr.load_state("/home/alice/nope")
+
+
+class TestArchiveSymlinkDiff:
+    def test_diff_carries_symlink_changes(self, login):
+        from repro.containers.storage import VfsDriver
+        sys0 = login.root_sys()
+        sys0.mkdir_p("/w")
+        driver = VfsDriver(sys0, "/st")
+        driver._snapshots["/w"] = {}
+        driver._diff_since_snapshot("/w")
+        sys0.symlink("/target", "/w/lnk")
+        diff, _ = driver._diff_since_snapshot("/w")
+        assert [m.path for m in diff] == ["lnk"]
+        sys0.mkdir_p("/w2")
+        diff.apply_diff(sys0, "/w2")
+        assert sys0.readlink("/w2/lnk") == "/target"
+
+    def test_apply_diff_replaces_symlink(self, login):
+        from repro.archive import TarArchive, TarMember
+        sys0 = login.root_sys()
+        sys0.mkdir_p("/y")
+        sys0.symlink("/old", "/y/l")
+        diff = TarArchive([TarMember("l", FileType.SYMLINK, 0o777, 0, 0,
+                                     target="/new")])
+        diff.apply_diff(sys0, "/y")
+        assert sys0.readlink("/y/l") == "/new"

@@ -1,0 +1,75 @@
+"""Network scoping tests: offline machines, blocked prefixes, registries."""
+
+import pytest
+
+from repro.containers import Registry
+from repro.core import ChImage
+from repro.distro import make_universe
+from repro.errors import PackageError, RegistryError
+from repro.net import Network
+
+
+class TestNetwork:
+    def test_offline_repo(self):
+        net = Network(universe=make_universe(), online=False)
+        with pytest.raises(PackageError) as exc:
+            net.repo("centos7/base-x86_64")
+        assert "unreachable" in str(exc.value)
+
+    def test_offline_registry(self):
+        net = Network(registries={"docker.io": Registry("docker.io")},
+                      online=False)
+        with pytest.raises(RegistryError):
+            net.registry("docker.io")
+
+    def test_no_universe(self):
+        net = Network()
+        with pytest.raises(PackageError):
+            net.repo("x/y")
+
+    def test_unknown_registry(self):
+        net = Network()
+        with pytest.raises(RegistryError):
+            net.registry("nowhere.example")
+
+    def test_blocked_prefixes(self):
+        net = Network(universe=make_universe(),
+                      blocked_repo_prefixes=("site/",))
+        assert net.has_repo("centos7/base-x86_64")
+        assert not net.has_repo("site/licensed-x86_64")
+        with pytest.raises(PackageError) as exc:
+            net.repo("repo://site/licensed-x86_64")
+        assert "site-internal" in str(exc.value)
+
+    def test_repo_scheme_stripping(self):
+        net = Network(universe=make_universe())
+        assert net.repo("repo://centos7/base-x86_64") is \
+            net.repo("centos7/base-x86_64")
+
+
+class TestAirGappedBuild:
+    def test_build_fails_offline(self, login, alice):
+        """'Security-sensitive applications ... have stringent restrictions':
+        an air-gapped node cannot even pull the base image."""
+        login.kernel.network.online = False
+        ch = ChImage(login, alice)
+        r = ch.build(tag="x", dockerfile="FROM centos:7\nRUN true\n")
+        assert not r.success
+        assert "cannot pull" in r.error
+
+    def test_cached_base_allows_offline_run(self, login, alice):
+        """...but an image pulled while online keeps working offline."""
+        ch = ChImage(login, alice)
+        path = ch.pull("centos:7")
+        login.kernel.network.online = False
+        from repro.core import ChRun
+        res = ChRun(login, alice).run(path, ["cat", "/etc/redhat-release"])
+        assert res.status == 0
+
+    def test_offline_yum_inside_container_fails(self, login, alice):
+        ch = ChImage(login, alice)
+        ch.pull("centos:7")
+        login.kernel.network.online = False
+        r = ch.build(tag="x", force=True,
+                     dockerfile="FROM centos:7\nRUN yum install -y gcc\n")
+        assert not r.success

@@ -1,0 +1,100 @@
+"""Structural privilege audit: measure the paper's §2.2 terminology over
+every process each builder actually spawns (via the kernel's spawn log,
+which survives short-lived helpers being reaped).
+
+* *fully unprivileged* (Charliecloud): no process at any point holds any
+  capability with respect to the initial user namespace, and every process
+  keeps the invoking user's host UID.
+* *mostly unprivileged* (rootless Podman): same, EXCEPT the setcap helper
+  processes (newuidmap/newgidmap) — and only those.
+* Type I (Docker): the build itself runs with host root.
+"""
+
+import pytest
+
+from repro.containers import DockerDaemon, Podman
+from repro.core import ChImage
+from repro.kernel import Cap
+from tests.conftest import FIG2_DOCKERFILE
+
+HELPER_COMMS = {"newuidmap", "newgidmap"}
+
+
+def _audit(kernel, first_pid, *, invoking_uid):
+    """Classify every process spawned after *first_pid* from the spawn log.
+
+    Returns (privileged, helpers): entries whose spawn-time credentials held
+    init-namespace capabilities or a foreign UID, and the shadow-utils
+    helper entries, respectively.
+    """
+    privileged = []
+    helpers = []
+    for pid, comm, euid, caps, userns in kernel.spawn_log:
+        if pid <= first_pid:
+            continue
+        if comm in HELPER_COMMS:
+            helpers.append((pid, comm, euid, caps))
+            continue
+        # caps held wrt the INITIAL namespace only count when the process
+        # lives in it; container-root caps in child namespaces are fine.
+        has_init_caps = bool(caps) and userns is kernel.init_userns
+        if has_init_caps or euid != invoking_uid:
+            privileged.append((pid, comm, euid, caps))
+    return privileged, helpers
+
+
+class TestFullyUnprivileged:
+    def test_chimage_force_build_spawns_no_privileged_process(self, login,
+                                                              alice):
+        first = max(login.kernel.processes)
+        ch = ChImage(login, alice)
+        r = ch.build(tag="foo", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r.success
+        privileged, helpers = _audit(login.kernel, first, invoking_uid=1000)
+        assert privileged == []
+        assert helpers == []  # not even setcap helpers
+
+    def test_chimage_seccomp_build_also_clean(self, login, alice):
+        first = max(login.kernel.processes)
+        ch = ChImage(login, alice, force_mode="seccomp")
+        r = ch.build(tag="foo", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r.success
+        privileged, helpers = _audit(login.kernel, first, invoking_uid=1000)
+        assert privileged == [] and helpers == []
+
+
+class TestMostlyUnprivileged:
+    def test_podman_build_privilege_confined_to_helpers(self, login, alice):
+        first = max(login.kernel.processes)
+        podman = Podman(login, alice)
+        r = podman.build(FIG2_DOCKERFILE, "foo")
+        assert r.success
+        privileged, helpers = _audit(login.kernel, first, invoking_uid=1000)
+        # "Podman itself remains completely unprivileged; instead a set of
+        # carefully managed tools ... are executed by Podman" (§4.1)
+        assert privileged == []
+        assert helpers  # the setcap helpers did run
+
+    def test_helper_capabilities_are_minimal(self, login, alice):
+        """§4.1: 'installed using CAP_SETUID, which helps minimize risk ...
+        compared to using a SETUID bit' — the helper holds exactly the two
+        set-ID capabilities, not full root."""
+        first = max(login.kernel.processes)
+        Podman(login, alice)
+        helper_caps = [caps for pid, comm, _, caps, _
+                       in login.kernel.spawn_log
+                       if pid > first and comm in HELPER_COMMS]
+        assert helper_caps
+        for caps in helper_caps:
+            assert caps == frozenset({Cap.SETUID, Cap.SETGID})
+
+
+class TestTypeOnePrivileged:
+    def test_docker_build_runs_as_host_root(self, login, alice):
+        first = max(login.kernel.processes)
+        docker = DockerDaemon(login, docker_group={1000})
+        r = docker.build(alice, FIG2_DOCKERFILE, "foo")
+        assert r.success
+        privileged, _ = _audit(login.kernel, first, invoking_uid=1000)
+        # the daemon and its container children are host root
+        assert any(euid == 0 for _, _, euid, _ in privileged)

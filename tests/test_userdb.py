@@ -1,0 +1,115 @@
+"""Tests for /etc/passwd//etc/group parsing and the host/container name
+divergence the paper's footnote 4 describes."""
+
+import pytest
+
+from repro.kernel import Kernel, Syscalls, make_ext4
+from repro.userdb import GroupEntry, PasswdEntry, UserDb, UserDbError
+
+PASSWD = """\
+root:x:0:0:root:/root:/bin/sh
+_apt:x:100:65534::/nonexistent:/usr/sbin/nologin
+nobody:x:65534:65534:nobody:/:/sbin/nologin
+"""
+
+GROUP = """\
+root:x:0:
+adm:x:4:alice,bob
+ssh_keys:x:998:
+"""
+
+
+class TestParsing:
+    def test_passwd(self):
+        entries = UserDb.parse_passwd(PASSWD)
+        assert entries[1].name == "_apt"
+        assert entries[1].uid == 100
+        assert entries[1].gid == 65534
+
+    def test_group(self):
+        groups = UserDb.parse_group(GROUP)
+        assert groups[1].members == ("alice", "bob")
+        assert groups[2].gid == 998
+
+    def test_bad_passwd(self):
+        with pytest.raises(UserDbError):
+            UserDb.parse_passwd("root:x:0\n")
+        with pytest.raises(UserDbError):
+            UserDb.parse_passwd("root:x:zero:0:::\n")
+
+    def test_comments_and_blanks_skipped(self):
+        assert UserDb.parse_passwd("# comment\n\n") == []
+
+    def test_format_roundtrip(self):
+        db = UserDb(UserDb.parse_passwd(PASSWD), UserDb.parse_group(GROUP))
+        again = UserDb(
+            UserDb.parse_passwd(
+                "".join(e.format() + "\n" for e in db.passwd)),
+            UserDb.parse_group(
+                "".join(g.format() + "\n" for g in db.groups)))
+        assert again.user_by_name("_apt").uid == 100
+        assert again.group_by_name("adm").members == ("alice", "bob")
+
+
+class TestQueries:
+    @pytest.fixture
+    def db(self):
+        return UserDb(UserDb.parse_passwd(PASSWD), UserDb.parse_group(GROUP))
+
+    def test_lookups(self, db):
+        assert db.user_by_uid(100).name == "_apt"
+        assert db.group_by_gid(998).name == "ssh_keys"
+        assert db.user_by_name("nope") is None
+
+    def test_name_rendering_with_defaults(self, db):
+        assert db.username(0) == "root"
+        assert db.username(4242) == "4242"
+        assert db.username(4242, default="nobody") == "nobody"
+
+    def test_resolve(self, db):
+        assert db.resolve_owner("root") == 0
+        assert db.resolve_owner("100") == 100
+        assert db.resolve_group("ssh_keys") == 998
+        with pytest.raises(UserDbError):
+            db.resolve_owner("wizard")
+
+    def test_system_id_allocation(self, db):
+        uid = db.next_system_uid()
+        assert 200 <= uid <= 999
+        db.add_user(PasswdEntry("svc", uid, uid))
+        assert db.next_system_uid() != uid
+
+    def test_add_duplicate_rejected(self, db):
+        with pytest.raises(UserDbError):
+            db.add_user(PasswdEntry("root", 5, 5))
+        with pytest.raises(UserDbError):
+            db.add_group(GroupEntry("adm", 44))
+
+
+class TestLoadStore:
+    def test_load_missing_files_empty(self):
+        k = Kernel(make_ext4())
+        db = UserDb.load(Syscalls(k.init_process))
+        assert db.passwd == [] and db.groups == []
+
+    def test_store_and_load(self):
+        k = Kernel(make_ext4())
+        sys0 = Syscalls(k.init_process)
+        sys0.mkdir_p("/etc")
+        db = UserDb([PasswdEntry("root", 0, 0)], [GroupEntry("root", 0)])
+        db.store(sys0)
+        again = UserDb.load(sys0)
+        assert again.user_by_name("root").uid == 0
+
+    def test_per_tree_views_differ(self):
+        """Footnote 4: the same ID renders differently per tree."""
+        k = Kernel(make_ext4())
+        sys0 = Syscalls(k.init_process)
+        sys0.mkdir_p("/etc")
+        sys0.mkdir_p("/image/etc")
+        UserDb([PasswdEntry("alice", 1000, 1000)], []).store(sys0)
+        UserDb([PasswdEntry("builder", 1000, 1000)], []).store(sys0, "/image")
+        host = UserDb.load(sys0)
+        image = UserDb.load(sys0, "/image")
+        assert host.username(1000) == "alice"
+        assert image.username(1000) == "builder"
