@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import ReproError
+from ..obs.trace import maybe_span
 
 __all__ = ["CiJob", "CiStage", "CiPipeline", "CiServer", "CiError"]
 
@@ -65,10 +66,15 @@ class PipelineResult:
 
 @dataclass
 class CiPipeline:
-    """An ordered sequence of stages."""
+    """An ordered sequence of stages.
+
+    ``tracer`` is an optional :class:`~repro.obs.SyscallTracer`; when set,
+    the run is recorded as pipeline/stage/job spans (the deploy phases of
+    the §4.2 Astra workflow show up in the same trace as the build)."""
 
     name: str
     stages: list[CiStage] = field(default_factory=list)
+    tracer: Optional[object] = None
 
     def stage(self, name: str) -> CiStage:
         s = CiStage(name)
@@ -76,27 +82,46 @@ class CiPipeline:
         return s
 
     def run(self) -> PipelineResult:
-        for stage in self.stages:
-            if not stage.jobs:
-                raise CiError(f"stage {stage.name!r} has no jobs")
-            for job in stage.jobs:
-                job.status, job.output = job.run()
-            if not stage.passed:
-                return PipelineResult(self, False, failed_stage=stage.name)
-        return PipelineResult(self, True)
+        with maybe_span(self.tracer, f"pipeline {self.name}",
+                        "pipeline") as psp:
+            for stage in self.stages:
+                if not stage.jobs:
+                    raise CiError(f"stage {stage.name!r} has no jobs")
+                with maybe_span(self.tracer, f"stage {stage.name}",
+                                "stage") as ssp:
+                    for job in stage.jobs:
+                        with maybe_span(self.tracer, f"job {job.name}",
+                                        "job") as jsp:
+                            job.status, job.output = job.run()
+                            if jsp is not None and not job.passed:
+                                jsp.fail(f"exited with {job.status}")
+                    if ssp is not None and not stage.passed:
+                        ssp.fail("stage failed")
+                if not stage.passed:
+                    if psp is not None:
+                        psp.fail(f"failed at stage {stage.name}")
+                    return PipelineResult(self, False,
+                                          failed_stage=stage.name)
+            return PipelineResult(self, True)
 
 
 class CiServer:
-    """The coordinating server: holds pipelines and their history."""
+    """The coordinating server: holds pipelines and their history.
+
+    An attached ``tracer`` propagates to pipelines created through
+    :meth:`new_pipeline` (and to untraced pipelines at trigger time)."""
 
     def __init__(self, name: str = "gitlab"):
         self.name = name
         self.history: list[PipelineResult] = []
+        self.tracer = None
 
     def new_pipeline(self, name: str) -> CiPipeline:
-        return CiPipeline(name)
+        return CiPipeline(name, tracer=self.tracer)
 
     def trigger(self, pipeline: CiPipeline) -> PipelineResult:
+        if pipeline.tracer is None:
+            pipeline.tracer = self.tracer
         result = pipeline.run()
         self.history.append(result)
         return result

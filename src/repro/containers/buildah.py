@@ -24,6 +24,7 @@ from typing import Optional
 from ..archive import TarArchive
 from ..errors import BuildError, Errno, KernelError, RegistryError
 from ..kernel import Process, Syscalls
+from ..obs.trace import instrument_syscalls, kernel_span
 from ..shell import OutputSink, execute
 from .dockerfile import Instruction, parse_dockerfile, split_env_args
 from .oci import ImageConfig, ImageRef, Manifest
@@ -37,6 +38,7 @@ __all__ = ["Buildah", "BuildResult", "IgnoreChownSyscalls",
 DEFAULT_REGISTRY = "docker.io"
 
 
+@instrument_syscalls("ignore-chown")
 class IgnoreChownSyscalls(Syscalls):
     """The --ignore-chown-errors mode: chown failures are swallowed, so the
     single mapped ID absorbs all ownership (paper §4.1.1)."""
@@ -151,23 +153,41 @@ class Buildah:
     def build(self, dockerfile: str, tag: str) -> BuildResult:
         """Build *dockerfile*, tagging the result *tag* in local storage."""
         result = BuildResult(tag=tag, success=False)
+        with kernel_span(self.machine.kernel, f"build {tag}", "build",
+                         tag=tag, builder="buildah") as sp:
+            self._build(dockerfile, tag, result)
+            if sp is not None and not result.success:
+                sp.fail(result.error or "build failed")
+        return result
+
+    def _inst_span(self, lineno: int, kind: str, args: str):
+        text = f"{kind} {args}".strip()
+        return kernel_span(self.machine.kernel, f"{lineno} {text}"[:80],
+                           "instruction", lineno=lineno, inst_kind=kind,
+                           text=text)
+
+    def _build(self, dockerfile: str, tag: str,
+               result: BuildResult) -> None:
         out = result.transcript.append
         try:
             instructions = parse_dockerfile(dockerfile)
         except BuildError as err:
             result.error = str(err)
             out(f"Error: {err}")
-            return result
+            return
 
         total = len(instructions)
         base_ref = instructions[0].args.split()[0]
         out(f"STEP 1/{total}: FROM {base_ref}")
-        try:
-            base = self.pull(base_ref)
-        except (BuildError, RegistryError, ContainerError) as err:
-            result.error = str(err)
-            out(f"Error: {err}")
-            return result
+        with self._inst_span(1, "FROM", base_ref) as sp:
+            try:
+                base = self.pull(base_ref)
+            except (BuildError, RegistryError, ContainerError) as err:
+                result.error = str(err)
+                out(f"Error: {err}")
+                if sp is not None:
+                    sp.fail(result.error)
+                return
 
         build_name = f"build-{tag}"
         tree = self.driver.begin_build(base.name, build_name)
@@ -223,37 +243,41 @@ class Buildah:
             if inst.kind in ("EXPOSE", "VOLUME", "USER", "SHELL"):
                 continue  # recorded nowhere; harmless for HPC images
 
-            if inst.kind in ("COPY", "ADD"):
-                status = self._do_copy(inst, tree, out)
-            elif inst.kind == "RUN":
-                if self.layers_cache and chain in self._cache:
-                    out("--> Using cache")
-                    result.cache_hits += 1
-                    entry = self._cache[chain]
-                    # apply the cached diff instead of re-running the command
-                    entry.layer.apply_diff(self.driver.sys, tree)
-                    layers.append(entry.layer)
-                    continue
-                status = self._do_run(inst, tree, env, workdir, out)
-            else:  # pragma: no cover - parser prevents this
-                status = 0
+            with self._inst_span(i, inst.kind, inst.args) as sp:
+                if inst.kind in ("COPY", "ADD"):
+                    status = self._do_copy(inst, tree, out)
+                elif inst.kind == "RUN":
+                    if self.layers_cache and chain in self._cache:
+                        out("--> Using cache")
+                        result.cache_hits += 1
+                        entry = self._cache[chain]
+                        # apply the cached diff instead of re-running the
+                        # command
+                        entry.layer.apply_diff(self.driver.sys, tree)
+                        layers.append(entry.layer)
+                        continue
+                    status = self._do_run(inst, tree, env, workdir, out)
+                else:  # pragma: no cover - parser prevents this
+                    status = 0
 
-            if status != 0:
-                result.error = (f"building at STEP \"{inst.kind} "
-                                f"{inst.args}\": exit status {status}")
-                out(f"Error: {result.error}")
-                return result
-            result.instructions_run += 1
-            layer = self.driver.commit(tree, message=inst.args)
-            layers.append(layer)
-            if self.layers_cache and inst.kind == "RUN":
-                self._cache[chain] = _CacheEntry(layer=layer, config=config)
+                if status != 0:
+                    result.error = (f"building at STEP \"{inst.kind} "
+                                    f"{inst.args}\": exit status {status}")
+                    out(f"Error: {result.error}")
+                    if sp is not None:
+                        sp.fail(result.error)
+                    return
+                result.instructions_run += 1
+                layer = self.driver.commit(tree, message=inst.args)
+                layers.append(layer)
+                if self.layers_cache and inst.kind == "RUN":
+                    self._cache[chain] = _CacheEntry(layer=layer,
+                                                     config=config)
 
         config = config.with_history(f"built from {base.name}")
         out(f"COMMIT {tag}")
         self.images[tag] = LocalImage(tag, config, layers, tree)
         result.success = True
-        return result
 
     def _do_copy(self, inst: Instruction, tree: str, out) -> int:
         parts = inst.args.split()

@@ -16,6 +16,7 @@ from typing import Iterable, Optional
 
 from ..archive import TarArchive
 from ..errors import RegistryError
+from ..obs.trace import maybe_span
 from .oci import ImageConfig, ImageRef, Manifest
 
 __all__ = ["Registry", "TransferStats"]
@@ -43,6 +44,10 @@ class Registry:
         self._manifest_log: list[tuple[str, str, str]] = []  # persistence
         self._policies: dict[str, bool] = {}  # repo -> require_flattened
         self.stats = TransferStats()
+        #: Optional :class:`~repro.obs.SyscallTracer` — registries have no
+        #: kernel of their own, so callers attach one explicitly to get
+        #: push/pull spans.
+        self.tracer = None
 
     # -- blob plumbing --------------------------------------------------------------
 
@@ -97,15 +102,20 @@ class Registry:
         if isinstance(ref, str):
             ref = ImageRef.parse(ref)
         layers = list(layers)
-        self._check_policy(ref, layers)
-        digests = tuple(self._put_blob(layer.serialize()) for layer in layers)
-        if not digests:
-            raise RegistryError("cannot push an image with no layers")
-        manifest = Manifest(config=config, layers=digests)
-        variants = self._manifests.setdefault((ref.repository, ref.tag), {})
-        variants[config.arch] = manifest
-        self._manifest_log.append((ref.repository, ref.tag,
-                                   manifest.digest()))
+        with maybe_span(self.tracer,
+                        f"push {ref.repository}:{ref.tag}", "push",
+                        registry=self.name, layers=len(layers)):
+            self._check_policy(ref, layers)
+            digests = tuple(self._put_blob(layer.serialize())
+                            for layer in layers)
+            if not digests:
+                raise RegistryError("cannot push an image with no layers")
+            manifest = Manifest(config=config, layers=digests)
+            variants = self._manifests.setdefault(
+                (ref.repository, ref.tag), {})
+            variants[config.arch] = manifest
+            self._manifest_log.append((ref.repository, ref.tag,
+                                       manifest.digest()))
         return manifest
 
     def pull(self, ref: ImageRef | str, *, arch: Optional[str] = None
@@ -114,9 +124,12 @@ class Registry:
         returns (config, layers base-first)."""
         if isinstance(ref, str):
             ref = ImageRef.parse(ref)
-        manifest = self.manifest(ref, arch=arch)
-        layers = [TarArchive.deserialize(self._get_blob(d))
-                  for d in manifest.layers]
+        with maybe_span(self.tracer,
+                        f"pull {ref.repository}:{ref.tag}", "pull",
+                        registry=self.name):
+            manifest = self.manifest(ref, arch=arch)
+            layers = [TarArchive.deserialize(self._get_blob(d))
+                      for d in manifest.layers]
         return manifest.config, layers
 
     def manifest(self, ref: ImageRef | str, *,

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from ..archive import TarArchive, TarMember
 from ..errors import ReproError
 from ..kernel import FileType, Syscalls
+from ..obs.trace import kernel_span
 
 __all__ = ["DriverStats", "StorageDriver", "VfsDriver", "OverlayDriver",
            "DriverError", "make_driver"]
@@ -79,6 +80,10 @@ class StorageDriver:
     def _check_backing_fs(self) -> None:
         pass
 
+    def _span(self, name: str, **meta):
+        return kernel_span(self.sys.proc.kernel, name, "layer",
+                           driver=self.name, **meta)
+
     # -- paths ------------------------------------------------------------------
 
     def image_path(self, name: str) -> str:
@@ -113,15 +118,16 @@ class StorageDriver:
         path = self.image_path(name)
         if self.sys.exists(path):
             raise DriverError(f"image {name!r} already in storage")
-        self.sys.mkdir_p(path)
-        warnings: list[str] = []
-        for layer in layers:
-            warnings += layer.extract(self.sys, path,
-                                      preserve_owner=preserve_owner,
-                                      on_chown_error=on_chown_error)
-            self.stats.meta_ops += len(layer)
-            self.stats.bytes_copied += layer.total_bytes()
-        self._snapshots[path] = _snapshot(self.sys, path)
+        with self._span(f"unpack {name}", layers=len(layers)):
+            self.sys.mkdir_p(path)
+            warnings: list[str] = []
+            for layer in layers:
+                warnings += layer.extract(self.sys, path,
+                                          preserve_owner=preserve_owner,
+                                          on_chown_error=on_chown_error)
+                self.stats.meta_ops += len(layer)
+                self.stats.bytes_copied += layer.total_bytes()
+            self._snapshots[path] = _snapshot(self.sys, path)
         return path
 
     def begin_build(self, base_name: str, build_name: str) -> str:
@@ -133,9 +139,12 @@ class StorageDriver:
         snapshot (manifests are driver-independent); drivers differ in what
         the commit costs (vfs: a full tree copy at rest; overlay: the diff).
         """
-        diff, full = self._diff_since_snapshot(build_path)
-        self.stats.commits += 1
-        self._charge_commit(diff, full)
+        with self._span(f"commit {build_path}") as sp:
+            diff, full = self._diff_since_snapshot(build_path)
+            self.stats.commits += 1
+            self._charge_commit(diff, full)
+            if sp is not None:
+                sp.meta["diff_members"] = len(diff)
         return diff
 
     def _charge_commit(self, diff: TarArchive, full: TarArchive) -> None:
@@ -198,12 +207,13 @@ class VfsDriver(StorageDriver):
     name = "vfs"
 
     def begin_build(self, base_name: str, build_name: str) -> str:
-        src = self.image_path(base_name)
-        dst = self.image_path(build_name)
-        if self.sys.exists(dst):
-            self._rm_tree(dst)
-        self._copy_tree(src, dst)  # full duplication: the vfs tax
-        self._snapshots[dst] = _snapshot(self.sys, dst)
+        with self._span(f"begin-build {build_name}", base=base_name):
+            src = self.image_path(base_name)
+            dst = self.image_path(build_name)
+            if self.sys.exists(dst):
+                self._rm_tree(dst)
+            self._copy_tree(src, dst)  # full duplication: the vfs tax
+            self._snapshots[dst] = _snapshot(self.sys, dst)
         return dst
 
     def _charge_commit(self, diff: TarArchive, full: TarArchive) -> None:
@@ -247,15 +257,16 @@ class OverlayDriver(StorageDriver):
                                        owning_userns=self.sys.cred.userns)
 
     def begin_build(self, base_name: str, build_name: str) -> str:
-        src = self.image_path(base_name)
-        dst = self.image_path(build_name)
-        if self.sys.exists(dst):
-            self._rm_tree(dst)
-        # A real overlay would mount lowerdir+upperdir; we materialize once
-        # per build and charge only the (cheap) mount-like metadata setup.
-        self._copy_tree_uncharged(src, dst)
-        self.stats.meta_ops += 3  # mount, workdir, upperdir
-        self._snapshots[dst] = _snapshot(self.sys, dst)
+        with self._span(f"begin-build {build_name}", base=base_name):
+            src = self.image_path(base_name)
+            dst = self.image_path(build_name)
+            if self.sys.exists(dst):
+                self._rm_tree(dst)
+            # A real overlay would mount lowerdir+upperdir; we materialize
+            # once per build and charge only the (cheap) mount-like setup.
+            self._copy_tree_uncharged(src, dst)
+            self.stats.meta_ops += 3  # mount, workdir, upperdir
+            self._snapshots[dst] = _snapshot(self.sys, dst)
         return dst
 
     def _copy_tree_uncharged(self, src: str, dst: str) -> None:

@@ -22,6 +22,7 @@ from ..containers.runtime import ContainerError, enter_container
 from ..errors import BuildError, KernelError
 from ..fakeroot.state import LieDatabase
 from ..kernel import Process, Syscalls
+from ..obs.trace import attach_tracer, kernel_span
 from ..shell import ExecContext, OutputSink, execute
 from .force import ForceConfig, detect_config
 from .images import ImageStorage
@@ -76,6 +77,24 @@ class ChImage:
         #: (host side) and persists across RUN instructions and to push time
         self.seccomp_db = LieDatabase()
 
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The machine kernel's tracer, if one is attached."""
+        return self.machine.kernel.tracer
+
+    def enable_tracing(self, **kwargs):
+        """Attach a :class:`~repro.obs.SyscallTracer` to this machine's
+        kernel (idempotent); ``ch-image build --trace`` calls this."""
+        return attach_tracer(self.machine.kernel, **kwargs)
+
+    def _inst_span(self, lineno: int, kind: str, args: str):
+        text = f"{kind} {args}".strip()
+        return kernel_span(self.machine.kernel, f"{lineno} {text}"[:80],
+                           "instruction", lineno=lineno, inst_kind=kind,
+                           text=text)
+
     # -- public operations -------------------------------------------------------
 
     def pull(self, ref: str) -> str:
@@ -89,13 +108,23 @@ class ChImage:
         are supported; only the final stage is tagged.
         """
         result = ChBuildResult(tag=tag)
+        with kernel_span(self.machine.kernel, f"build {tag}", "build",
+                         tag=tag, force=force,
+                         force_mode=self.force_mode if force else "") as sp:
+            self._build(tag, dockerfile, force, result)
+            if sp is not None and not result.success:
+                sp.fail(result.error or "build failed")
+        return result
+
+    def _build(self, tag: str, dockerfile: str, force: bool,
+               result: ChBuildResult) -> None:
         out = result.transcript.append
         try:
             instructions = parse_dockerfile(dockerfile)
         except BuildError as err:
             result.error = str(err)
             out(f"error: {err}")
-            return result
+            return
 
         # split into stages at each FROM
         bounds = [i for i, inst in enumerate(instructions)
@@ -110,10 +139,9 @@ class ChImage:
                 stage, stage_tag, force, result, out, stage_names, lineno,
                 is_last=last, final_tag=tag)
             if not ok:
-                return result
+                return
             stage_names[str(s)] = stage_tag
         result.success = True
-        return result
 
     def _build_stage(self, instructions, tag: str, force: bool,
                      result: ChBuildResult, out, stage_names: dict[str, str],
@@ -124,19 +152,22 @@ class ChImage:
         base_ref = from_parts[0]
         if len(from_parts) >= 3 and from_parts[1].upper() == "AS":
             stage_names[from_parts[2]] = tag
-        out(f"  {lineno} FROM {instructions[0].args}")
-        try:
-            if base_ref in stage_names:
-                base_name = stage_names[base_ref]  # building FROM a stage
-            else:
-                self.storage.pull(base_ref)
-                base_name = base_ref
-        except Exception as exc:
-            result.error = f"cannot pull {base_ref}: {exc}"
-            out(f"error: {result.error}")
-            return False, lineno
-        image_path = self.storage.copy(base_name, tag)
-        config = self.storage.config_of(base_name)
+        with self._inst_span(lineno, "FROM", instructions[0].args) as sp:
+            out(f"  {lineno} FROM {instructions[0].args}")
+            try:
+                if base_ref in stage_names:
+                    base_name = stage_names[base_ref]  # building FROM a stage
+                else:
+                    self.storage.pull(base_ref)
+                    base_name = base_ref
+            except Exception as exc:
+                result.error = f"cannot pull {base_ref}: {exc}"
+                out(f"error: {result.error}")
+                if sp is not None:
+                    sp.fail(result.error)
+                return False, lineno
+            image_path = self.storage.copy(base_name, tag)
+            config = self.storage.config_of(base_name)
         result.instructions = lineno
 
         force_config = detect_config(self.sys, image_path)
@@ -157,98 +188,107 @@ class ChImage:
 
         for i, inst in enumerate(instructions[1:], start=lineno + 1):
             result.instructions = i
-            if inst.kind in ("ENV", "ARG"):
-                env.update(dict(split_env_args(inst.args)))
-                out(f"  {i} {inst.kind} {inst.args}")
-                continue
-            if inst.kind == "LABEL":
-                out(f"  {i} LABEL {inst.args}")
-                continue
-            if inst.kind == "WORKDIR":
-                workdir = inst.args
-                out(f"  {i} WORKDIR {inst.args}")
-                continue
-            if inst.kind in ("CMD", "ENTRYPOINT"):
-                words = tuple(inst.shell_words())
-                if inst.kind == "CMD":
-                    config = ImageConfig(
-                        arch=config.arch, env=config.env, cmd=words,
-                        entrypoint=config.entrypoint, workdir=workdir,
-                        user=config.user, labels=config.labels,
-                        history=config.history)
-                else:
-                    config = ImageConfig(
-                        arch=config.arch, env=config.env, cmd=config.cmd,
-                        entrypoint=words, workdir=workdir, user=config.user,
-                        labels=config.labels, history=config.history)
-                out(f"  {i} {inst.kind} {inst.args}")
-                continue
-            if inst.kind in ("COPY", "ADD"):
-                out(f"  {i} {inst.kind} {inst.args}")
-                status = self._do_copy(inst, image_path, out,
-                                       stage_names=stage_names)
-                if status != 0:
-                    result.error = (f"build failed: {inst.kind} failed")
-                    out(f"error: {result.error}")
-                    return False, i
-                continue
-            if inst.kind != "RUN":
-                out(f"  {i} {inst.kind} {inst.args}")
-                continue
-
-            # RUN
-            words = inst.shell_words()
-            out(f"  {i} RUN {words!r}")
-            if self.cache_enabled:
-                chain = self._chain_key(base_ref, force,
-                                        instructions[1:i - lineno])
-                cached = self._cache.get(chain)
-                if cached is not None:
-                    out(f"  {i} RUN: using build cache")
-                    self._restore_snapshot(image_path, cached)
+            with self._inst_span(i, inst.kind, inst.args) as sp:
+                if inst.kind in ("ENV", "ARG"):
+                    env.update(dict(split_env_args(inst.args)))
+                    out(f"  {i} {inst.kind} {inst.args}")
                     continue
-            modifiable = (force_config is not None
-                          and force_config.run_modifiable(inst.args))
-            seccomp = False
-            if force and self.force_mode == "seccomp":
-                # §6.2.2(3): the wrapper lives in the runtime; every RUN is
-                # covered, no distro detection or image changes needed
-                out("workarounds: RUN: seccomp")
-                result.modified_runs += 1
-                seccomp = True
-            else:
-                if force and modifiable and not initialized:
-                    status = self._run_init(force_config, image_path, env,
-                                            workdir, out, result)
+                if inst.kind == "LABEL":
+                    out(f"  {i} LABEL {inst.args}")
+                    continue
+                if inst.kind == "WORKDIR":
+                    workdir = inst.args
+                    out(f"  {i} WORKDIR {inst.args}")
+                    continue
+                if inst.kind in ("CMD", "ENTRYPOINT"):
+                    words = tuple(inst.shell_words())
+                    if inst.kind == "CMD":
+                        config = ImageConfig(
+                            arch=config.arch, env=config.env, cmd=words,
+                            entrypoint=config.entrypoint, workdir=workdir,
+                            user=config.user, labels=config.labels,
+                            history=config.history)
+                    else:
+                        config = ImageConfig(
+                            arch=config.arch, env=config.env, cmd=config.cmd,
+                            entrypoint=words, workdir=workdir,
+                            user=config.user, labels=config.labels,
+                            history=config.history)
+                    out(f"  {i} {inst.kind} {inst.args}")
+                    continue
+                if inst.kind in ("COPY", "ADD"):
+                    out(f"  {i} {inst.kind} {inst.args}")
+                    status = self._do_copy(inst, image_path, out,
+                                           stage_names=stage_names)
                     if status != 0:
-                        result.error = ("build failed: --force "
-                                        "initialization failed with status "
-                                        f"{status}")
-                        result.exit_status = status
+                        result.error = (f"build failed: {inst.kind} failed")
                         out(f"error: {result.error}")
+                        if sp is not None:
+                            sp.fail(result.error)
                         return False, i
-                    initialized = True
-                if force and modifiable:
-                    words = ["fakeroot"] + words
-                    out(f"workarounds: RUN: new command: {words!r}")
-                    result.modified_runs += 1
+                    continue
+                if inst.kind != "RUN":
+                    out(f"  {i} {inst.kind} {inst.args}")
+                    continue
 
-            status = self._run_in_container(image_path, words, env, workdir,
-                                            out, seccomp=seccomp)
-            if status == 0 and self.cache_enabled:
-                chain = self._chain_key(base_ref, force,
-                                        instructions[1:i - lineno])
-                self._cache[chain] = self._take_snapshot(image_path)
-            if status != 0:
-                if modifiable and not force:
-                    saw_modifiable_failure = True
-                result.exit_status = status
-                result.error = f"build failed: RUN command exited with {status}"
-                out(f"error: {result.error}")
-                if saw_modifiable_failure and force_config is not None:
-                    out(f"hint: --force may fix it: {force_config.name}: "
-                        f"{force_config.description}")
-                return False, i
+                # RUN
+                words = inst.shell_words()
+                out(f"  {i} RUN {words!r}")
+                if self.cache_enabled:
+                    chain = self._chain_key(base_ref, force,
+                                            instructions[1:i - lineno])
+                    cached = self._cache.get(chain)
+                    if cached is not None:
+                        out(f"  {i} RUN: using build cache")
+                        self._restore_snapshot(image_path, cached)
+                        continue
+                modifiable = (force_config is not None
+                              and force_config.run_modifiable(inst.args))
+                seccomp = False
+                if force and self.force_mode == "seccomp":
+                    # §6.2.2(3): the wrapper lives in the runtime; every RUN
+                    # is covered, no distro detection or image changes needed
+                    out("workarounds: RUN: seccomp")
+                    result.modified_runs += 1
+                    seccomp = True
+                else:
+                    if force and modifiable and not initialized:
+                        status = self._run_init(force_config, image_path, env,
+                                                workdir, out, result)
+                        if status != 0:
+                            result.error = ("build failed: --force "
+                                            "initialization failed with "
+                                            f"status {status}")
+                            result.exit_status = status
+                            out(f"error: {result.error}")
+                            if sp is not None:
+                                sp.fail(result.error)
+                            return False, i
+                        initialized = True
+                    if force and modifiable:
+                        words = ["fakeroot"] + words
+                        out(f"workarounds: RUN: new command: {words!r}")
+                        result.modified_runs += 1
+
+                status = self._run_in_container(image_path, words, env,
+                                                workdir, out, seccomp=seccomp)
+                if status == 0 and self.cache_enabled:
+                    chain = self._chain_key(base_ref, force,
+                                            instructions[1:i - lineno])
+                    self._cache[chain] = self._take_snapshot(image_path)
+                if status != 0:
+                    if modifiable and not force:
+                        saw_modifiable_failure = True
+                    result.exit_status = status
+                    result.error = (f"build failed: RUN command exited "
+                                    f"with {status}")
+                    out(f"error: {result.error}")
+                    if saw_modifiable_failure and force_config is not None:
+                        out(f"hint: --force may fix it: {force_config.name}: "
+                            f"{force_config.description}")
+                    if sp is not None:
+                        sp.fail(result.error)
+                    return False, i
 
         if is_last:
             if force:
@@ -306,20 +346,26 @@ class ChImage:
                   env: dict[str, str], workdir: str, out,
                   result: ChBuildResult) -> int:
         """Run the config's init steps: check, then do if needed (§5.3.1)."""
+        kernel = self.machine.kernel
         for n, step in enumerate(config.init_steps, start=1):
-            out(f"workarounds: init step {n}: checking: $ {step.check_cmd}")
-            status = self._run_in_container(
-                image_path, ["/bin/sh", "-c", step.check_cmd], env, workdir,
-                lambda line: None)  # check output is discarded
-            if status == 0:
-                continue
-            out(f"workarounds: init step {n}: $ {step.do_cmd}")
-            status = self._run_in_container(
-                image_path, ["/bin/sh", "-c", step.do_cmd], env, workdir,
-                out)
-            if status != 0:
-                return status
-            result.init_steps_run += 1
+            with kernel_span(kernel, f"force init step {n}", "force-init",
+                             step=n, check=step.check_cmd) as sp:
+                out(f"workarounds: init step {n}: checking: "
+                    f"$ {step.check_cmd}")
+                status = self._run_in_container(
+                    image_path, ["/bin/sh", "-c", step.check_cmd], env,
+                    workdir, lambda line: None)  # check output is discarded
+                if status == 0:
+                    continue
+                out(f"workarounds: init step {n}: $ {step.do_cmd}")
+                status = self._run_in_container(
+                    image_path, ["/bin/sh", "-c", step.do_cmd], env, workdir,
+                    out)
+                if status != 0:
+                    if sp is not None:
+                        sp.fail(f"init step {n} exited with {status}")
+                    return status
+                result.init_steps_run += 1
         return 0
 
     def _do_copy(self, inst: Instruction, image_path: str, out, *,

@@ -1,13 +1,18 @@
 """A ch-image command-line front end.
 
 ``ch_image_cli(ch, argv)`` mirrors the CLI the paper's transcripts invoke:
-``ch-image build [--force] -t TAG -f DOCKERFILE .``, plus pull/push/
-list/delete.  Returns (exit_status, output_text).
+``ch-image build [--force] [--trace] -t TAG -f DOCKERFILE .``, plus pull/
+push/list/delete, and ``ch-image trace [--audit|--json]`` to report on the
+last traced build.  Returns (exit_status, output_text).
 """
 
 from __future__ import annotations
 
+import json
+
 from ..errors import KernelError, ReproError
+from ..obs.export import trace_to_dict
+from ..obs.report import privilege_audit, render_span_tree, render_summary
 from .builder import ChImage
 from .push import push_image
 
@@ -16,7 +21,7 @@ __all__ = ["ch_image_cli"]
 
 def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
     if not argv:
-        return 1, "usage: ch-image {build|pull|push|list|delete} ..."
+        return 1, "usage: ch-image {build|pull|push|list|delete|trace} ..."
     command, *args = argv
 
     if command == "build":
@@ -35,6 +40,8 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
                 force_mode = a.split("=", 1)[1]
                 if force_mode not in ("fakeroot", "seccomp"):
                     return 1, f"ch-image: unknown --force mode {force_mode!r}"
+            elif a == "--trace":
+                ch.enable_tracing()
             elif a == "-t":
                 i += 1
                 tag = args[i]
@@ -90,5 +97,17 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
         except KernelError as err:
             return 1, f"ch-image: delete failed: {err.strerror}"
         return 0, f"deleted {args[0]}"
+
+    if command == "trace":
+        tracer = ch.tracer
+        if tracer is None:
+            return 1, ("ch-image trace: tracing is not enabled "
+                       "(build with --trace, or set REPRO_TRACE=1)")
+        if "--json" in args:
+            return 0, json.dumps(trace_to_dict(tracer), sort_keys=True)
+        if "--audit" in args:
+            return 0, privilege_audit(tracer).render()
+        return 0, (render_span_tree(tracer) + "\n\n" +
+                   render_summary(tracer))
 
     return 1, f"ch-image: unknown command {command!r}"

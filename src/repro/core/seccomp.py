@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 from ..fakeroot.base import EngineSpec, FakerootSyscalls
 from ..fakeroot.state import LieDatabase
 from ..kernel import Syscalls
+from ..obs.trace import instrument_syscalls
 
 __all__ = ["SECCOMP_ENGINE", "SeccompSyscalls"]
 
@@ -41,6 +42,7 @@ SECCOMP_ENGINE = EngineSpec(
 )
 
 
+@instrument_syscalls("seccomp")
 class SeccompSyscalls(FakerootSyscalls):
     """Runtime-installed syscall interception.
 

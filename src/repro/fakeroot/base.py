@@ -27,6 +27,7 @@ from typing import Optional
 
 from ..errors import Errno, KernelError, ReproError
 from ..kernel import FileType, StatResult, Syscalls
+from ..obs.trace import instrument_syscalls
 from .state import Lie, LieDatabase
 
 __all__ = ["EngineSpec", "FakerootError", "FakerootSyscalls"]
@@ -75,6 +76,7 @@ class EngineSpec:
         }
 
 
+@instrument_syscalls("fakeroot")
 class FakerootSyscalls(Syscalls):
     """A Syscalls proxy that fakes privileged operations.
 

@@ -8,6 +8,7 @@ hands out :class:`~repro.kernel.process.Process` objects.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Optional
 
 from ..errors import Errno, KernelError
@@ -51,7 +52,7 @@ class Kernel:
         self.kernel_version = kernel_version
         self.root_fs = root_fs
         self.init_userns = UserNamespace.initial()
-        self._clock = itertools.count(1)
+        self._ticks = 0
         self._pids = itertools.count(1)
         self.processes: dict[int, Process] = {}
         #: every spawn ever: (pid, comm, euid, caps, userns); see spawn()
@@ -67,6 +68,12 @@ class Kernel:
         #: Attachment point for the outside world (package repos, registries);
         #: set by the cluster substrate.  None = air-gapped.
         self.network = None
+        #: Optional :class:`~repro.obs.SyscallTracer`; None = tracing off
+        #: (the instrumented syscall fast path checks exactly this).
+        self.tracer = None
+        if os.environ.get("REPRO_TRACE"):
+            from ..obs.trace import attach_tracer
+            attach_tracer(self)
 
         init_mnt = MountNamespace(root_fs, owning_userns=self.init_userns)
         self.init_process = Process(
@@ -91,8 +98,17 @@ class Kernel:
     # -- time -----------------------------------------------------------------
 
     def now(self) -> int:
-        """Deterministic monotonic clock (ticks, not seconds)."""
-        return next(self._clock)
+        """Deterministic monotonic clock (ticks, not seconds).  Each call
+        *advances* time — the simulation charges one tick per stamped
+        operation."""
+        self._ticks += 1
+        return self._ticks
+
+    @property
+    def ticks(self) -> int:
+        """Current sim-time without advancing it (tracer timestamps must
+        not perturb mtimes or any other now()-derived state)."""
+        return self._ticks
 
     # -- namespaces -------------------------------------------------------------
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from ..errors import Errno, KernelError
+from ..obs.trace import instrument_syscalls
 from .capabilities import Cap
 from .idmap import IdMap, IdMapEntry
 from .mounts import MountFlags, Resolved, normpath
@@ -69,6 +70,7 @@ class DirEntry:
     ftype: FileType
 
 
+@instrument_syscalls("kernel")
 class Syscalls:
     """System calls as invoked by one process."""
 
@@ -102,9 +104,9 @@ class Syscalls:
     def _resolve_parent(self, path: str):
         return self.mnt_ns.resolve_parent(path, self.cred, cwd=self.proc.cwd)
 
-    def _check_writable_mount(self, res_mount) -> None:
+    def _check_writable_mount(self, res_mount, call: str = "") -> None:
         if res_mount.flags.read_only or res_mount.fs.features.read_only:
-            raise KernelError(Errno.EROFS, res_mount.mountpoint)
+            raise KernelError(Errno.EROFS, res_mount.mountpoint, syscall=call)
 
     # -- identity ---------------------------------------------------------------
 
@@ -174,7 +176,23 @@ class Syscalls:
             raise KernelError(Errno.EPERM, syscall="seteuid")
 
     def setreuid(self, ruid: int, euid: int) -> None:
-        self.setresuid(ruid, euid, -1)
+        # Same semantics as setresuid(ruid, euid, -1), but reported under
+        # its own name — a failing transcript must say "setreuid", not the
+        # syscall it happens to share code with.
+        c = self.cred
+        new = {}
+        for label, val in (("ruid", ruid), ("euid", euid)):
+            if val == -1:
+                continue
+            new[label] = self._uid_to_kernel(val, "setreuid")
+        if not c.has_cap(Cap.SETUID):
+            allowed = {c.ruid, c.euid, c.suid}
+            for v in new.values():
+                if v not in allowed:
+                    raise KernelError(Errno.EPERM, syscall="setreuid")
+        c.ruid = new.get("ruid", c.ruid)
+        c.euid = new.get("euid", c.euid)
+        c.fsuid = c.euid
 
     def setresuid(self, ruid: int, euid: int, suid: int) -> None:
         c = self.cred
@@ -320,7 +338,8 @@ class Syscalls:
         tgt = target or self.proc
         ns = tgt.cred.userns
         if ns.parent is None:
-            raise KernelError(Errno.EPERM, "cannot write initial ns uid_map")
+            raise KernelError(Errno.EPERM, "cannot write initial ns uid_map",
+                              syscall="write_uid_map")
         privileged = self.cred.has_cap(Cap.SETUID, ns.parent)
         ents = list(entries)
         if not privileged and self._is_autosub_grant(ents, self.cred.euid):
@@ -336,7 +355,8 @@ class Syscalls:
         tgt = target or self.proc
         ns = tgt.cred.userns
         if ns.parent is None:
-            raise KernelError(Errno.EPERM, "cannot write initial ns gid_map")
+            raise KernelError(Errno.EPERM, "cannot write initial ns gid_map",
+                              syscall="write_gid_map")
         privileged = self.cred.has_cap(Cap.SETGID, ns.parent)
         ents = list(entries)
         if (not privileged
@@ -404,10 +424,10 @@ class Syscalls:
 
     # -- mounts ----------------------------------------------------------------------
 
-    def _require_mount_cap(self) -> None:
+    def _require_mount_cap(self, call: str = "mount") -> None:
         if not self.cred.has_cap(Cap.SYS_ADMIN):
-            raise KernelError(Errno.EPERM, "mount requires CAP_SYS_ADMIN",
-                              syscall="mount")
+            raise KernelError(Errno.EPERM, f"{call} requires CAP_SYS_ADMIN",
+                              syscall=call)
 
     def mount_fs(self, fs: Filesystem, mountpoint: str,
                  flags: MountFlags = MountFlags()) -> None:
@@ -428,16 +448,16 @@ class Syscalls:
     def pivot_to(self, source: str) -> None:
         """Make *source* the root of this process's mount namespace
         (the essence of ch-run's container entry)."""
-        self._require_mount_cap()
+        self._require_mount_cap("pivot_root")
         src = self._resolve(source)
         if not src.inode.is_dir:
-            raise KernelError(Errno.ENOTDIR, source)
+            raise KernelError(Errno.ENOTDIR, source, syscall="pivot_root")
         self.mnt_ns.set_root(src.fs, src.inode.ino,
                              owning_userns=self.cred.userns)
         self.proc.cwd = "/"
 
     def umount(self, mountpoint: str) -> None:
-        self._require_mount_cap()
+        self._require_mount_cap("umount")
         self.mnt_ns.remove_mount(mountpoint)
 
     # -- cwd -------------------------------------------------------------------------
@@ -522,7 +542,7 @@ class Syscalls:
 
     def _prep_create(self, path: str, call: str):
         rp = self._resolve_parent(path)
-        self._check_writable_mount(rp.mount)
+        self._check_writable_mount(rp.mount, call)
         if not may_access(self.cred, rp.dir_inode, write=True, execute=True):
             raise KernelError(Errno.EACCES, path, syscall=call)
         if rp.fs.lookup(rp.dir_inode, rp.name) is not None:
@@ -621,7 +641,7 @@ class Syscalls:
         node = res.inode
         if node.is_dir:
             raise KernelError(Errno.EISDIR, path, syscall="open")
-        self._check_writable_mount(res.mount)
+        self._check_writable_mount(res.mount, "open")
         if not may_access(self.cred, node, write=True):
             raise KernelError(Errno.EACCES, path, syscall="open")
         if node.ftype is FileType.CHR:
@@ -631,7 +651,9 @@ class Syscalls:
 
     def truncate(self, path: str, length: int = 0) -> None:
         res = self._resolve(path)
-        self._check_writable_mount(res.mount)
+        if res.inode.is_dir:
+            raise KernelError(Errno.EISDIR, path, syscall="truncate")
+        self._check_writable_mount(res.mount, "truncate")
         if not may_access(self.cred, res.inode, write=True):
             raise KernelError(Errno.EACCES, path, syscall="truncate")
         res.inode.data = bytes(res.inode.data[:length])
@@ -651,7 +673,7 @@ class Syscalls:
 
     def unlink(self, path: str) -> None:
         rp = self._resolve_parent(path)
-        self._check_writable_mount(rp.mount)
+        self._check_writable_mount(rp.mount, "unlink")
         if not may_access(self.cred, rp.dir_inode, write=True, execute=True):
             raise KernelError(Errno.EACCES, path, syscall="unlink")
         victim = rp.fs.lookup(rp.dir_inode, rp.name)
@@ -664,7 +686,7 @@ class Syscalls:
 
     def rmdir(self, path: str) -> None:
         rp = self._resolve_parent(path)
-        self._check_writable_mount(rp.mount)
+        self._check_writable_mount(rp.mount, "rmdir")
         if not may_access(self.cred, rp.dir_inode, write=True, execute=True):
             raise KernelError(Errno.EACCES, path, syscall="rmdir")
         victim = rp.fs.lookup(rp.dir_inode, rp.name)
@@ -680,8 +702,8 @@ class Syscalls:
     def rename(self, old: str, new: str) -> None:
         rp_old = self._resolve_parent(old)
         rp_new = self._resolve_parent(new)
-        self._check_writable_mount(rp_old.mount)
-        self._check_writable_mount(rp_new.mount)
+        self._check_writable_mount(rp_old.mount, "rename")
+        self._check_writable_mount(rp_new.mount, "rename")
         if rp_old.fs is not rp_new.fs:
             raise KernelError(Errno.EXDEV, new, syscall="rename")
         for rp in (rp_old, rp_new):
@@ -717,7 +739,7 @@ class Syscalls:
           (§4.2: shared-filesystem container storage).
         """
         res = self._resolve(path, follow=follow)
-        self._check_writable_mount(res.mount)
+        self._check_writable_mount(res.mount, "chown")
         node = res.inode
         c = self.cred
         ns = c.userns
@@ -777,7 +799,7 @@ class Syscalls:
 
     def chmod(self, path: str, mode: int) -> None:
         res = self._resolve(path)
-        self._check_writable_mount(res.mount)
+        self._check_writable_mount(res.mount, "chmod")
         node = res.inode
         c = self.cred
         if c.fsuid != node.uid and not capable_wrt_inode(c, node, Cap.FOWNER):
@@ -801,7 +823,7 @@ class Syscalls:
         fuse-overlayfs-on-NFS failure of §6.1); ``security.*``/``trusted.*``
         need privilege."""
         res = self._resolve(path)
-        self._check_writable_mount(res.mount)
+        self._check_writable_mount(res.mount, "setxattr")
         node = res.inode
         c = self.cred
         if name.startswith("user."):
@@ -844,6 +866,7 @@ class Syscalls:
 
     def removexattr(self, path: str, name: str) -> None:
         res = self._resolve(path)
+        self._check_writable_mount(res.mount, "removexattr")
         if not may_access(self.cred, res.inode, write=True):
             raise KernelError(Errno.EACCES, path, syscall="removexattr")
         res.inode.xattrs.pop(name, None)

@@ -1,0 +1,150 @@
+"""Machine-readable trace exports.
+
+Two consumers:
+
+* JSON-lines (``events_to_jsonl``): one event per line, for offline
+  analysis — the paper-workflow analogue of keeping the strace log.
+* Golden summaries (``golden_summary``): a deterministic, timing-free
+  digest of a traced build, stored under ``tests/golden/`` and compared
+  against the paper's figures.  Anything order- or allocation-dependent
+  (ticks, pids, namespace ids) is deliberately excluded so two consecutive
+  runs produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .trace import Span, SyscallEvent, SyscallTracer
+
+__all__ = [
+    "event_to_dict",
+    "events_to_jsonl",
+    "span_to_dict",
+    "trace_to_dict",
+    "golden_summary",
+    "dump_golden",
+]
+
+
+def event_to_dict(ev: SyscallEvent) -> dict:
+    d = {
+        "seq": ev.seq,
+        "name": ev.name,
+        "layer": ev.layer,
+        "args": ev.args,
+        "pid": ev.pid,
+        "comm": ev.comm,
+        "euid": ev.euid,
+        "egid": ev.egid,
+        "ns_level": ev.ns_level,
+        "depth": ev.depth,
+        "parent_seq": ev.parent_seq,
+        "span_seq": ev.span_seq,
+        "start_tick": ev.start_tick,
+        "duration": ev.duration,
+        "result": ev.result,
+    }
+    if ev.errno:
+        d["errno"] = ev.errno
+        d["errno_code"] = ev.errno_code
+    return d
+
+
+def events_to_jsonl(tracer: SyscallTracer) -> str:
+    """One JSON object per line, oldest first."""
+    return "\n".join(
+        json.dumps(event_to_dict(ev), sort_keys=True)
+        for ev in tracer.events)
+
+
+def span_to_dict(span: Span, *, with_ticks: bool = True) -> dict:
+    d: dict = {
+        "name": span.name,
+        "kind": span.kind,
+        "status": span.status,
+    }
+    if with_ticks:
+        d["start_tick"] = span.start_tick
+        d["duration"] = span.duration
+    if span.error:
+        d["error"] = span.error
+    if span.meta:
+        d["meta"] = dict(span.meta)
+    if span.syscalls:
+        d["syscalls"] = dict(sorted(span.syscalls.items()))
+    if span.errnos:
+        d["errnos"] = dict(sorted(span.errnos.items()))
+        d["errnos_by_syscall"] = dict(sorted(span.errnos_by_syscall.items()))
+    if span.children:
+        d["children"] = [span_to_dict(c, with_ticks=with_ticks)
+                         for c in span.children]
+    return d
+
+
+def trace_to_dict(tracer: SyscallTracer) -> dict:
+    """The whole trace: metrics, span forest, ring accounting."""
+    return {
+        "metrics": tracer.metrics.snapshot(),
+        "events_kept": len(tracer.events),
+        "events_dropped": tracer.events.dropped,
+        "spans": [span_to_dict(s) for s in tracer.roots],
+    }
+
+
+def _instruction_digest(span: Span) -> dict:
+    d: dict = {
+        "lineno": span.meta.get("lineno"),
+        "kind": span.meta.get("inst_kind"),
+        "text": span.meta.get("text", span.name),
+        "status": span.status,
+        "syscalls": dict(sorted(span.total_syscalls().items())),
+        "errnos": dict(sorted(span.total_errnos().items())),
+        "errnos_by_syscall": dict(
+            sorted(span.total_errnos_by_syscall().items())),
+    }
+    if span.error:
+        d["error"] = span.error
+    return d
+
+
+def golden_summary(tracer: SyscallTracer, *,
+                   span: Optional[Span] = None) -> dict:
+    """Deterministic digest of a traced scenario.
+
+    With a ``kind="build"`` root span (what :class:`~repro.core.ChImage`
+    emits), the digest is per-instruction; otherwise the given/first root
+    span is summarized as a single phase.  Sim-time, pids, and namespace
+    ids never appear — only names, counts, errnos, and statuses.
+    """
+    if span is None:
+        builds = [s for s in tracer.roots if s.kind == "build"]
+        span = builds[-1] if builds else (
+            tracer.roots[-1] if tracer.roots else None)
+    if span is None:
+        return {"status": "empty"}
+    instructions = [c for c in span.walk() if c.kind == "instruction"]
+    failing = [i for i in instructions if i.status != "ok"]
+    digest: dict = {
+        "name": span.name,
+        "kind": span.kind,
+        "status": span.status,
+        "error": span.error,
+        "meta": dict(span.meta),
+        "syscalls": dict(sorted(span.total_syscalls().items())),
+        "errnos": dict(sorted(span.total_errnos().items())),
+        "errnos_by_syscall": dict(
+            sorted(span.total_errnos_by_syscall().items())),
+    }
+    if instructions:
+        digest["instructions"] = [_instruction_digest(i)
+                                  for i in instructions]
+        digest["failing_instruction"] = (
+            _instruction_digest(failing[0]) if failing else None)
+    return digest
+
+
+def dump_golden(digest: dict) -> str:
+    """Canonical JSON for golden files (stable key order, trailing \\n)."""
+    return json.dumps(digest, indent=2, sort_keys=True) + "\n"

@@ -1,8 +1,21 @@
 """Shared fixtures for integration-level tests."""
 
+import pathlib
+
 import pytest
 
 from repro.cluster import make_machine, make_world
+
+#: directory holding the golden trace transcripts (see
+#: tests/test_golden_transcripts.py and docs/OBSERVABILITY.md)
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/*.json from the current trace "
+             "digests instead of comparing against them")
 
 #: the paper's Figure 2 Dockerfile
 FIG2_DOCKERFILE = """\
@@ -57,3 +70,29 @@ def login(world):
 @pytest.fixture
 def alice(login):
     return login.login("alice")
+
+
+@pytest.fixture
+def golden_check(request):
+    """Compare a trace digest against its stored golden transcript.
+
+    ``pytest --update-golden`` rewrites the stored file instead; the diff
+    then shows up in review like any other behaviour change.
+    """
+    from repro.obs.export import dump_golden
+
+    def check(name: str, digest: dict) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        text = dump_golden(digest)
+        if request.config.getoption("--update-golden"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(text)
+        assert path.exists(), \
+            f"no golden transcript {path.name}; run pytest --update-golden"
+        expected = path.read_text()
+        assert text == expected, (
+            f"trace digest diverged from tests/golden/{path.name}; if the "
+            f"change is intentional, rerun with --update-golden and review "
+            f"the diff")
+
+    return check

@@ -1,0 +1,127 @@
+"""Regression tests for the errno-convention audit of kernel/syscalls.py.
+
+Wiring the tracer exposed error paths that raised without naming the
+failing syscall (so strace-style reports could not attribute them) or
+raised the wrong errno outright.  Each test here pins one fixed path:
+the exception must carry both the right ``errno`` and the right
+``syscall`` tag, exactly like the kernel's own error reporting.
+"""
+
+import pytest
+
+from repro.errors import Errno, KernelError
+from repro.kernel import IdMapEntry, MountFlags, Syscalls, make_ext4
+
+
+@pytest.fixture
+def ro_root(kernel):
+    """Root's view of a read-only fs at /data containing one file, /data/f."""
+    root = Syscalls(kernel.init_process)
+    fs = make_ext4()
+    root.mkdir("/mnt", 0o755)
+    root.mount_fs(fs, "/mnt")
+    root.write_file("/mnt/f", b"payload")
+    root.umount("/mnt")
+    root.mount_fs(fs, "/data", MountFlags(read_only=True))
+    return root
+
+
+class TestReadOnlyFilesystemTags:
+    """EROFS failures must name the syscall that hit them."""
+
+    def test_write_file_erofs_named_open(self, ro_root):
+        with pytest.raises(KernelError) as exc:
+            ro_root.write_file("/data/x", b"hi")
+        assert exc.value.errno == Errno.EROFS
+        assert exc.value.syscall == "open"
+
+    def test_mkdir_erofs(self, ro_root):
+        with pytest.raises(KernelError) as exc:
+            ro_root.mkdir("/data/d", 0o755)
+        assert exc.value.errno == Errno.EROFS
+        assert exc.value.syscall == "mkdir"
+
+    def test_unlink_rmdir_rename_erofs(self, ro_root):
+        for call, args in [("unlink", ("/data/f",)),
+                           ("rmdir", ("/data/f",)),
+                           ("rename", ("/data/f", "/data/g"))]:
+            with pytest.raises(KernelError) as exc:
+                getattr(ro_root, call)(*args)
+            assert exc.value.errno == Errno.EROFS, call
+            assert exc.value.syscall == call, call
+
+    def test_chown_chmod_truncate_erofs(self, ro_root):
+        for call, args in [("chown", ("/data/f", 0, 0)),
+                           ("chmod", ("/data/f", 0o700)),
+                           ("truncate", ("/data/f", 0))]:
+            with pytest.raises(KernelError) as exc:
+                getattr(ro_root, call)(*args)
+            assert exc.value.errno == Errno.EROFS, call
+            assert exc.value.syscall == call, call
+
+    def test_setxattr_removexattr_erofs(self, ro_root):
+        """removexattr previously skipped the read-only check entirely."""
+        for call, args in [("setxattr", ("/data/f", "user.k", b"v")),
+                           ("removexattr", ("/data/f", "user.k"))]:
+            with pytest.raises(KernelError) as exc:
+                getattr(ro_root, call)(*args)
+            assert exc.value.errno == Errno.EROFS, call
+            assert exc.value.syscall == call, call
+
+
+class TestTruncateIsdir:
+    def test_truncate_directory_eisdir(self, root_sys):
+        """truncate(2) on a directory is EISDIR, not a silent data wipe."""
+        root_sys.mkdir("/victim", 0o755)
+        with pytest.raises(KernelError) as exc:
+            root_sys.truncate("/victim", 0)
+        assert exc.value.errno == Errno.EISDIR
+        assert exc.value.syscall == "truncate"
+
+
+class TestIdentitySyscallTags:
+    def test_setreuid_unmapped_einval_named(self, type3_sys):
+        """setreuid failures used to surface under the delegate's name."""
+        with pytest.raises(KernelError) as exc:
+            type3_sys.setreuid(100, 100)  # 100 unmapped in a single-ID ns
+        assert exc.value.errno == Errno.EINVAL
+        assert exc.value.syscall == "setreuid"
+
+    def test_setreuid_eperm_named(self, alice_sys):
+        with pytest.raises(KernelError) as exc:
+            alice_sys.setreuid(0, 0)
+        assert exc.value.errno == Errno.EPERM
+        assert exc.value.syscall == "setreuid"
+
+    def test_initial_ns_uid_map_eperm_named(self, root_sys):
+        with pytest.raises(KernelError) as exc:
+            root_sys.write_uid_map([IdMapEntry(0, 0, 1)])
+        assert exc.value.errno == Errno.EPERM
+        assert exc.value.syscall == "write_uid_map"
+
+    def test_initial_ns_gid_map_eperm_named(self, root_sys):
+        with pytest.raises(KernelError) as exc:
+            root_sys.write_gid_map([IdMapEntry(0, 0, 1)])
+        assert exc.value.errno == Errno.EPERM
+        assert exc.value.syscall == "write_gid_map"
+
+
+class TestMountSyscallTags:
+    def test_pivot_root_without_cap_eperm_named(self, alice_sys):
+        with pytest.raises(KernelError) as exc:
+            alice_sys.pivot_to("/tmp")
+        assert exc.value.errno == Errno.EPERM
+        assert exc.value.syscall == "pivot_root"
+
+    def test_pivot_root_to_file_enotdir_named(self, root_sys):
+        root_sys.write_file("/tmp/f", b"")
+        with pytest.raises(KernelError) as exc:
+            root_sys.pivot_to("/tmp/f")
+        assert exc.value.errno == Errno.ENOTDIR
+        assert exc.value.syscall == "pivot_root"
+
+    def test_umount_without_cap_eperm_named(self, alice_sys):
+        with pytest.raises(KernelError) as exc:
+            alice_sys.umount("/tmp")
+        assert exc.value.errno == Errno.EPERM
+        assert exc.value.syscall == "umount"

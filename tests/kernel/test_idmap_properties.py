@@ -1,0 +1,200 @@
+"""Property-based tests for ID maps and user namespaces (paper §2.1).
+
+Randomized cases are generated with a fixed-seed ``random.Random`` so runs
+are deterministic; each failure report includes the case index, which is
+enough to reproduce it locally.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import Errno, KernelError
+from repro.kernel import IdMap, IdMapEntry, Syscalls
+
+SEED = 0x5C21  # SC'21
+CASES = 200
+
+
+def random_idmap(rng: random.Random, *, max_entries: int = 5) -> IdMap:
+    """A valid random map: disjoint inside and outside ranges."""
+    n = rng.randint(1, max_entries)
+
+    def disjoint_ranges():
+        starts = sorted(rng.sample(range(0, 1 << 20), n))
+        ranges = []
+        for i, s in enumerate(starts):
+            limit = (starts[i + 1] - s) if i + 1 < n else 1 << 10
+            ranges.append((s, rng.randint(1, max(1, min(limit, 1 << 10)))))
+        return ranges
+
+    inside = disjoint_ranges()
+    outside = disjoint_ranges()
+    rng.shuffle(outside)
+    return IdMap([
+        IdMapEntry(ins, outs, min(icount, ocount))
+        for (ins, icount), (outs, ocount) in zip(inside, outside)])
+
+
+class TestRoundTripProperties:
+    """map ∘ unmap = identity on the mapped set, both directions."""
+
+    def test_inside_outside_round_trip(self):
+        rng = random.Random(SEED)
+        for case in range(CASES):
+            m = random_idmap(rng)
+            for e in m:
+                # boundaries plus a random interior point of every range
+                samples = {e.inside_start, e.inside_end,
+                           rng.randint(e.inside_start, e.inside_end)}
+                for ns_id in samples:
+                    host = m.to_outside(ns_id)
+                    assert host is not None, (case, ns_id)
+                    assert m.to_inside(host) == ns_id, (case, ns_id)
+
+    def test_outside_inside_round_trip(self):
+        rng = random.Random(SEED + 1)
+        for case in range(CASES):
+            m = random_idmap(rng)
+            for e in m:
+                samples = {e.outside_start, e.outside_end,
+                           rng.randint(e.outside_start, e.outside_end)}
+                for host in samples:
+                    ns_id = m.to_inside(host)
+                    assert ns_id is not None, (case, host)
+                    assert m.to_outside(ns_id) == host, (case, host)
+
+    def test_unmapped_ids_translate_to_none(self):
+        rng = random.Random(SEED + 2)
+        for case in range(CASES):
+            m = random_idmap(rng)
+            inside_ids = {i for e in m
+                          for i in range(e.inside_start, e.inside_end + 1)}
+            outside_ids = {i for e in m
+                           for i in range(e.outside_start, e.outside_end + 1)}
+            for _ in range(10):
+                probe = rng.randint(0, 1 << 21)
+                if probe not in inside_ids:
+                    assert m.to_outside(probe) is None, (case, probe)
+                if probe not in outside_ids:
+                    assert m.to_inside(probe) is None, (case, probe)
+
+    def test_injective_no_squashing(self):
+        """§2.1.1: 'there is never squashing of multiple IDs onto one'."""
+        rng = random.Random(SEED + 3)
+        for case in range(CASES):
+            m = random_idmap(rng)
+            seen_hosts = set()
+            for e in m:
+                for ns_id in {e.inside_start, e.inside_end}:
+                    host = m.to_outside(ns_id)
+                    assert host not in seen_hosts, (case, ns_id)
+                    seen_hosts.add(host)
+
+    def test_parse_format_round_trip(self):
+        rng = random.Random(SEED + 4)
+        for _ in range(CASES):
+            m = random_idmap(rng)
+            assert IdMap.parse(m.format()) == m
+
+
+class TestOverlapRejection:
+    def test_overlapping_inside_ranges_einval(self):
+        rng = random.Random(SEED + 5)
+        for case in range(CASES):
+            m = random_idmap(rng)
+            victim = rng.choice(m.entries)
+            # an entry whose inside range intersects victim's, but with an
+            # outside range far away from every existing one
+            clash = IdMapEntry(
+                rng.randint(victim.inside_start, victim.inside_end),
+                (1 << 22) + case * (1 << 11), 1)
+            with pytest.raises(KernelError) as exc:
+                IdMap(list(m.entries) + [clash])
+            assert exc.value.errno == Errno.EINVAL, case
+
+    def test_overlapping_outside_ranges_einval(self):
+        rng = random.Random(SEED + 6)
+        for case in range(CASES):
+            m = random_idmap(rng)
+            victim = rng.choice(m.entries)
+            clash = IdMapEntry(
+                (1 << 22) + case * (1 << 11),
+                rng.randint(victim.outside_start, victim.outside_end), 1)
+            with pytest.raises(KernelError) as exc:
+                IdMap(list(m.entries) + [clash])
+            assert exc.value.errno == Errno.EINVAL, case
+
+    def test_empty_map_einval(self):
+        with pytest.raises(KernelError) as exc:
+            IdMap([])
+        assert exc.value.errno == Errno.EINVAL
+
+
+class TestFourMapCases:
+    """The four translation cases of §2.1: {inside, outside} ID that
+    {is, is not} covered by the map."""
+
+    # Figure 1's privileged map: root -> alice, 1.. -> subordinate range
+    MAP = IdMap([IdMapEntry(0, 1000, 1), IdMapEntry(1, 200000, 65535)])
+
+    def test_mapped_inside_id(self):
+        assert self.MAP.to_outside(0) == 1000        # container root = alice
+        assert self.MAP.to_outside(25) == 200024     # subordinate
+
+    def test_unmapped_inside_id(self):
+        assert self.MAP.to_outside(70000) is None    # beyond the 65536 IDs
+
+    def test_mapped_outside_id(self):
+        assert self.MAP.to_inside(1000) == 0
+        assert self.MAP.to_inside(200024) == 25
+
+    def test_unmapped_outside_id(self):
+        # e.g. bob's files appear as nobody inside (paper §2.1.2)
+        assert self.MAP.to_inside(1001) is None
+
+
+class TestSetgroupsDenyTrap:
+    """§2.1.4 / CVE-2018-7169: unprivileged gid_map requires setgroups
+    denied *first*, and the denial is then permanent."""
+
+    def test_gid_map_before_deny_eperm(self, alice):
+        sys = Syscalls(alice.fork(comm="trap"))
+        sys.unshare_user()
+        sys.write_uid_map([IdMapEntry(0, 1000, 1)])
+        with pytest.raises(KernelError) as exc:
+            sys.write_gid_map([IdMapEntry(0, 1000, 1)])
+        assert exc.value.errno == Errno.EPERM
+
+    def test_deny_then_gid_map_ok(self, alice):
+        sys = Syscalls(alice.fork(comm="trap"))
+        sys.unshare_user()
+        sys.write_uid_map([IdMapEntry(0, 1000, 1)])
+        sys.deny_setgroups()
+        sys.write_gid_map([IdMapEntry(0, 1000, 1)])
+        assert sys.cred.userns.gid_map is not None
+
+    def test_deny_is_immutable_after_gid_map(self, type3_sys):
+        with pytest.raises(KernelError) as exc:
+            type3_sys.proc.cred.userns.deny_setgroups()
+        assert exc.value.errno == Errno.EPERM
+
+    def test_setgroups_denied_in_type3(self, type3_sys):
+        """The group-drop attack stays closed: even container 'root' cannot
+        call setgroups(2) once the namespace says deny."""
+        with pytest.raises(KernelError) as exc:
+            type3_sys.setgroups([0])
+        assert exc.value.errno == Errno.EPERM
+
+    def test_random_unprivileged_multi_entry_maps_rejected(self, alice):
+        """Unprivileged writers may map exactly one ID, whatever the map."""
+        rng = random.Random(SEED + 7)
+        for case in range(25):
+            sys = Syscalls(alice.fork(comm=f"multi{case}"))
+            sys.unshare_user()
+            entries = [IdMapEntry(0, 1000, 1),
+                       IdMapEntry(1, 200000 + case * (1 << 17),
+                                  rng.randint(2, 1 << 16))]
+            with pytest.raises(KernelError) as exc:
+                sys.write_uid_map(entries)
+            assert exc.value.errno == Errno.EPERM, case
