@@ -2,15 +2,19 @@
 contrast to other leading Dockerfile interpreters including Podman and
 Docker.  This caching can greatly accelerate repetitive builds."
 
-Measure: rebuild the same Dockerfile — Podman with cache vs without, and
-ch-image (which always re-executes).
+Measure: rebuild the same Dockerfile — Podman with cache vs without,
+ch-image without a cache (always re-executes), and ch-image with the CAS
+build cache: cold vs warm on one builder, and warm on a *different* node
+seeded from a registry cache export.
 """
 
 import itertools
 import time
 
+from repro.cluster import make_machine, make_world
 from repro.containers import Podman
 from repro.core import ChImage
+from repro.obs import attach_tracer
 
 from .conftest import ATSE_DOCKERFILE, report
 
@@ -65,4 +69,70 @@ def test_ablation_cache_speedup_shape(login):
         ("uncached rebuild", f"{t_uncached * 1000:.1f} ms"),
         ("speedup", f"{t_uncached / t_cached:.1f}x"),
         ("paper", "'caching can greatly accelerate repetitive builds'"),
+    ])
+
+
+# -- the CAS build cache: what the ablation says ch-image was missing ------------
+
+N_RUNS = ATSE_DOCKERFILE.count("RUN ")
+
+
+def test_ablation_chimage_cold_vs_warm(login, alice):
+    """A warm rebuild executes zero RUN instructions and ≥90% fewer
+    syscalls than the cold build — the CI cache-smoke criterion."""
+    ch = ChImage(login, alice, cache=True)
+    tracer = attach_tracer(login.kernel)
+    tracer.metrics.clear()
+    cold = ch.build(tag=next(_tags), dockerfile=ATSE_DOCKERFILE, force=True)
+    assert cold.success and cold.cache_hits == 0
+    cold_syscalls = sum(tracer.metrics.syscalls.values())
+
+    tracer.metrics.clear()
+    warm = ch.build(tag=next(_tags), dockerfile=ATSE_DOCKERFILE, force=True)
+    assert warm.success
+    warm_syscalls = sum(tracer.metrics.syscalls.values())
+
+    runs_executed = N_RUNS - warm.cache_hits
+    assert warm.cache_hits == N_RUNS          # every RUN served from cache
+    assert runs_executed <= N_RUNS * 0.10     # ≥90% fewer RUN instructions
+    assert warm_syscalls <= cold_syscalls * 0.10  # ≥90% fewer syscalls
+    assert dict(tracer.metrics.cache)["hit"] == N_RUNS
+    report("A2 CAS cache: cold vs warm", [
+        ("cold syscalls", str(cold_syscalls)),
+        ("warm syscalls", str(warm_syscalls)),
+        ("reduction", f"{(1 - warm_syscalls / cold_syscalls) * 100:.1f}%"),
+        ("RUNs executed warm", f"{runs_executed}/{N_RUNS}"),
+    ])
+
+
+def test_ablation_shared_cache_seeds_fresh_node():
+    """A cache exported to the site registry yields hits on every
+    unchanged instruction for a builder that has never built anything."""
+    world = make_world(arches=("x86_64",))
+    ref = "gitlab.example.gov/alice/atse-cache:latest"
+
+    node1 = make_machine("cn001", network=world.network)
+    ch1 = ChImage(node1, node1.login("alice"), cache=True)
+    t1 = attach_tracer(node1.kernel)
+    cold = ch1.build(tag="atse", dockerfile=ATSE_DOCKERFILE, force=True)
+    assert cold.success
+    cold_syscalls = sum(t1.metrics.syscalls.values())
+    registry = world.network.registry("gitlab.example.gov")
+    ch1.cache.export_to_registry(registry, ref)
+
+    node2 = make_machine("cn002", network=world.network)
+    ch2 = ChImage(node2, node2.login("alice"), cache=True)
+    installed = ch2.cache.import_from_registry(registry, ref)
+    assert installed > 0
+    t2 = attach_tracer(node2.kernel)
+    warm = ch2.build(tag="atse", dockerfile=ATSE_DOCKERFILE, force=True)
+    assert warm.success
+    warm_syscalls = sum(t2.metrics.syscalls.values())
+
+    assert warm.cache_hits == N_RUNS  # hits on every unchanged instruction
+    report("A2 CAS cache: registry-seeded node", [
+        ("records imported", str(installed)),
+        ("cold syscalls (node 1)", str(cold_syscalls)),
+        ("warm syscalls (node 2)", str(warm_syscalls)),
+        ("note", "node 2 never executed a single RUN"),
     ])

@@ -7,6 +7,8 @@ A simulated-Linux substrate plus container build implementations:
 * :mod:`repro.fakeroot` — three fakeroot(1) engines.
 * :mod:`repro.shell` — a mini POSIX shell + simulated userland.
 * :mod:`repro.distro` — yum/rpm and apt/dpkg package substrates + base images.
+* :mod:`repro.cas` — the content-addressed blob store and the Merkle-
+  keyed ch-image build cache.
 * :mod:`repro.containers` — OCI plumbing, Docker (Type I), rootless
   Podman/Buildah (Type II).
 * :mod:`repro.core` — Charliecloud ch-image/ch-run (Type III), the paper's

@@ -1,0 +1,88 @@
+"""Tree snapshots and layer diffs, shared by storage drivers and the
+build cache.
+
+A *snapshot* is ``path -> member digest`` for a whole tree; a *diff* is
+the overlayfs-style :class:`~repro.archive.TarArchive` containing changed
+members plus character-device whiteouts for deletions.  Keeping the
+hashing here (one implementation) is what makes cache keys and layer
+diffs agree everywhere: the same bytes hash the same whether a storage
+driver, a registry, or the build cache looks at them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..archive import TarArchive, TarMember
+from ..kernel import FileType, Syscalls
+
+__all__ = [
+    "member_digest",
+    "snapshot_tree",
+    "snapshot_of_archive",
+    "snapshot_digest",
+    "diff_against_snapshot",
+    "apply_diff_to_snapshot",
+]
+
+
+def member_digest(m: TarMember) -> str:
+    """Content+metadata digest of one archive member."""
+    h = hashlib.sha256()
+    h.update(f"{m.ftype}|{m.mode}|{m.uid}|{m.gid}|{m.target}|"
+             f"{m.rdev}".encode())
+    h.update(m.data)
+    return h.hexdigest()
+
+
+def snapshot_of_archive(archive: TarArchive) -> dict[str, str]:
+    """``path -> member digest`` for an already-packed tree."""
+    return {m.path: member_digest(m) for m in archive}
+
+
+def snapshot_tree(sys: Syscalls, root: str) -> dict[str, str]:
+    """Pack and digest the tree under *root* as seen through *sys*."""
+    return snapshot_of_archive(TarArchive.pack(sys, root))
+
+
+def snapshot_digest(snapshot: dict[str, str]) -> str:
+    """One deterministic digest for a whole snapshot (used as the
+    base-image component of build-cache keys)."""
+    h = hashlib.sha256()
+    for path in sorted(snapshot):
+        h.update(f"{path}\x00{snapshot[path]}\n".encode())
+    return "sha256:" + h.hexdigest()
+
+
+def diff_against_snapshot(prev: dict[str, str], full: TarArchive
+                          ) -> tuple[TarArchive, dict[str, str]]:
+    """Diff a packed tree against the previous snapshot.
+
+    Returns ``(diff, new_snapshot)``: the diff holds changed/added members
+    in path order plus whiteouts (character devices with mode 0, as
+    overlayfs represents deletions) for paths that disappeared.
+    """
+    cur: dict[str, str] = {}
+    members_by_path: dict[str, TarMember] = {}
+    for m in full:
+        cur[m.path] = member_digest(m)
+        members_by_path[m.path] = m
+    changed = [members_by_path[p] for p in sorted(cur)
+               if prev.get(p) != cur[p]]
+    deleted = [TarMember(path=p, ftype=FileType.CHR, mode=0, uid=0,
+                         gid=0, rdev=(0, 0))
+               for p in sorted(set(prev) - set(cur))]
+    return TarArchive(changed + deleted), cur
+
+
+def apply_diff_to_snapshot(prev: dict[str, str], diff: TarArchive
+                           ) -> dict[str, str]:
+    """The snapshot that results from applying *diff* to a tree whose
+    snapshot was *prev* — without re-packing the tree."""
+    out = dict(prev)
+    for m in diff:
+        if m.ftype is FileType.CHR and m.mode == 0:  # whiteout
+            out.pop(m.path, None)
+        else:
+            out[m.path] = member_digest(m)
+    return out

@@ -4,10 +4,18 @@ from .astra import (
     AstraCluster,
     WorkflowReport,
     astra_build_workflow,
+    astra_cached_build_workflow,
     laptop_build_workflow,
     make_astra,
 )
-from .ci import CiError, CiJob, CiPipeline, CiServer, CiStage
+from .ci import (
+    CiError,
+    CiJob,
+    CiPipeline,
+    CiServer,
+    CiStage,
+    warm_cache_stage,
+)
 from .machines import Machine, make_machine
 from .sandbox import EphemeralVmBuilder, SandboxBuild, SandboxError
 from .scheduler import Job, JobResult, Scheduler, SchedulerError
@@ -17,6 +25,7 @@ __all__ = [
     "AstraCluster",
     "WorkflowReport",
     "astra_build_workflow",
+    "astra_cached_build_workflow",
     "laptop_build_workflow",
     "make_astra",
     "CiError",
@@ -24,6 +33,7 @@ __all__ = [
     "CiPipeline",
     "CiServer",
     "CiStage",
+    "warm_cache_stage",
     "Machine",
     "make_machine",
     "EphemeralVmBuilder",

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..cas.store import ContentStore
 from ..helpers import ShadowUtils
 from ..kernel import (
     FileType,
@@ -33,6 +34,9 @@ class Machine:
     shadow: ShadowUtils
     dev_fs: Filesystem
     users: dict[str, int] = field(default_factory=dict)
+    #: Node-local CAS shared by every builder and storage driver on this
+    #: machine — identical layers land once per node, not once per user.
+    content_store: ContentStore = field(default_factory=ContentStore)
 
     @property
     def hostname(self) -> str:

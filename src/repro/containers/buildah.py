@@ -117,8 +117,9 @@ class Buildah:
             ssys.setup_single_id_userns()
         else:
             machine.shadow.setup_rootless_userns(self._storage_proc)
-        self.driver: StorageDriver = make_driver(driver, ssys,
-                                                 self.storage_dir)
+        self.driver: StorageDriver = make_driver(
+            driver, ssys, self.storage_dir,
+            content_store=getattr(machine, "content_store", None))
         self.images: dict[str, LocalImage] = {}
         self._cache: dict[str, _CacheEntry] = {}
 

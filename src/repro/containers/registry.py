@@ -10,11 +10,11 @@ benchmarks.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..archive import TarArchive
+from ..cas.store import CasError, ContentStore, blob_digest
 from ..errors import RegistryError
 from ..obs.trace import maybe_span
 from .oci import ImageConfig, ImageRef, Manifest
@@ -29,19 +29,40 @@ class TransferStats:
     blobs_pushed: int = 0
     blobs_push_skipped: int = 0  # dedup hits: layer already present
     bytes_pushed: int = 0
+    bytes_push_skipped: int = 0  # bytes the dedup saved on the wire
     blobs_pulled: int = 0
     bytes_pulled: int = 0
 
+    def as_dict(self) -> dict:
+        return {
+            "blobs_pushed": self.blobs_pushed,
+            "blobs_push_skipped": self.blobs_push_skipped,
+            "bytes_pushed": self.bytes_pushed,
+            "bytes_push_skipped": self.bytes_push_skipped,
+            "blobs_pulled": self.blobs_pulled,
+            "bytes_pulled": self.bytes_pulled,
+        }
+
 
 class Registry:
-    """One registry service (e.g. the GitLab Container Registry of §4.2)."""
+    """One registry service (e.g. the GitLab Container Registry of §4.2).
 
-    def __init__(self, name: str):
+    Blob bytes live in a :class:`~repro.cas.ContentStore`; passing a
+    shared store to several registries (or to storage drivers) dedups
+    identical layers across images, repositories, and services.  Every
+    blob this registry accepts is refcounted so a bounded shared store
+    can never evict it — registry persistence is the §4.2 property.
+    """
+
+    def __init__(self, name: str, *, store: Optional[ContentStore] = None):
         self.name = name
-        self._blobs: dict[str, bytes] = {}
+        self.store = store if store is not None else ContentStore()
+        self._owned: set[str] = set()  # digests this registry references
         # (repo, tag) -> arch -> Manifest  (a minimal OCI manifest list)
         self._manifests: dict[tuple[str, str], dict[str, Manifest]] = {}
         self._manifest_log: list[tuple[str, str, str]] = []  # persistence
+        # (repo, tag) -> cache-manifest blob digest (BuildKit-style)
+        self._cache_manifests: dict[tuple[str, str], str] = {}
         self._policies: dict[str, bool] = {}  # repo -> require_flattened
         self.stats = TransferStats()
         #: Optional :class:`~repro.obs.SyscallTracer` — registries have no
@@ -52,22 +73,28 @@ class Registry:
     # -- blob plumbing --------------------------------------------------------------
 
     def has_blob(self, digest: str) -> bool:
-        return digest in self._blobs
+        return self.store.has(digest)
 
     def _put_blob(self, blob: bytes) -> str:
-        digest = "sha256:" + hashlib.sha256(blob).hexdigest()
-        if digest in self._blobs:
+        digest = blob_digest(blob)
+        if self.store.has(digest):
+            # dedup hit: the bytes are already at rest (possibly pushed to
+            # another repo, or another registry on a shared store)
             self.stats.blobs_push_skipped += 1
+            self.stats.bytes_push_skipped += len(blob)
         else:
-            self._blobs[digest] = blob
+            self.store.put(blob)
             self.stats.blobs_pushed += 1
             self.stats.bytes_pushed += len(blob)
+        if digest not in self._owned:
+            self._owned.add(digest)
+            self.store.incref(digest)
         return digest
 
     def _get_blob(self, digest: str) -> bytes:
         try:
-            blob = self._blobs[digest]
-        except KeyError:
+            blob = self.store.get(digest)
+        except CasError:
             raise RegistryError(f"{self.name}: no blob {digest[:19]}...")
         self.stats.blobs_pulled += 1
         self.stats.bytes_pulled += len(blob)
@@ -158,6 +185,50 @@ class Registry:
             f"{self.name}: {ref.repository}:{ref.tag} is multi-arch "
             f"({sorted(variants)}); specify an architecture")
 
+    # -- build-cache manifests (BuildKit-style cache export) ---------------------------
+
+    def push_cache(self, ref: ImageRef | str, manifest: bytes,
+                   blobs: Iterable[bytes]) -> str:
+        """Accept a build-cache export: the diff blobs plus the JSON cache
+        manifest naming them, tracked under *ref* like an OCI artifact.
+        Already-present blobs are deduplicated like layers; returns the
+        manifest blob digest."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        blobs = list(blobs)
+        with maybe_span(self.tracer,
+                        f"push-cache {ref.repository}:{ref.tag}", "push",
+                        registry=self.name, blobs=len(blobs)):
+            for blob in blobs:
+                self._put_blob(blob)
+            digest = self._put_blob(manifest)
+            self._cache_manifests[(ref.repository, ref.tag)] = digest
+        return digest
+
+    def pull_cache(self, ref: ImageRef | str
+                   ) -> tuple[bytes, Callable[[str], bytes]]:
+        """Fetch a cache manifest pushed by :meth:`push_cache`; returns
+        ``(manifest_bytes, fetch)`` where *fetch* retrieves diff blobs by
+        digest (and counts them as pulled)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        try:
+            digest = self._cache_manifests[(ref.repository, ref.tag)]
+        except KeyError:
+            raise RegistryError(
+                f"{self.name}: cache manifest unknown: "
+                f"{ref.repository}:{ref.tag}")
+        with maybe_span(self.tracer,
+                        f"pull-cache {ref.repository}:{ref.tag}", "pull",
+                        registry=self.name):
+            manifest = self._get_blob(digest)
+        return manifest, self._get_blob
+
+    def has_cache(self, ref: ImageRef | str) -> bool:
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        return (ref.repository, ref.tag) in self._cache_manifests
+
     def has(self, ref: ImageRef | str) -> bool:
         if isinstance(ref, str):
             ref = ImageRef.parse(ref)
@@ -175,4 +246,8 @@ class Registry:
         return [d for (r, _, d) in self._manifest_log if r == repository]
 
     def storage_bytes(self) -> int:
-        return sum(len(b) for b in self._blobs.values())
+        """Bytes at rest attributable to this registry's blobs.  On a
+        shared store the sum over registries can exceed the store's
+        physical size — that gap *is* the cross-service dedup saving."""
+        return sum(self.store.size_of(d) for d in self._owned
+                   if self.store.has(d))

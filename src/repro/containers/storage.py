@@ -16,10 +16,12 @@ Functional model: both drivers materialize working trees; they differ in
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
+from typing import Optional
 
-from ..archive import TarArchive, TarMember
+from ..archive import TarArchive
+from ..cas.diff import diff_against_snapshot, snapshot_tree
+from ..cas.store import ContentStore
 from ..errors import ReproError
 from ..kernel import FileType, Syscalls
 from ..obs.trace import kernel_span
@@ -46,17 +48,7 @@ class DriverStats:
         return self.meta_ops * meta_op_cost + self.bytes_copied * byte_cost
 
 
-def _snapshot(sys: Syscalls, root: str) -> dict[str, str]:
-    """path -> content+metadata digest, for layer diffing."""
-    out = {}
-    archive = TarArchive.pack(sys, root)
-    for m in archive:
-        h = hashlib.sha256()
-        h.update(f"{m.ftype}|{m.mode}|{m.uid}|{m.gid}|{m.target}|"
-                 f"{m.rdev}".encode())
-        h.update(m.data)
-        out[m.path] = h.hexdigest()
-    return out
+_snapshot = snapshot_tree  # shared with the CAS/build-cache layer
 
 
 class StorageDriver:
@@ -65,17 +57,32 @@ class StorageDriver:
     ``sys`` is the syscall view of whoever owns the storage — for rootless
     Podman that is a process *inside* the user namespace, which is how its
     chown-to-subordinate-ID writes are legal.
+
+    With a *content_store*, every imported layer and committed diff is
+    also recorded as a refcounted CAS blob — so two images sharing a base
+    (or two builders on the same machine) store those bytes once, and the
+    store's ``dedup_hits`` expose the saving.
     """
 
     name = "base"
 
-    def __init__(self, sys: Syscalls, root_dir: str):
+    def __init__(self, sys: Syscalls, root_dir: str, *,
+                 content_store: Optional[ContentStore] = None):
         self.sys = sys
         self.root_dir = root_dir.rstrip("/")
         self.stats = DriverStats()
+        self.content_store = content_store
         sys.mkdir_p(self.root_dir)
         self._check_backing_fs()
         self._snapshots: dict[str, dict[str, str]] = {}
+
+    def _store_blob(self, archive: TarArchive) -> None:
+        """Record *archive* in the shared CAS (refcounted: a committed
+        layer has registry-grade persistence, never LRU eviction)."""
+        if self.content_store is None or not len(archive):
+            return
+        digest = self.content_store.put(archive.serialize())
+        self.content_store.incref(digest)
 
     def _check_backing_fs(self) -> None:
         pass
@@ -127,6 +134,7 @@ class StorageDriver:
                                           on_chown_error=on_chown_error)
                 self.stats.meta_ops += len(layer)
                 self.stats.bytes_copied += layer.total_bytes()
+                self._store_blob(layer)
             self._snapshots[path] = _snapshot(self.sys, path)
         return path
 
@@ -143,6 +151,7 @@ class StorageDriver:
             diff, full = self._diff_since_snapshot(build_path)
             self.stats.commits += 1
             self._charge_commit(diff, full)
+            self._store_blob(diff)
             if sp is not None:
                 sp.meta["diff_members"] = len(diff)
         return diff
@@ -154,23 +163,9 @@ class StorageDriver:
                              ) -> tuple[TarArchive, TarArchive]:
         prev = self._snapshots.get(build_path, {})
         full = TarArchive.pack(self.sys, build_path)
-        cur: dict[str, str] = {}
-        members_by_path: dict[str, TarMember] = {}
-        for m in full:
-            h = hashlib.sha256()
-            h.update(f"{m.ftype}|{m.mode}|{m.uid}|{m.gid}|{m.target}|"
-                     f"{m.rdev}".encode())
-            h.update(m.data)
-            cur[m.path] = h.hexdigest()
-            members_by_path[m.path] = m
-        changed = [members_by_path[p] for p in sorted(cur)
-                   if prev.get(p) != cur[p]]
-        # whiteouts for deletions, as overlayfs represents them
-        deleted = [TarMember(path=p, ftype=FileType.CHR, mode=0, uid=0,
-                             gid=0, rdev=(0, 0))
-                   for p in sorted(set(prev) - set(cur))]
+        diff, cur = diff_against_snapshot(prev, full)
         self._snapshots[build_path] = cur
-        return TarArchive(changed + deleted), full
+        return diff, full
 
     def export_full(self, path: str, *, flatten: bool = False) -> TarArchive:
         """One archive of the whole tree (single-layer export)."""
@@ -281,9 +276,11 @@ class OverlayDriver(StorageDriver):
         self.stats.meta_ops += len(diff)
 
 
-def make_driver(kind: str, sys: Syscalls, root_dir: str) -> StorageDriver:
+def make_driver(kind: str, sys: Syscalls, root_dir: str, *,
+                content_store: Optional[ContentStore] = None
+                ) -> StorageDriver:
     if kind == "vfs":
-        return VfsDriver(sys, root_dir)
+        return VfsDriver(sys, root_dir, content_store=content_store)
     if kind == "overlay":
-        return OverlayDriver(sys, root_dir)
+        return OverlayDriver(sys, root_dir, content_store=content_store)
     raise DriverError(f"unknown storage driver {kind!r}")

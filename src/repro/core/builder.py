@@ -16,6 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..archive import TarArchive
+from ..cas.cache import BuildCache
+from ..cas.diff import (
+    apply_diff_to_snapshot,
+    diff_against_snapshot,
+    snapshot_tree,
+)
+from ..cas.store import blob_digest
 from ..containers.dockerfile import Instruction, parse_dockerfile, split_env_args
 from ..containers.oci import ImageConfig
 from ..containers.runtime import ContainerError, enter_container
@@ -41,6 +49,7 @@ class ChBuildResult:
     modified_runs: int = 0
     init_steps_run: int = 0
     instructions: int = 0
+    cache_hits: int = 0
     exit_status: int = 0
     error: str = ""
 
@@ -62,20 +71,33 @@ class ChImage:
     def __init__(self, machine, user_proc: Process,
                  storage_dir: Optional[str] = None, *,
                  cache: bool = False, auto_map: bool = False,
-                 force_mode: str = "fakeroot"):
+                 force_mode: str = "fakeroot",
+                 build_cache: Optional[BuildCache] = None,
+                 cache_max_bytes: Optional[int] = None):
         if force_mode not in ("fakeroot", "seccomp"):
             raise ValueError(f"unknown force mode {force_mode!r}")
         self.machine = machine
         self.user_proc = user_proc
         self.storage = ImageStorage(machine, user_proc, storage_dir)
         self.sys = Syscalls(user_proc)
-        self.cache_enabled = cache
         self.auto_map = auto_map
         self.force_mode = force_mode
-        self._cache: dict[str, tuple] = {}  # chain -> (snapshot, hits)
+        #: The instruction-level build cache (None = disabled).  Passing a
+        #: shared :class:`~repro.cas.BuildCache` lets several builders
+        #: (even different users) hit each other's instruction results.
+        if build_cache is not None:
+            self.cache: Optional[BuildCache] = build_cache
+        elif cache:
+            self.cache = BuildCache(max_bytes=cache_max_bytes)
+        else:
+            self.cache = None
         #: §6.2.2(3): in seccomp mode the lie database lives in the builder
         #: (host side) and persists across RUN instructions and to push time
         self.seccomp_db = LieDatabase()
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache is not None
 
     # -- observability -----------------------------------------------------------
 
@@ -166,9 +188,20 @@ class ChImage:
                 if sp is not None:
                     sp.fail(result.error)
                 return False, lineno
-            image_path = self.storage.copy(base_name, tag)
+            image_path = self.storage.copy(base_name, tag,
+                                           clone=self.cache_enabled)
             config = self.storage.config_of(base_name)
         result.instructions = lineno
+
+        # Build-cache chain: rooted in the base image's identity digest so
+        # independent builders derive identical keys.  ``snap`` is lazy —
+        # an all-hits warm build never packs the tree at all.
+        ckey = ""
+        snap: Optional[dict] = None
+        if self.cache_enabled:
+            ckey = self.cache.begin(
+                self.storage.digest_of(base_name), force=force,
+                force_mode=self.force_mode if force else "")
 
         force_config = detect_config(self.sys, image_path)
         if force and self.force_mode == "seccomp":
@@ -189,6 +222,11 @@ class ChImage:
         for i, inst in enumerate(instructions[1:], start=lineno + 1):
             result.instructions = i
             with self._inst_span(i, inst.kind, inst.args) as sp:
+                if self.cache_enabled and inst.kind not in ("COPY", "ADD",
+                                                            "RUN"):
+                    # config-only instructions extend the chain (their text
+                    # is part of the key) but cache no tree diff
+                    ckey = self.cache.extend(ckey, inst.kind, inst.args)
                 if inst.kind in ("ENV", "ARG"):
                     env.update(dict(split_env_args(inst.args)))
                     out(f"  {i} {inst.kind} {inst.args}")
@@ -218,6 +256,21 @@ class ChImage:
                     continue
                 if inst.kind in ("COPY", "ADD"):
                     out(f"  {i} {inst.kind} {inst.args}")
+                    if self.cache_enabled:
+                        ckey = self.cache.extend(
+                            ckey, inst.kind, inst.args,
+                            context=self._copy_context_digest(inst,
+                                                              stage_names))
+                        diff = self._cache_lookup(ckey, i, inst.kind)
+                        if diff is not None:
+                            out(f"  {i} {inst.kind}: using build cache")
+                            result.cache_hits += 1
+                            diff.apply_diff(self.sys, image_path)
+                            if snap is not None:
+                                snap = apply_diff_to_snapshot(snap, diff)
+                            continue
+                        if snap is None:
+                            snap = snapshot_tree(self.sys, image_path)
                     status = self._do_copy(inst, image_path, out,
                                            stage_names=stage_names)
                     if status != 0:
@@ -226,6 +279,9 @@ class ChImage:
                         if sp is not None:
                             sp.fail(result.error)
                         return False, i
+                    if self.cache_enabled:
+                        snap = self._cache_store(ckey, inst, image_path,
+                                                 snap)
                     continue
                 if inst.kind != "RUN":
                     out(f"  {i} {inst.kind} {inst.args}")
@@ -235,13 +291,17 @@ class ChImage:
                 words = inst.shell_words()
                 out(f"  {i} RUN {words!r}")
                 if self.cache_enabled:
-                    chain = self._chain_key(base_ref, force,
-                                            instructions[1:i - lineno])
-                    cached = self._cache.get(chain)
-                    if cached is not None:
+                    ckey = self.cache.extend(ckey, "RUN", inst.args)
+                    diff = self._cache_lookup(ckey, i, "RUN")
+                    if diff is not None:
                         out(f"  {i} RUN: using build cache")
-                        self._restore_snapshot(image_path, cached)
+                        result.cache_hits += 1
+                        diff.apply_diff(self.sys, image_path)
+                        if snap is not None:
+                            snap = apply_diff_to_snapshot(snap, diff)
                         continue
+                    if snap is None:
+                        snap = snapshot_tree(self.sys, image_path)
                 modifiable = (force_config is not None
                               and force_config.run_modifiable(inst.args))
                 seccomp = False
@@ -273,9 +333,7 @@ class ChImage:
                 status = self._run_in_container(image_path, words, env,
                                                 workdir, out, seccomp=seccomp)
                 if status == 0 and self.cache_enabled:
-                    chain = self._chain_key(base_ref, force,
-                                            instructions[1:i - lineno])
-                    self._cache[chain] = self._take_snapshot(image_path)
+                    snap = self._cache_store(ckey, inst, image_path, snap)
                 if status != 0:
                     if modifiable and not force:
                         saw_modifiable_failure = True
@@ -295,6 +353,11 @@ class ChImage:
                 out(f"--force: init OK & modified {result.modified_runs} "
                     "RUN instructions")
             out(f"grown in {result.instructions} instructions: {final_tag}")
+        if self.cache_enabled:
+            # the tag marks this chain reachable for GC, and roots any
+            # later FROM of this stage/image deterministically
+            self.cache.tag(tag, ckey)
+            self.storage.set_digest(tag, "chain:" + ckey)
         self.storage.set_config(tag, config.with_history(
             f"ch-image build {'--force ' if force else ''}from {base_ref}"))
         return True, lineno + len(instructions)
@@ -310,21 +373,54 @@ class ChImage:
 
     # -- build cache (§6.2.2 extension) ---------------------------------------------
 
-    def _chain_key(self, base_ref: str, force: bool, prefix) -> str:
-        import hashlib
-        h = hashlib.sha256(f"{base_ref}|force={force}".encode())
-        for inst in prefix:
-            h.update(f"|{inst.kind} {inst.args}".encode())
-        return h.hexdigest()
+    def _copy_context_digest(self, inst: Instruction, stage_names) -> str:
+        """Digest of the bytes a COPY/ADD would bring in, so content
+        changes invalidate the key even when the instruction text does
+        not (BuildKit context hashing)."""
+        parts = inst.args.split()
+        prefix = ""
+        if parts and parts[0].startswith("--from="):
+            name = (stage_names or {}).get(parts[0].split("=", 1)[1])
+            if name is None:
+                return "missing-stage"
+            prefix = self.storage.path_of(name)
+            parts = parts[1:]
+        if len(parts) != 2:
+            return "malformed"
+        try:
+            return blob_digest(self.sys.read_file(prefix + parts[0]))
+        except KernelError as err:
+            return f"unreadable:{err.errno}"
 
-    def _take_snapshot(self, image_path: str):
-        from ..archive import TarArchive
-        return TarArchive.pack(self.sys, image_path)
+    def _cache_lookup(self, ckey: str, lineno: int,
+                      kind: str) -> Optional[TarArchive]:
+        """Probe the cache, with a span + counter for the obs layer."""
+        with kernel_span(self.machine.kernel, f"cache lookup {lineno}",
+                         "cache", lineno=lineno, inst_kind=kind) as sp:
+            diff = self.cache.lookup(ckey)
+            event = "hit" if diff is not None else "miss"
+            if sp is not None:
+                sp.meta["result"] = event
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.metrics.count_cache(event)
+        return diff
 
-    def _restore_snapshot(self, image_path: str, snapshot) -> None:
-        self.storage._rm_tree(image_path)
-        self.sys.mkdir_p(image_path)
-        snapshot.extract(self.sys, image_path, preserve_owner=False)
+    def _cache_store(self, ckey: str, inst: Instruction, image_path: str,
+                     snap: dict) -> dict:
+        """Commit the instruction's tree diff to the cache; returns the
+        updated snapshot (carried forward to the next instruction)."""
+        with kernel_span(self.machine.kernel, f"cache store {inst.kind}",
+                         "cache", inst_kind=inst.kind) as sp:
+            full = TarArchive.pack(self.sys, image_path)
+            diff, snap = diff_against_snapshot(snap, full)
+            self.cache.store_diff(ckey, inst.kind, inst.args, diff)
+            if sp is not None:
+                sp.meta["diff_members"] = len(diff)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.metrics.count_cache("store")
+        return snap
 
     def _run_in_container(self, image_path: str, argv: list[str],
                           env: dict[str, str], workdir: str, out, *,

@@ -2,18 +2,22 @@
 
 ``ch_image_cli(ch, argv)`` mirrors the CLI the paper's transcripts invoke:
 ``ch-image build [--force] [--trace] -t TAG -f DOCKERFILE .``, plus pull/
-push/list/delete, and ``ch-image trace [--audit|--json]`` to report on the
-last traced build.  Returns (exit_status, output_text).
+push/list/delete, ``ch-image build-cache [--tree|--gc|--reset]`` and
+``build-cache {export|import} REF`` for the §6.2.2 build cache, and
+``ch-image trace [--audit|--json]`` to report on the last traced build.
+Returns (exit_status, output_text).
 """
 
 from __future__ import annotations
 
 import json
 
+from ..containers.oci import ImageRef
 from ..errors import KernelError, ReproError
 from ..obs.export import trace_to_dict
 from ..obs.report import privilege_audit, render_span_tree, render_summary
 from .builder import ChImage
+from .images import DEFAULT_HUB
 from .push import push_image
 
 __all__ = ["ch_image_cli"]
@@ -21,7 +25,8 @@ __all__ = ["ch_image_cli"]
 
 def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
     if not argv:
-        return 1, "usage: ch-image {build|pull|push|list|delete|trace} ..."
+        return 1, ("usage: ch-image {build|build-cache|pull|push|list|"
+                   "delete|trace} ...")
     command, *args = argv
 
     if command == "build":
@@ -96,7 +101,46 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
             ch.storage.delete(args[0])
         except KernelError as err:
             return 1, f"ch-image: delete failed: {err.strerror}"
+        if ch.cache is not None:
+            # the image's chain is no longer tag-reachable; the records
+            # stay until ``build-cache --gc`` sweeps them
+            ch.cache.untag(args[0])
         return 0, f"deleted {args[0]}"
+
+    if command == "build-cache":
+        cache = ch.cache
+        if cache is None:
+            return 1, ("ch-image build-cache: the build cache is not "
+                       "enabled (construct ChImage with cache=True)")
+        if "--tree" in args:
+            return 0, cache.tree()
+        if "--gc" in args:
+            res = cache.gc()
+            return 0, (f"garbage collected: {res['records_dropped']} "
+                       f"records, {res['blobs_reclaimed']} blobs "
+                       f"({res['bytes_reclaimed']} bytes)")
+        if "--reset" in args:
+            res = cache.reset()
+            return 0, (f"reset: dropped {res['records_dropped']} records, "
+                       f"{res['blobs_reclaimed']} blobs")
+        if args and args[0] in ("export", "import"):
+            if len(args) < 2:
+                return 1, f"ch-image build-cache {args[0]}: need a REF"
+            ref = ImageRef.parse(args[1])
+            net = ch.machine.kernel.network
+            if net is None:
+                return 1, "ch-image build-cache: no network reachable"
+            try:
+                registry = net.registry(ref.registry or DEFAULT_HUB)
+                if args[0] == "export":
+                    digest = cache.export_to_registry(registry, ref)
+                    return 0, (f"exported {len(cache.records)} records "
+                               f"to {args[1]} ({digest[:19]}...)")
+                installed = cache.import_from_registry(registry, ref)
+                return 0, f"imported {installed} records from {args[1]}"
+            except ReproError as err:
+                return 1, f"ch-image build-cache {args[0]} failed: {err}"
+        return 0, cache.summary()
 
     if command == "trace":
         tracer = ch.tracer

@@ -35,6 +35,7 @@ class ImageStorage:
         self.img_dir = f"{self.root}/img"
         self.sys.mkdir_p(self.img_dir)
         self._configs: dict[str, ImageConfig] = {}
+        self._digests: dict[str, str] = {}  # name -> identity digest
 
     # -- naming ---------------------------------------------------------------------
 
@@ -56,6 +57,25 @@ class ImageStorage:
     def config_of(self, name: str) -> ImageConfig:
         return self._configs.get(name, ImageConfig(arch=self.machine.arch))
 
+    def digest_of(self, name: str) -> str:
+        """A stable identity digest for *name*: the registry manifest
+        digest for pulled images, a build-chain digest for built stages,
+        or (fallback) the digest of the tree contents.  This is what roots
+        the build cache's Merkle chains — two builders that pulled the
+        same image derive the same chain keys."""
+        digest = self._digests.get(name)
+        if digest is None:
+            from ..cas.diff import snapshot_digest, snapshot_tree
+            path = self.path_of(name)
+            if not self.sys.exists(path):
+                raise BuildError(f"no image {name!r} in storage")
+            digest = snapshot_digest(snapshot_tree(self.sys, path))
+            self._digests[name] = digest
+        return digest
+
+    def set_digest(self, name: str, digest: str) -> None:
+        self._digests[name] = digest
+
     # -- pull -----------------------------------------------------------------------
 
     def _registry(self, ref: ImageRef) -> Registry:
@@ -71,29 +91,40 @@ class ImageStorage:
         path = self.path_of(name)
         if self.sys.exists(path):
             return path
-        config, layers = self._registry(ref).pull(ref,
-                                                  arch=self.machine.arch)
+        registry = self._registry(ref)
+        config, layers = registry.pull(ref, arch=self.machine.arch)
         self.sys.mkdir_p(path)
         for layer in layers:
             # unprivileged tar semantics: no chown attempts at all
             layer.extract(self.sys, path, preserve_owner=False)
         self._configs[name] = config
+        self._digests[name] = registry.manifest(
+            ref, arch=self.machine.arch).digest()
         return path
 
     # -- tag-to-tag copy (FROM materialization) ----------------------------------------
 
-    def copy(self, src_name: str, dst_name: str) -> str:
+    def copy(self, src_name: str, dst_name: str, *, clone: bool = False) -> str:
+        """Materialize *src_name* as *dst_name*.  The default is the
+        plain pack-and-extract userspace copy; with *clone* the tree is
+        duplicated by one ``clone_tree(2)`` reflink-style call — the fast
+        path cache-enabled builds take for FROM."""
         src = self.path_of(src_name)
         dst = self.path_of(dst_name)
         if not self.sys.exists(src):
             raise BuildError(f"no image {src_name!r} in storage")
         if self.sys.exists(dst):
             self.delete(dst_name)
-        archive = TarArchive.pack(self.sys, src)
-        self.sys.mkdir_p(dst)
-        archive.extract(self.sys, dst, preserve_owner=False)
+        if clone:
+            self.sys.clone_tree(src, dst)
+        else:
+            archive = TarArchive.pack(self.sys, src)
+            self.sys.mkdir_p(dst)
+            archive.extract(self.sys, dst, preserve_owner=False)
         self._configs[dst_name] = self._configs.get(
             src_name, ImageConfig(arch=self.machine.arch))
+        if src_name in self._digests:
+            self._digests[dst_name] = self._digests[src_name]
         return dst
 
     def set_config(self, name: str, config: ImageConfig) -> None:
@@ -104,6 +135,7 @@ class ImageStorage:
     def delete(self, name: str) -> None:
         self._rm_tree(self.path_of(name))
         self._configs.pop(name, None)
+        self._digests.pop(name, None)
 
     def _rm_tree(self, path: str) -> None:
         st = self.sys.lstat(path)

@@ -236,13 +236,29 @@ class FakerootSyscalls(Syscalls):
 
     # -- persistence (fakeroot -s / -i; pseudo's database) --------------------------------
 
+    def _root_dev(self) -> int:
+        # Read the mount table directly: a stat() here would perturb the
+        # wrapped process's syscall trace.
+        return self.inner.mnt_ns.mounts["/"].fs.device_id
+
     def save_state(self, path: str) -> None:
         """fakeroot -s: persist the lie database to *path* (inside the
-        wrapped filesystem view)."""
-        self.inner.write_file(path, self.db.dump())
+        wrapped filesystem view).
+
+        Device numbers are host-specific, so the root filesystem's device
+        is stored as 0: saved databases are byte-identical across hosts
+        for the common case of lies confined to one filesystem, which is
+        what makes build-cache layer diffs portable.
+        """
+        root = self._root_dev()
+        portable = LieDatabase()
+        for (dev, ino), lie in self.db:
+            portable.record(0 if dev == root else dev, ino, lie)
+        self.inner.write_file(path, portable.dump())
 
     def load_state(self, path: str) -> None:
         """fakeroot -i: merge a previously saved database."""
         loaded = LieDatabase.load(self.inner.read_file(path))
+        root = self._root_dev()
         for (dev, ino), lie in loaded:
-            self.db.record(dev, ino, lie)
+            self.db.record(root if dev == 0 else dev, ino, lie)

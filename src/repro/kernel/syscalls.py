@@ -36,6 +36,7 @@ from .vfs import (
     Filesystem,
     Inode,
     capable_wrt_inode,
+    copy_tree,
     ids_mapped,
     may_access,
 )
@@ -723,6 +724,23 @@ class Syscalls:
         rp_new.fs._inodes[victim.ino] = victim
         victim.nlink = max(victim.nlink, 0)
         rp_new.fs.link_child(rp_new.dir_inode, rp_new.name, victim)
+
+    def clone_tree(self, src: str, dst: str) -> None:
+        """Clone the directory tree at *src* to *dst*, preserving all
+        metadata, in one call — the reflink / overlayfs lower-dir sharing
+        fast path caching builders use to materialize FROM.  Data blocks
+        are shared, so the cost is O(1) in syscalls rather than O(files)
+        of a userspace copy; like reflinks, it cannot cross filesystems."""
+        res = self._resolve(src)
+        if not res.inode.is_dir:
+            raise KernelError(Errno.ENOTDIR, src, syscall="clone_tree")
+        if not may_access(self.cred, res.inode, read=True, execute=True):
+            raise KernelError(Errno.EACCES, src, syscall="clone_tree")
+        rp = self._prep_create(dst, "clone_tree")
+        if rp.fs is not res.fs:
+            raise KernelError(Errno.EXDEV, dst, syscall="clone_tree")
+        copy_tree(res.fs, res.inode.ino, rp.fs, rp.dir_inode.ino, rp.name,
+                  now=self.kernel.now())
 
     # -- ownership & permissions (the heart of the paper) ----------------------------------
 

@@ -57,12 +57,15 @@ class TraceMetrics:
       (that is exactly the §5.1 "absorbed" signal, and what the errno-
       coverage test walks).
     * ``errnos_by_syscall``: ``(syscall, errno)`` pair counts, any depth.
+    * ``cache``: build-cache events (``hit`` / ``miss`` / ``store``) —
+      what the CI cache-smoke job compares cold vs. warm.
     """
 
     def __init__(self):
         self.syscalls: Counter[str] = Counter()
         self.errnos: Counter[str] = Counter()
         self.errnos_by_syscall: Counter[tuple[str, str]] = Counter()
+        self.cache: Counter[str] = Counter()
 
     def count_call(self, name: str, *, top_level: bool) -> None:
         if top_level:
@@ -72,10 +75,14 @@ class TraceMetrics:
         self.errnos[errno_name] += 1
         self.errnos_by_syscall[(name, errno_name)] += 1
 
+    def count_cache(self, event: str) -> None:
+        self.cache[event] += 1
+
     def clear(self) -> None:
         self.syscalls.clear()
         self.errnos.clear()
         self.errnos_by_syscall.clear()
+        self.cache.clear()
 
     def snapshot(self) -> dict:
         """A JSON-friendly copy (sorted keys for deterministic exports)."""
@@ -86,4 +93,5 @@ class TraceMetrics:
                 f"{sc}:{en}": n
                 for (sc, en), n in sorted(self.errnos_by_syscall.items())
             },
+            "cache": dict(sorted(self.cache.items())),
         }

@@ -65,7 +65,7 @@ TRACED_SYSCALLS = frozenset({
     # cwd / metadata
     "chdir", "stat", "lstat", "readlink", "readdir",
     # creation
-    "mkdir", "mknod", "symlink", "link",
+    "mkdir", "mknod", "symlink", "link", "clone_tree",
     # file I/O
     "read_file", "write_file", "truncate",
     # removal / rename

@@ -1,0 +1,58 @@
+"""Cold-build determinism: the property that makes cache sharing sound.
+
+Two builders that have never exchanged state must derive identical cache
+keys for identical builds — otherwise a registry cache export could never
+hit anywhere else.  Each case builds the same figure Dockerfile in two
+completely fresh worlds and compares keys and image content digests.
+
+(The complementary property — cache-*disabled* builds stay byte-identical
+— is pinned by ``tests/test_golden_transcripts.py`` against the stored
+golden files, which this PR does not regenerate.)
+"""
+
+import pytest
+
+from repro.cas import snapshot_digest, snapshot_tree
+from repro.cluster import make_machine, make_world
+from repro.core import ChImage
+
+from ..conftest import FIG2_DOCKERFILE, FIG3_DOCKERFILE
+
+
+def _cold_build(dockerfile: str, *, force: bool):
+    world = make_world(arches=("x86_64",))
+    login = make_machine("login1", network=world.network)
+    alice = login.login("alice")
+    ch = ChImage(login, alice, cache=True)
+    result = ch.build(tag="foo", dockerfile=dockerfile, force=force)
+    assert result.success, result.text
+    tree_digest = snapshot_digest(
+        snapshot_tree(ch.sys, ch.storage.path_of("foo")))
+    return ch, tree_digest
+
+
+class TestColdBuildDeterminism:
+    @pytest.mark.parametrize("dockerfile", [
+        pytest.param(FIG2_DOCKERFILE, id="fig10-centos"),
+        pytest.param(FIG3_DOCKERFILE, id="fig11-debian"),
+    ])
+    def test_two_cold_builds_agree(self, dockerfile):
+        """Identical cache keys, tags, diff blobs, and image trees from
+        two independent cold builds of the Fig. 10/11 Dockerfiles."""
+        ch1, tree1 = _cold_build(dockerfile, force=True)
+        ch2, tree2 = _cold_build(dockerfile, force=True)
+        assert ch1.cache.keys() == ch2.cache.keys()
+        assert ch1.cache.tags == ch2.cache.tags
+        assert tree1 == tree2
+        # the cached diffs are bit-identical too: same blob digests
+        assert sorted(r.diff_digest
+                      for r in ch1.cache.records.values()) == \
+            sorted(r.diff_digest for r in ch2.cache.records.values())
+
+    def test_force_partitions_key_space(self):
+        ch1, _ = _cold_build(FIG2_DOCKERFILE, force=True)
+        world = make_world(arches=("x86_64",))
+        login = make_machine("login1", network=world.network)
+        ch2 = ChImage(login, login.login("alice"), cache=True)
+        ch2.build(tag="foo", dockerfile=FIG2_DOCKERFILE, force=False)
+        assert not set(ch1.cache.keys()) & set(ch2.cache.keys())

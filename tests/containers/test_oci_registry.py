@@ -109,6 +109,74 @@ class TestRegistry:
         assert r.stats.blobs_pulled == 1
         assert r.stats.bytes_pulled > 0
 
+    def test_push_skip_counts_bytes_saved(self):
+        """The dedup saving is measured in bytes, not just blob counts."""
+        r = Registry("hub")
+        base = layer("base", b"x" * 100)
+        size = len(base.serialize())
+        r.push("a:1", ImageConfig(), [base])
+        assert r.stats.bytes_push_skipped == 0
+        r.push("a:2", ImageConfig(), [base])
+        assert r.stats.blobs_push_skipped == 1
+        assert r.stats.bytes_push_skipped == size
+        assert r.stats.bytes_pushed == size  # stored exactly once
+
+    def test_stats_as_dict(self):
+        r = Registry("hub")
+        base = layer("base", b"x" * 100)
+        r.push("a:1", ImageConfig(), [base])
+        r.push("a:2", ImageConfig(), [base])
+        r.pull("a:1")
+        d = r.stats.as_dict()
+        assert set(d) == {"blobs_pushed", "blobs_push_skipped",
+                          "bytes_pushed", "bytes_push_skipped",
+                          "blobs_pulled", "bytes_pulled"}
+        assert d["blobs_push_skipped"] == 1
+        assert d["bytes_push_skipped"] == len(base.serialize())
+        assert all(isinstance(v, int) for v in d.values())
+
+
+class TestSharedContentStore:
+    """Registries backed by one CAS dedup blobs across services."""
+
+    def test_cross_registry_dedup(self):
+        from repro.cas import ContentStore
+        store = ContentStore()
+        hub = Registry("hub", store=store)
+        site = Registry("site", store=store)
+        base = layer("base", b"x" * 100)
+        hub.push("a:1", ImageConfig(), [base])
+        site.push("b:1", ImageConfig(), [base])
+        # the second service never re-stored the bytes...
+        assert site.stats.blobs_push_skipped == 1
+        assert store.blob_count == 1
+        # ...but both account for (and can serve) them
+        assert hub.storage_bytes() == site.storage_bytes() > 0
+        _, layers = site.pull("b:1")
+        assert layers[0].digest() == base.digest()
+
+    def test_registry_blobs_survive_store_gc(self):
+        from repro.cas import ContentStore
+        store = ContentStore()
+        r = Registry("hub", store=store)
+        r.push("a:1", ImageConfig(), [layer("x")])
+        orphan = store.put(b"nobody references this")
+        assert store.gc() == [orphan]
+        assert r.pull("a:1")  # still servable
+
+    def test_cache_manifest_roundtrip(self):
+        r = Registry("hub")
+        blobs = [b"diff one", b"diff two"]
+        digest = r.push_cache("alice/cache:latest", b'{"v": 1}', blobs)
+        assert r.has_cache("alice/cache:latest")
+        assert not r.has_cache("alice/other:latest")
+        manifest, fetch = r.pull_cache("alice/cache:latest")
+        assert manifest == b'{"v": 1}'
+        from repro.cas import blob_digest
+        assert fetch(blob_digest(b"diff one")) == b"diff one"
+        with pytest.raises(RegistryError):
+            r.pull_cache("alice/missing:1")
+
 
 class TestManifest:
     def test_digests_are_stable(self):

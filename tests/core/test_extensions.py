@@ -49,6 +49,164 @@ class TestChImageBuildCache:
         ch.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
         r = ch.build(tag="b", dockerfile=FIG2_DOCKERFILE, force=True)
         assert "using build cache" not in r.text
+        assert ch.cache is None
+
+    def test_result_counts_hits(self, login, alice):
+        ch = ChImage(login, alice, cache=True)
+        r1 = ch.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r1.cache_hits == 0
+        r2 = ch.build(tag="b", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r2.cache_hits == 2
+
+
+class TestBuildCacheSubsystem:
+    """The CAS-backed cache: COPY caching, sharing, export/import, GC."""
+
+    COPY_DOCKERFILE = """\
+FROM centos:7
+COPY /home/alice/hello.txt /opt/
+RUN echo hello
+"""
+
+    def test_copy_instruction_is_cached(self, login, alice):
+        ch = ChImage(login, alice, cache=True)
+        ch.sys.write_file("/home/alice/hello.txt", b"hi")
+        r1 = ch.build(tag="a", dockerfile=self.COPY_DOCKERFILE)
+        assert r1.success, r1.text
+        r2 = ch.build(tag="b", dockerfile=self.COPY_DOCKERFILE)
+        assert r2.success
+        assert r2.text.count("COPY: using build cache") == 1
+        assert r2.cache_hits == 2  # the COPY and the RUN
+        assert ch.sys.read_file(
+            ch.storage.path_of("b") + "/opt/hello.txt") == b"hi"
+
+    def test_copy_content_change_invalidates(self, login, alice):
+        """Same instruction text, different bytes: the context digest in
+        the key forces a miss (BuildKit context hashing)."""
+        ch = ChImage(login, alice, cache=True)
+        ch.sys.write_file("/home/alice/hello.txt", b"one")
+        ch.build(tag="a", dockerfile=self.COPY_DOCKERFILE)
+        ch.sys.write_file("/home/alice/hello.txt", b"two")
+        r = ch.build(tag="b", dockerfile=self.COPY_DOCKERFILE)
+        assert r.success
+        assert "COPY: using build cache" not in r.text
+        assert ch.sys.read_file(
+            ch.storage.path_of("b") + "/opt/hello.txt") == b"two"
+
+    def test_shared_cache_across_users(self, login):
+        """One machine-wide BuildCache: bob hits on alice's instructions
+        (keys root in the base image's manifest digest, not in any
+        user-local state)."""
+        from repro.cas import BuildCache
+        shared = BuildCache()
+        alice = login.login("alice")
+        bob = login.login("bob")
+        ch_a = ChImage(login, alice, cache=True, build_cache=shared)
+        ch_b = ChImage(login, bob, cache=True, build_cache=shared)
+        r1 = ch_a.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r1.success
+        r2 = ch_b.build(tag="b", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r2.success
+        assert r2.cache_hits == 2
+
+    def test_export_import_hits_in_fresh_builder(self, login, alice):
+        """The acceptance path: export from one ChImage, import into a
+        fresh one (own storage, own cache) — every unchanged instruction
+        hits."""
+        from repro.containers import Registry
+        ch1 = ChImage(login, alice, cache=True)
+        r1 = ch1.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r1.success
+        registry = Registry("site")
+        ch1.cache.export_to_registry(registry, "alice/cache:latest")
+
+        ch2 = ChImage(login, alice, storage_dir="/var/tmp/alice2.ch",
+                      cache=True)
+        ch2.cache.import_from_registry(registry, "alice/cache:latest")
+        r2 = ch2.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r2.success
+        assert r2.cache_hits == 2
+        assert r2.text.count("RUN: using build cache") == 2
+        # and the imported result is real: the install happened
+        assert ch2.sys.exists(ch2.storage.path_of("a") + "/usr/bin/ssh")
+
+    def test_eviction_degrades_to_miss_not_failure(self, login, alice):
+        ch = ChImage(login, alice, cache=True, cache_max_bytes=1)
+        r1 = ch.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r1.success
+        r2 = ch.build(tag="b", dockerfile=FIG2_DOCKERFILE, force=True)
+        assert r2.success  # everything re-ran; nothing broke
+        assert ch.cache.stats.dropped_records > 0
+
+    def test_cache_metrics_and_spans(self, login, alice):
+        ch = ChImage(login, alice, cache=True)
+        tracer = ch.enable_tracing()
+        ch.build(tag="a", dockerfile=FIG2_DOCKERFILE, force=True)
+        ch.build(tag="b", dockerfile=FIG2_DOCKERFILE, force=True)
+        m = tracer.metrics.snapshot()["cache"]
+        assert m["miss"] == 2 and m["store"] == 2 and m["hit"] == 2
+        cache_spans = [s for root in tracer.roots for s in root.walk()
+                       if s.kind == "cache"]
+        assert any(s.meta.get("result") == "hit" for s in cache_spans)
+
+
+class TestBuildCacheCli:
+    def _build(self, login, alice, *, cache=True):
+        from repro.core.cli import ch_image_cli
+        ch = ChImage(login, alice, cache=cache)
+        ch.sys.write_file("/home/alice/Dockerfile",
+                          FIG2_DOCKERFILE.encode())
+        status, out = ch_image_cli(
+            ch, ["build", "--force", "-t", "a", "-f",
+                 "/home/alice/Dockerfile", "."])
+        assert status == 0, out
+        return ch
+
+    def test_summary_and_tree(self, login, alice):
+        from repro.core.cli import ch_image_cli
+        ch = self._build(login, alice)
+        status, out = ch_image_cli(ch, ["build-cache"])
+        assert status == 0 and "records:       2" in out
+        status, tree = ch_image_cli(ch, ["build-cache", "--tree"])
+        assert status == 0
+        assert "RUN yum install -y openssh" in tree
+        assert "(a)" in tree  # the tag marks the chain tip
+
+    def test_delete_untags_and_gc_reclaims(self, login, alice):
+        from repro.core.cli import ch_image_cli
+        ch = self._build(login, alice)
+        status, out = ch_image_cli(ch, ["build-cache", "--gc"])
+        assert status == 0 and "0 records" in out  # tag keeps it alive
+        status, _ = ch_image_cli(ch, ["delete", "a"])
+        assert status == 0
+        status, out = ch_image_cli(ch, ["build-cache", "--gc"])
+        assert status == 0 and "2 records" in out
+        assert ch.cache.store.blob_count == 0
+
+    def test_reset(self, login, alice):
+        from repro.core.cli import ch_image_cli
+        ch = self._build(login, alice)
+        status, out = ch_image_cli(ch, ["build-cache", "--reset"])
+        assert status == 0 and "dropped 2 records" in out
+        assert not ch.cache.records
+
+    def test_export_import_via_cli(self, login, alice):
+        from repro.core.cli import ch_image_cli
+        ch = self._build(login, alice)
+        ref = "gitlab.example.gov/alice/cache:latest"
+        status, out = ch_image_cli(ch, ["build-cache", "export", ref])
+        assert status == 0 and "exported 2 records" in out
+
+        ch2 = ChImage(login, login.login("bob"), cache=True)
+        status, out = ch_image_cli(ch2, ["build-cache", "import", ref])
+        assert status == 0 and "imported 2 records" in out
+        assert ch2.cache.keys() == ch.cache.keys()
+
+    def test_disabled_cache_errors(self, login, alice):
+        from repro.core.cli import ch_image_cli
+        ch = ChImage(login, alice)
+        status, out = ch_image_cli(ch, ["build-cache"])
+        assert status == 1 and "not enabled" in out
 
 
 class TestAutoSubUserns:
