@@ -8,6 +8,17 @@ from .astra import (
     laptop_build_workflow,
     make_astra,
 )
+from .broadcast import (
+    DEPLOY_STRATEGIES,
+    BroadcastError,
+    BroadcastReport,
+    binomial_children,
+    distribute_blobs,
+    distribute_cache,
+    distribute_image,
+    make_deploy_topology,
+)
+from .cli import astra_deploy_cli
 from .ci import (
     CiError,
     CiJob,
@@ -28,6 +39,15 @@ __all__ = [
     "astra_cached_build_workflow",
     "laptop_build_workflow",
     "make_astra",
+    "DEPLOY_STRATEGIES",
+    "BroadcastError",
+    "BroadcastReport",
+    "binomial_children",
+    "distribute_blobs",
+    "distribute_cache",
+    "distribute_image",
+    "make_deploy_topology",
+    "astra_deploy_cli",
     "CiError",
     "CiJob",
     "CiPipeline",

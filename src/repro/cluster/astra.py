@@ -16,6 +16,14 @@ from ..containers.podman import Podman
 from ..core.builder import ChImage
 from ..core.runtime import ChRun
 from ..errors import ReproError
+from ..sim import SimEngine, Topology
+from .broadcast import (
+    DEPLOY_STRATEGIES,
+    BroadcastReport,
+    distribute_cache,
+    distribute_image,
+    make_deploy_topology,
+)
 from .machines import Machine, make_machine
 from .scheduler import JobResult, Scheduler
 from .world import SITE_REGISTRY, World
@@ -70,11 +78,52 @@ class WorkflowReport:
     phases: list[str] = field(default_factory=list)
     cache_records: int = 0             # records exported with the image
     warm_hits: list[int] = field(default_factory=list)  # per-node hits
+    deploy_strategy: str = ""          # "" = legacy untimed deploy
+    distribution: Optional[BroadcastReport] = None
+    link_utilization: dict = field(default_factory=dict)
 
     @property
     def success(self) -> bool:
         return (self.build_ok and self.push_ok
                 and self.deploy is not None and self.deploy.success)
+
+    @property
+    def deploy_makespan(self) -> Optional[float]:
+        """Virtual seconds from distribution start until the last rank
+        finished (simulated deploys only)."""
+        if self.deploy is None or not self.deploy.rank_finishes:
+            return None
+        return max(self.deploy.rank_finishes)
+
+
+def _prepare_deploy(
+    cluster: AstraCluster,
+    strategy: Optional[str],
+    n_nodes: int,
+    sim: Optional[SimEngine],
+    topology: Optional[Topology],
+) -> tuple[Optional[SimEngine], Optional[Topology], list[Machine]]:
+    """Validate the deploy strategy and set up the timed fabric for it.
+
+    Returns ``(engine, topology, target_nodes)``; engine/topology are
+    None when *strategy* is None (legacy untimed sequential deploy).
+    """
+    if strategy is None:
+        return None, None, []
+    if strategy not in DEPLOY_STRATEGIES:
+        raise WorkflowError(
+            f"unsupported deploy strategy {strategy!r} "
+            f"(choose from {DEPLOY_STRATEGIES} or None)")
+    registry = cluster.world.site_registry
+    targets = cluster.scheduler.nodes[:n_nodes]
+    engine = sim if sim is not None else SimEngine()
+    if topology is None:
+        topology = make_deploy_topology(registry, targets)
+    else:
+        topology.attach(registry)
+        for node in targets:
+            topology.attach(node)
+    return engine, topology, targets
 
 
 def astra_build_workflow(
@@ -86,6 +135,9 @@ def astra_build_workflow(
     n_nodes: int = 2,
     app_argv: Optional[list[str]] = None,
     runtime: str = "charliecloud",
+    deploy_strategy: Optional[str] = "tree",
+    sim: Optional[SimEngine] = None,
+    topology: Optional[Topology] = None,
 ) -> WorkflowReport:
     """The full Figure 6 loop on the supercomputer itself.
 
@@ -95,9 +147,18 @@ def astra_build_workflow(
        originally demonstrated with Singularity, however any HPC container
        runtime such as Charliecloud or Shifter could also be used" (§4.2):
        pass ``runtime`` = ``charliecloud`` (default) or ``singularity``.
+
+    Deployment is distributed and timed per *deploy_strategy*: ``"tree"``
+    (default) broadcasts blobs peer-to-peer after one registry pull,
+    ``"registry"`` lets every node pull from the registry (the O(N) pull
+    storm), and ``None`` is the legacy untimed sequential deploy.  Either
+    way the build phases stay strictly sequential and every job process
+    descends from the user's shell (§3.1).
     """
     if runtime not in ("charliecloud", "singularity"):
         raise WorkflowError(f"unsupported HPC runtime {runtime!r}")
+    engine, topo, targets = _prepare_deploy(
+        cluster, deploy_strategy, n_nodes, sim, topology)
     report = WorkflowReport()
     registry_ref = f"{SITE_REGISTRY}/{user}/{tag}:latest"
     app_argv = app_argv or ["/opt/atse/bin/atse-info"]
@@ -133,7 +194,7 @@ def astra_build_workflow(
             from ..containers.oci import ImageRef
             ref = ImageRef.parse(registry_ref)
             _, layers = node.kernel.network.registry(ref.registry).pull(
-                ref, arch=node.arch)
+                ref, arch=node.arch, local_store=node.content_store)
             sing = Singularity(node, login)
             sif = sing.build_from_docker_archive(
                 f"/home/{user}/{tag}.sif", layers)
@@ -145,10 +206,31 @@ def astra_build_workflow(
         res = run.run(path, app_argv, env=env)
         return res.status, res.output
 
-    report.deploy = cluster.scheduler.srun(user, n_nodes, deploy)
+    if engine is None:
+        report.deploy = cluster.scheduler.srun(user, n_nodes, deploy)
+        report.phases.append(
+            f"deploy on {n_nodes} nodes: "
+            f"{'ok' if report.deploy.success else 'FAILED'}")
+        return report
+
+    # Timed deploy: distribute blobs first (tree broadcast or registry
+    # fan-out), then interleave rank events from each node's ready time.
+    registry = cluster.world.site_registry
+    report.deploy_strategy = deploy_strategy
+    report.distribution = distribute_image(
+        registry, registry_ref, targets, topo,
+        arch=cluster.arch, strategy=deploy_strategy, engine=engine,
+        tracer=cluster.login.kernel.tracer)
+    report.deploy = cluster.scheduler.srun(
+        user, n_nodes, deploy, mode="simulated", sim=engine,
+        rank_ready=report.distribution.node_ready)
+    report.link_utilization = topo.utilization()
+    makespan = report.deploy_makespan or 0.0
     report.phases.append(
-        f"deploy on {n_nodes} nodes: "
-        f"{'ok' if report.deploy.success else 'FAILED'}")
+        f"deploy on {n_nodes} nodes [{deploy_strategy}]: "
+        f"{'ok' if report.deploy.success else 'FAILED'} "
+        f"(makespan {makespan * 1e3:.1f} ms, registry egress "
+        f"{report.distribution.registry_egress_bytes} B)")
     return report
 
 
@@ -161,6 +243,9 @@ def astra_cached_build_workflow(
     n_nodes: int = 2,
     app_argv: Optional[list[str]] = None,
     force: bool = True,
+    deploy_strategy: Optional[str] = "tree",
+    sim: Optional[SimEngine] = None,
+    topology: Optional[Topology] = None,
 ) -> WorkflowReport:
     """Figure 6 with the §6.2.2 build cache in the loop.
 
@@ -170,7 +255,15 @@ def astra_cached_build_workflow(
     that export before rebuilding locally — so the per-node rebuild hits
     on every unchanged instruction instead of re-running it (the
     re-execution cost §6.1 calls out as Charliecloud's missing cache).
+
+    With a *deploy_strategy* ("tree" default, "registry", or None for the
+    legacy untimed path), the cache export's blobs are what gets
+    distributed — tree mode pulls them from the registry once and
+    re-serves them peer-to-peer, so the O(N) cache-import storm
+    disappears the same way the image-pull storm does.
     """
+    engine, topo, targets = _prepare_deploy(
+        cluster, deploy_strategy, n_nodes, sim, topology)
     report = WorkflowReport()
     registry_ref = f"{SITE_REGISTRY}/{user}/{tag}:latest"
     cache_ref = f"{SITE_REGISTRY}/{user}/{tag}-cache:latest"
@@ -207,7 +300,8 @@ def astra_cached_build_workflow(
                "PATH": "/opt/atse/bin:/usr/bin:/bin"}
         nch = ChImage(node, login, cache=True)
         node_registry = node.kernel.network.registry(SITE_REGISTRY)
-        nch.cache.import_from_registry(node_registry, cache_ref)
+        nch.cache.import_from_registry(node_registry, cache_ref,
+                                       local_store=node.content_store)
         res = nch.build(tag=tag, dockerfile=dockerfile, force=force)
         if not res.success:
             return 1, res.text
@@ -216,10 +310,28 @@ def astra_cached_build_workflow(
         r = run.run(nch.storage.path_of(tag), app_argv, env=env)
         return r.status, r.output
 
-    report.deploy = cluster.scheduler.srun(user, n_nodes, deploy)
+    if engine is None:
+        report.deploy = cluster.scheduler.srun(user, n_nodes, deploy)
+        report.phases.append(
+            f"warm rebuild + run on {n_nodes} nodes: "
+            f"{'ok' if report.deploy.success else 'FAILED'}")
+        return report
+
+    report.deploy_strategy = deploy_strategy
+    report.distribution = distribute_cache(
+        registry, cache_ref, targets, topo,
+        strategy=deploy_strategy, engine=engine,
+        tracer=cluster.login.kernel.tracer)
+    report.deploy = cluster.scheduler.srun(
+        user, n_nodes, deploy, mode="simulated", sim=engine,
+        rank_ready=report.distribution.node_ready)
+    report.link_utilization = topo.utilization()
+    makespan = report.deploy_makespan or 0.0
     report.phases.append(
-        f"warm rebuild + run on {n_nodes} nodes: "
-        f"{'ok' if report.deploy.success else 'FAILED'}")
+        f"warm rebuild + run on {n_nodes} nodes [{deploy_strategy}]: "
+        f"{'ok' if report.deploy.success else 'FAILED'} "
+        f"(makespan {makespan * 1e3:.1f} ms, registry egress "
+        f"{report.distribution.registry_egress_bytes} B)")
     return report
 
 

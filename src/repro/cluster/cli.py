@@ -1,0 +1,124 @@
+"""An srun-flavoured deploy front end for the Astra workflow.
+
+``astra_deploy_cli(cluster, argv)`` mirrors what a site wrapper script
+around ``podman build && podman push && srun ch-run ...`` looks like, with
+the distribution strategy exposed the way the paper's §6.3 impact story
+needs it benchmarked::
+
+    astra-deploy [--deploy-strategy {registry,tree,off}] [--nodes N]
+                 [--runtime {charliecloud,singularity}] [--cached]
+                 -t TAG -f DOCKERFILE USER
+
+Returns ``(exit_status, output_text)`` like the other CLI shims.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, ReproError
+from ..kernel import Syscalls
+from .astra import (
+    AstraCluster,
+    astra_build_workflow,
+    astra_cached_build_workflow,
+)
+from .broadcast import DEPLOY_STRATEGIES
+
+__all__ = ["astra_deploy_cli"]
+
+_USAGE = ("usage: astra-deploy [--deploy-strategy {registry,tree,off}] "
+          "[--nodes N] [--runtime RT] [--cached] -t TAG -f DOCKERFILE USER")
+
+
+def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
+                     ) -> tuple[int, str]:
+    strategy: str | None = "tree"
+    n_nodes = 2
+    runtime = "charliecloud"
+    cached = False
+    tag = ""
+    dockerfile_path = ""
+    user = ""
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a == "--deploy-strategy":
+            i += 1
+            if i >= len(argv):
+                return 1, "astra-deploy: --deploy-strategy needs a value"
+            strategy = argv[i]
+        elif a.startswith("--deploy-strategy="):
+            strategy = a.split("=", 1)[1]
+        elif a == "--nodes":
+            i += 1
+            if i >= len(argv):
+                return 1, "astra-deploy: --nodes needs a value"
+            try:
+                n_nodes = int(argv[i])
+            except ValueError:
+                return 1, f"astra-deploy: bad node count {argv[i]!r}"
+        elif a == "--runtime":
+            i += 1
+            if i >= len(argv):
+                return 1, "astra-deploy: --runtime needs a value"
+            runtime = argv[i]
+        elif a == "--cached":
+            cached = True
+        elif a == "-t":
+            i += 1
+            tag = argv[i] if i < len(argv) else ""
+        elif a == "-f":
+            i += 1
+            dockerfile_path = argv[i] if i < len(argv) else ""
+        elif a.startswith("-"):
+            return 1, f"astra-deploy: unknown option {a!r}\n{_USAGE}"
+        else:
+            user = a
+        i += 1
+    if not (tag and dockerfile_path and user):
+        return 1, _USAGE
+    if strategy == "off":
+        strategy = None
+    elif strategy not in DEPLOY_STRATEGIES:
+        return 1, (f"astra-deploy: unknown strategy {strategy!r} "
+                   f"(choose from {', '.join(DEPLOY_STRATEGIES)}, off)")
+    if user not in cluster.login.users:
+        return 1, f"astra-deploy: no account {user!r} on the login node"
+
+    login_proc = cluster.login.login(user)
+    try:
+        dockerfile = Syscalls(login_proc).read_file(dockerfile_path).decode()
+    except KernelError as err:
+        return 1, (f"astra-deploy: can't read {dockerfile_path}: "
+                   f"{err.strerror}")
+
+    workflow = astra_cached_build_workflow if cached \
+        else astra_build_workflow
+    kwargs = {} if cached else {"runtime": runtime}
+    try:
+        report = workflow(cluster, user, dockerfile, tag,
+                          n_nodes=n_nodes, deploy_strategy=strategy,
+                          **kwargs)
+    except ReproError as err:
+        return 1, f"astra-deploy: {err}"
+
+    lines = list(report.phases)
+    if report.distribution is not None:
+        d = report.distribution.as_dict()
+        lines.append(
+            f"distribution [{d['strategy']}]: "
+            f"{d['registry_blobs_pulled']} registry pulls "
+            f"({d['registry_egress_bytes']} B egress), "
+            f"{d['peer_sends']} peer sends ({d['peer_bytes']} B), "
+            f"{d['blobs_skipped']} dedup skips")
+        lines.append(f"makespan: {report.deploy_makespan * 1e3:.1f} ms")
+        busiest = max(
+            report.link_utilization.items(),
+            key=lambda kv: kv[1]["busy_tx_seconds"], default=None)
+        if busiest is not None:
+            name, stats = busiest
+            lines.append(
+                f"busiest link: {name} "
+                f"(tx {stats['bytes_tx']} B, "
+                f"busy {stats['busy_tx_seconds'] * 1e3:.1f} ms, "
+                f"{stats['byte_seconds']:.3f} B·s)")
+    return (0 if report.success else 1), "\n".join(lines)

@@ -10,6 +10,7 @@ benchmarks.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
@@ -32,6 +33,8 @@ class TransferStats:
     bytes_push_skipped: int = 0  # bytes the dedup saved on the wire
     blobs_pulled: int = 0
     bytes_pulled: int = 0
+    blobs_pull_skipped: int = 0  # puller already held the blob locally
+    bytes_pull_skipped: int = 0  # egress bytes the local CAS saved
 
     def as_dict(self) -> dict:
         return {
@@ -41,6 +44,8 @@ class TransferStats:
             "bytes_push_skipped": self.bytes_push_skipped,
             "blobs_pulled": self.blobs_pulled,
             "bytes_pulled": self.bytes_pulled,
+            "blobs_pull_skipped": self.blobs_pull_skipped,
+            "bytes_pull_skipped": self.bytes_pull_skipped,
         }
 
 
@@ -100,6 +105,29 @@ class Registry:
         self.stats.bytes_pulled += len(blob)
         return blob
 
+    def fetch_blob(self, digest: str, *,
+                   local_store: Optional[ContentStore] = None) -> bytes:
+        """Pull one blob by digest.  If the caller's node-local
+        *local_store* already holds the bytes, they are served from there
+        and the wire transfer is skipped (counted as a pull-skip — the
+        mirror of push-side dedup).  A freshly pulled blob is dropped into
+        *local_store* so the next puller on that node skips too."""
+        if local_store is not None and local_store.has(digest):
+            blob = local_store.get(digest)
+            self.stats.blobs_pull_skipped += 1
+            self.stats.bytes_pull_skipped += len(blob)
+            return blob
+        blob = self._get_blob(digest)
+        if local_store is not None:
+            local_store.put(blob)
+        return blob
+
+    def blob_size(self, digest: str) -> int:
+        """Size at rest of one blob (no transfer is counted)."""
+        if not self.store.has(digest):
+            raise RegistryError(f"{self.name}: no blob {digest[:19]}...")
+        return self.store.size_of(digest)
+
     # -- ownership policy (§6.2.5 proposed OCI extension) -------------------------------
 
     def set_repo_policy(self, repository: str, *,
@@ -145,19 +173,29 @@ class Registry:
                                        manifest.digest()))
         return manifest
 
-    def pull(self, ref: ImageRef | str, *, arch: Optional[str] = None
+    def pull(self, ref: ImageRef | str, *, arch: Optional[str] = None,
+             local_store: Optional[ContentStore] = None
              ) -> tuple[ImageConfig, list[TarArchive]]:
         """Pull an image (optionally a specific architecture variant);
-        returns (config, layers base-first)."""
+        returns (config, layers base-first).  With *local_store* (the
+        pulling node's CAS), layer blobs already held locally are not
+        re-sent over the wire — the pull-side mirror of push dedup."""
         if isinstance(ref, str):
             ref = ImageRef.parse(ref)
         with maybe_span(self.tracer,
                         f"pull {ref.repository}:{ref.tag}", "pull",
                         registry=self.name):
             manifest = self.manifest(ref, arch=arch)
-            layers = [TarArchive.deserialize(self._get_blob(d))
+            layers = [TarArchive.deserialize(
+                          self.fetch_blob(d, local_store=local_store))
                       for d in manifest.layers]
         return manifest.config, layers
+
+    def image_blob_digests(self, ref: ImageRef | str, *,
+                           arch: Optional[str] = None) -> list[str]:
+        """The layer blob digests an image pull would transfer, base
+        first — what a deploy distributor needs to plan with."""
+        return list(self.manifest(ref, arch=arch).layers)
 
     def manifest(self, ref: ImageRef | str, *,
                  arch: Optional[str] = None) -> Manifest:
@@ -205,11 +243,13 @@ class Registry:
             self._cache_manifests[(ref.repository, ref.tag)] = digest
         return digest
 
-    def pull_cache(self, ref: ImageRef | str
+    def pull_cache(self, ref: ImageRef | str, *,
+                   local_store: Optional[ContentStore] = None
                    ) -> tuple[bytes, Callable[[str], bytes]]:
         """Fetch a cache manifest pushed by :meth:`push_cache`; returns
         ``(manifest_bytes, fetch)`` where *fetch* retrieves diff blobs by
-        digest (and counts them as pulled)."""
+        digest (and counts them as pulled, or as pull-skips when
+        *local_store* already holds them)."""
         if isinstance(ref, str):
             ref = ImageRef.parse(ref)
         try:
@@ -221,8 +261,31 @@ class Registry:
         with maybe_span(self.tracer,
                         f"pull-cache {ref.repository}:{ref.tag}", "pull",
                         registry=self.name):
-            manifest = self._get_blob(digest)
-        return manifest, self._get_blob
+            manifest = self.fetch_blob(digest, local_store=local_store)
+
+        def fetch(d: str) -> bytes:
+            return self.fetch_blob(d, local_store=local_store)
+
+        return manifest, fetch
+
+    def cache_blob_digests(self, ref: ImageRef | str) -> list[str]:
+        """Every blob a cache import of *ref* would transfer: the diff
+        blobs the manifest names, then the manifest blob itself (no
+        transfer is counted — this is planning data for a distributor)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        try:
+            digest = self._cache_manifests[(ref.repository, ref.tag)]
+        except KeyError:
+            raise RegistryError(
+                f"{self.name}: cache manifest unknown: "
+                f"{ref.repository}:{ref.tag}")
+        manifest = json.loads(self.store.get(digest))
+        diffs = [entry["diff"] for entry in manifest.get("records", ())]
+        # preserve first-seen order, dedup (records may share diffs)
+        seen: set[str] = set()
+        ordered = [d for d in diffs if not (d in seen or seen.add(d))]
+        return ordered + [digest]
 
     def has_cache(self, ref: ImageRef | str) -> bool:
         if isinstance(ref, str):

@@ -92,7 +92,12 @@ class ImageStorage:
         if self.sys.exists(path):
             return path
         registry = self._registry(ref)
-        config, layers = registry.pull(ref, arch=self.machine.arch)
+        # the node-local CAS dedups layer blobs across users and pulls:
+        # a blob the node already holds (earlier pull, broadcast pre-seed)
+        # is not re-sent over the wire
+        config, layers = registry.pull(
+            ref, arch=self.machine.arch,
+            local_store=getattr(self.machine, "content_store", None))
         self.sys.mkdir_p(path)
         for layer in layers:
             # unprivileged tar semantics: no chown attempts at all

@@ -59,6 +59,9 @@ class TraceMetrics:
     * ``errnos_by_syscall``: ``(syscall, errno)`` pair counts, any depth.
     * ``cache``: build-cache events (``hit`` / ``miss`` / ``store``) —
       what the CI cache-smoke job compares cold vs. warm.
+    * ``net``: deploy-time distribution counters (registry egress bytes,
+      peer-broadcast bytes, makespan in µs, dedup skips) — what the
+      deploy-scaling smoke job compares across strategies.
     """
 
     def __init__(self):
@@ -66,6 +69,7 @@ class TraceMetrics:
         self.errnos: Counter[str] = Counter()
         self.errnos_by_syscall: Counter[tuple[str, str]] = Counter()
         self.cache: Counter[str] = Counter()
+        self.net: Counter[str] = Counter()
 
     def count_call(self, name: str, *, top_level: bool) -> None:
         if top_level:
@@ -78,11 +82,15 @@ class TraceMetrics:
     def count_cache(self, event: str) -> None:
         self.cache[event] += 1
 
+    def count_net(self, event: str, n: int = 1) -> None:
+        self.net[event] += n
+
     def clear(self) -> None:
         self.syscalls.clear()
         self.errnos.clear()
         self.errnos_by_syscall.clear()
         self.cache.clear()
+        self.net.clear()
 
     def snapshot(self) -> dict:
         """A JSON-friendly copy (sorted keys for deterministic exports)."""
@@ -94,4 +102,5 @@ class TraceMetrics:
                 for (sc, en), n in sorted(self.errnos_by_syscall.items())
             },
             "cache": dict(sorted(self.cache.items())),
+            "net": dict(sorted(self.net.items())),
         }

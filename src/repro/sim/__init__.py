@@ -1,0 +1,37 @@
+"""Discrete-event simulated time for the cluster substrate.
+
+The kernels' per-machine tick counters measure *work*; this package
+measures *concurrency*: a cluster-wide virtual clock, an event queue, and
+a bandwidth+latency network cost model, so the §4.2 parallel-deploy story
+can report makespans instead of pretending a for-loop is a cluster.
+"""
+
+from .clock import SimClock
+from .events import EventQueue, SimEngine, SimError
+from .topology import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_LATENCY,
+    LinkStats,
+    NetLink,
+    Topology,
+    TopologyError,
+)
+from .transfer import TransferTiming, chunk_sizes, transmit
+
+__all__ = [
+    "SimClock",
+    "EventQueue",
+    "SimEngine",
+    "SimError",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_LATENCY",
+    "LinkStats",
+    "NetLink",
+    "Topology",
+    "TopologyError",
+    "TransferTiming",
+    "chunk_sizes",
+    "transmit",
+]

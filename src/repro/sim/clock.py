@@ -1,0 +1,47 @@
+"""Simulated time.
+
+The kernels already keep a deterministic per-machine tick counter
+(``Kernel.ticks``, advanced once per syscall) — good for *work* accounting
+but useless for *concurrency*: the paper's §4.2 deploy story ("deployed in
+parallel using the local resource management tool") needs events on many
+nodes to overlap in time.  :class:`SimClock` is the cluster-wide virtual
+clock those events share.  It measures seconds as floats, starts at zero,
+and only ever moves forward; nothing in it reads the wall clock, so every
+simulation is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotone virtual clock (seconds since simulation start)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to *t* (ignored if *t* is in the past —
+        the clock never rewinds)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by *dt* seconds."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by a negative delta: {dt}")
+        self._now += dt
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

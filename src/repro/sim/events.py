@@ -1,0 +1,98 @@
+"""A discrete-event engine: a priority queue of timestamped callbacks.
+
+This is the classic event-list simulation loop: :meth:`SimEngine.at`
+schedules ``fn(*args)`` at a virtual time, :meth:`SimEngine.run` pops
+events in time order (FIFO within equal timestamps, by sequence number)
+and advances the shared :class:`~repro.sim.SimClock` to each event's
+timestamp before firing it.  Callbacks may schedule further events, which
+is how pipelined transfers chain: a chunk-arrival event at a relay node
+schedules that relay's onward sends.
+
+Determinism: no wall clock, no randomness — identical schedules replay
+identically, which the golden-transcript discipline of this repo depends
+on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from ..errors import ReproError
+from .clock import SimClock
+
+__all__ = ["EventQueue", "SimEngine", "SimError"]
+
+
+class SimError(ReproError):
+    """Misuse of the simulation engine."""
+
+
+class EventQueue:
+    """A time-ordered queue of ``(time, seq, fn, args)`` entries."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count(1)
+        self.scheduled = 0
+
+    def push(self, time: float, fn: Callable, *args: Any) -> None:
+        if time < 0:
+            raise SimError(f"cannot schedule an event before t=0: {time}")
+        heapq.heappush(self._heap, (float(time), next(self._seq), fn, args))
+        self.scheduled += 1
+
+    def pop(self) -> tuple[float, Callable, tuple]:
+        if not self._heap:
+            raise SimError("pop from an empty event queue")
+        time, _, fn, args = heapq.heappop(self._heap)
+        return time, fn, args
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class SimEngine:
+    """One simulation run: a clock plus its event queue."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self.queue = EventQueue()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at virtual time *time*."""
+        self.queue.push(time, fn, *args)
+
+    def after(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` *delay* seconds from now."""
+        if delay < 0:
+            raise SimError(f"cannot schedule {delay}s in the past")
+        self.queue.push(self.clock.now + delay, fn, *args)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the queue in time order (optionally stopping once the
+        next event lies beyond *until*); returns the clock reading."""
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None \
+                    and next_time > until:
+                break
+            time, fn, args = self.queue.pop()
+            self.clock.advance_to(time)
+            self.events_processed += 1
+            fn(*args)
+        if until is not None:
+            self.clock.advance_to(until)
+        return self.clock.now

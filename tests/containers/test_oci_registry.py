@@ -130,10 +130,31 @@ class TestRegistry:
         d = r.stats.as_dict()
         assert set(d) == {"blobs_pushed", "blobs_push_skipped",
                           "bytes_pushed", "bytes_push_skipped",
-                          "blobs_pulled", "bytes_pulled"}
+                          "blobs_pulled", "bytes_pulled",
+                          "blobs_pull_skipped", "bytes_pull_skipped"}
         assert d["blobs_push_skipped"] == 1
         assert d["bytes_push_skipped"] == len(base.serialize())
         assert all(isinstance(v, int) for v in d.values())
+
+    def test_pull_skip_counts_local_blobs(self):
+        """A node whose local CAS already holds a layer does not re-pull
+        it over the wire (the pull-side mirror of push dedup)."""
+        from repro.cas import ContentStore
+        r = Registry("hub")
+        base = layer("base", b"x" * 100)
+        size = len(base.serialize())
+        r.push("a:1", ImageConfig(), [base])
+        node_store = ContentStore()
+        r.pull("a:1", local_store=node_store)          # first pull: wire
+        assert r.stats.blobs_pulled == 1
+        assert r.stats.blobs_pull_skipped == 0
+        r.pull("a:1", local_store=node_store)          # second: local hit
+        assert r.stats.blobs_pulled == 1               # unchanged
+        assert r.stats.blobs_pull_skipped == 1
+        assert r.stats.bytes_pull_skipped == size
+        # a different node with an empty store still pays the wire cost
+        r.pull("a:1", local_store=ContentStore())
+        assert r.stats.blobs_pulled == 2
 
 
 class TestSharedContentStore:
