@@ -13,6 +13,7 @@ from .cache import (
     CACHE_MANIFEST_VERSION,
     BuildCache,
     BuildCacheStats,
+    CacheHandle,
     CacheRecord,
 )
 from .diff import (
@@ -28,6 +29,7 @@ from .store import CasError, CasStats, ContentStore, blob_digest
 __all__ = [
     "BuildCache",
     "BuildCacheStats",
+    "CacheHandle",
     "CacheRecord",
     "CACHE_MANIFEST_VERSION",
     "CasError",

@@ -31,13 +31,14 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..archive import TarArchive
 from ..errors import ReproError
 from .store import CasError, ContentStore
 
-__all__ = ["BuildCache", "BuildCacheStats", "CacheRecord", "CACHE_MANIFEST_VERSION"]
+__all__ = ["BuildCache", "BuildCacheStats", "CacheHandle", "CacheRecord",
+           "CACHE_MANIFEST_VERSION"]
 
 CACHE_MANIFEST_VERSION = 1
 
@@ -67,6 +68,7 @@ class BuildCacheStats:
     dropped_records: int = 0  # records whose blob was evicted underneath
     imports: int = 0          # records installed by import
     exports: int = 0          # records shipped by export
+    inflight_hits: int = 0    # builds that waited on an in-flight execution
 
     def as_dict(self) -> dict:
         return {
@@ -76,7 +78,18 @@ class BuildCacheStats:
             "dropped_records": self.dropped_records,
             "imports": self.imports,
             "exports": self.exports,
+            "inflight_hits": self.inflight_hits,
         }
+
+    def add(self, other: "BuildCacheStats") -> None:
+        """Fold *other* into this (per-handle aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.dropped_records += other.dropped_records
+        self.imports += other.imports
+        self.exports += other.exports
+        self.inflight_hits += other.inflight_hits
 
 
 class BuildCache:
@@ -96,6 +109,59 @@ class BuildCache:
         self._parents: dict[str, str] = {}   # every chain key, incl. meta-only
         self._labels: dict[str, str] = {}
         self.tags: dict[str, str] = {}       # image tag -> chain key
+        self._handles: list["CacheHandle"] = []
+        #: single-flight table: key -> waiter tokens parked behind the one
+        #: in-flight execution of that key (see :meth:`flight_begin`)
+        self._inflight: dict[str, list[Any]] = {}
+
+    # -- per-builder handles -------------------------------------------------------
+
+    def handle(self, name: str = "") -> "CacheHandle":
+        """A per-builder view of this cache with its **own** counters.
+
+        Sharing one BuildCache instance across builders used to share the
+        stats object by reference too, so concurrent builders double-
+        counted each other's hits; every builder now gets a handle and
+        :meth:`aggregate_stats` sums them on report."""
+        h = CacheHandle(self, name=name)
+        self._handles.append(h)
+        return h
+
+    def aggregate_stats(self) -> BuildCacheStats:
+        """This cache's own counters plus every handle's, summed."""
+        total = BuildCacheStats()
+        total.add(self.stats)
+        for h in self._handles:
+            total.add(h.stats)
+        return total
+
+    # -- single-flight (BuildKit-style in-flight dedup) ----------------------------
+
+    def flight_begin(self, key: str) -> bool:
+        """Claim *key* for execution.  True → caller is the leader and
+        must run the work (and later call :meth:`flight_finish`); False →
+        the key is already being built, park behind it with
+        :meth:`flight_wait`."""
+        if key in self._inflight:
+            return False
+        self._inflight[key] = []
+        return True
+
+    def flight_in_progress(self, key: str) -> bool:
+        return key in self._inflight
+
+    def flight_wait(self, key: str, token: Any) -> None:
+        """Park *token* (scheduler-defined) behind the in-flight *key*."""
+        self._inflight[key].append(token)
+
+    def flight_finish(self, key: str) -> list[Any]:
+        """The leader is done (success or failure): release the key and
+        return the parked waiter tokens, in arrival order."""
+        return self._inflight.pop(key, [])
+
+    def note_inflight_hit(self, *,
+                          stats: Optional[BuildCacheStats] = None) -> None:
+        (stats if stats is not None else self.stats).inflight_hits += 1
 
     # -- key derivation ------------------------------------------------------------
 
@@ -125,31 +191,34 @@ class BuildCache:
 
     # -- hit / store ---------------------------------------------------------------
 
-    def lookup(self, key: str) -> Optional[TarArchive]:
+    def lookup(self, key: str, *,
+               stats: Optional[BuildCacheStats] = None) -> Optional[TarArchive]:
         """The cached diff for *key*, or None.  A record whose blob was
-        evicted self-heals: it is dropped and the lookup is a miss."""
+        evicted self-heals: it is dropped and the lookup is a miss.
+        *stats* is the counter sink (a handle's, or this cache's own)."""
+        s = stats if stats is not None else self.stats
         rec = self.records.get(key)
         if rec is None:
-            self.stats.misses += 1
+            s.misses += 1
             return None
         try:
             blob = self.store.get(rec.diff_digest)
         except CasError:
             del self.records[key]
-            self.stats.dropped_records += 1
-            self.stats.misses += 1
+            s.dropped_records += 1
+            s.misses += 1
             return None
-        self.stats.hits += 1
+        s.hits += 1
         return TarArchive.deserialize(blob)
 
-    def store_diff(self, key: str, kind: str, text: str,
-                   diff: TarArchive) -> CacheRecord:
+    def store_diff(self, key: str, kind: str, text: str, diff: TarArchive,
+                   *, stats: Optional[BuildCacheStats] = None) -> CacheRecord:
         """Record *diff* as the result of the instruction at *key*."""
         digest = self.store.put(diff.serialize())
         rec = CacheRecord(key=key, parent=self._parents.get(key, ""),
                           kind=kind, text=text, diff_digest=digest)
         self.records[key] = rec
-        self.stats.stores += 1
+        (stats if stats is not None else self.stats).stores += 1
         return rec
 
     # -- tags & reachability -------------------------------------------------------
@@ -245,9 +314,9 @@ class BuildCache:
         return "\n".join(lines)
 
     def summary(self) -> str:
-        s = self.stats
+        s = self.aggregate_stats()
         st = self.store.stats
-        return "\n".join([
+        lines = [
             f"records:       {len(self.records)}",
             f"tags:          {len(self.tags)}",
             f"blobs:         {self.store.blob_count} "
@@ -256,8 +325,12 @@ class BuildCache:
             f"stores:        {s.stores}",
             f"evictions:     {st.evictions} ({st.bytes_evicted} bytes)",
             f"dedup hits:    {st.dedup_hits} ({st.bytes_deduped} bytes)",
+            f"inflight hits: {s.inflight_hits}",
             f"imported:      {s.imports}  exported: {s.exports}",
-        ])
+        ]
+        if self._handles:
+            lines.append(f"handles:       {len(self._handles)}")
+        return "\n".join(lines)
 
     # -- export / import -----------------------------------------------------------
 
@@ -323,3 +396,38 @@ class BuildCache:
         manifest_bytes, fetch = registry.pull_cache(
             ref, local_store=local_store)
         return self.import_manifest(json.loads(manifest_bytes), fetch)
+
+
+class CacheHandle:
+    """One builder's view of a shared :class:`BuildCache`.
+
+    Records, blobs, tags, and the single-flight table are the shared
+    cache's; only the **counters** are private, so two builders hammering
+    the same cache report their own hit rates instead of double-counting
+    each other's (``aggregate_stats()`` on the cache sums them back up).
+    Everything not overridden here delegates to the underlying cache.
+    """
+
+    def __init__(self, cache: BuildCache, *, name: str = ""):
+        self._cache = cache
+        self.name = name
+        self.stats = BuildCacheStats()
+
+    def __getattr__(self, attr: str):
+        return getattr(self._cache, attr)
+
+    def __repr__(self) -> str:
+        return f"CacheHandle({self.name or 'anonymous'})"
+
+    # the stats-bearing operations route counters to this handle
+
+    def lookup(self, key: str) -> Optional[TarArchive]:
+        return self._cache.lookup(key, stats=self.stats)
+
+    def store_diff(self, key: str, kind: str, text: str,
+                   diff: TarArchive) -> CacheRecord:
+        return self._cache.store_diff(key, kind, text, diff,
+                                      stats=self.stats)
+
+    def note_inflight_hit(self) -> None:
+        self._cache.note_inflight_hit(stats=self.stats)

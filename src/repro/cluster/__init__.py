@@ -20,11 +20,15 @@ from .broadcast import (
 )
 from .cli import astra_deploy_cli
 from .ci import (
+    BuildFarm,
     CiError,
     CiJob,
     CiPipeline,
     CiServer,
     CiStage,
+    FarmImage,
+    FarmReport,
+    farm_build_stage,
     warm_cache_stage,
 )
 from .machines import Machine, make_machine
@@ -48,11 +52,15 @@ __all__ = [
     "distribute_image",
     "make_deploy_topology",
     "astra_deploy_cli",
+    "BuildFarm",
     "CiError",
     "CiJob",
     "CiPipeline",
     "CiServer",
     "CiStage",
+    "FarmImage",
+    "FarmReport",
+    "farm_build_stage",
     "warm_cache_stage",
     "Machine",
     "make_machine",

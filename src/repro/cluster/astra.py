@@ -81,6 +81,9 @@ class WorkflowReport:
     deploy_strategy: str = ""          # "" = legacy untimed deploy
     distribution: Optional[BroadcastReport] = None
     link_utilization: dict = field(default_factory=dict)
+    build_parallelism: int = 1         # workers the login build used
+    build_makespan: float = 0.0        # virtual s (parallel builds only)
+    build_critical_path: float = 0.0   # DAG floor of the build (virtual s)
 
     @property
     def success(self) -> bool:
@@ -243,6 +246,7 @@ def astra_cached_build_workflow(
     n_nodes: int = 2,
     app_argv: Optional[list[str]] = None,
     force: bool = True,
+    build_parallelism: int = 1,
     deploy_strategy: Optional[str] = "tree",
     sim: Optional[SimEngine] = None,
     topology: Optional[Topology] = None,
@@ -270,14 +274,27 @@ def astra_cached_build_workflow(
     app_argv = app_argv or ["/opt/atse/bin/atse-info"]
 
     # Phase 1: fully unprivileged build on the login node, cache on.
+    # With build_parallelism > 1, independent Dockerfile stages build
+    # concurrently on the sim clock (core.build_graph); image bytes are
+    # identical either way, only the makespan changes.
     login_proc = cluster.login.login(user)
     ch = ChImage(cluster.login, login_proc, cache=True)
-    result = ch.build(tag=tag, dockerfile=dockerfile, force=force)
+    result = ch.build(tag=tag, dockerfile=dockerfile, force=force,
+                      parallel=build_parallelism)
     report.build_ok = result.success
     report.build_transcript = result.text
+    report.build_parallelism = build_parallelism
+    report.build_makespan = result.makespan
+    report.build_critical_path = result.critical_path
+    timing = ""
+    if build_parallelism > 1:
+        timing = (f" [parallel {build_parallelism}: makespan "
+                  f"{result.makespan * 1e3:.3f} ms, critical path "
+                  f"{result.critical_path * 1e3:.3f} ms]")
     report.phases.append(
         f"ch-image build on {cluster.login.hostname} "
-        f"({cluster.login.arch}): {'ok' if result.success else 'FAILED'}")
+        f"({cluster.login.arch}): {'ok' if result.success else 'FAILED'}"
+        f"{timing}")
     if not result.success:
         return report
 

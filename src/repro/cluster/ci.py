@@ -15,6 +15,7 @@ from ..errors import ReproError
 from ..obs.trace import maybe_span
 
 __all__ = ["CiJob", "CiStage", "CiPipeline", "CiServer", "CiError",
+           "BuildFarm", "FarmImage", "FarmReport", "farm_build_stage",
            "warm_cache_stage"]
 
 
@@ -129,6 +130,145 @@ def warm_cache_stage(pipeline: CiPipeline, builders, registry, ref, *,
             return 0, f"{host}: imported {n} cache records"
 
         stage.jobs.append(CiJob(f"{name} {host}", run))
+    return stage
+
+
+@dataclass
+class FarmImage:
+    """One image submitted to a :class:`BuildFarm`."""
+
+    tag: str
+    dockerfile: str
+    force: bool = False
+    result: Optional[object] = None  # ChBuildResult, set by run()
+    deduped: bool = False
+
+    @property
+    def success(self) -> bool:
+        return self.result is not None and self.result.success
+
+
+@dataclass
+class FarmReport:
+    """What one :meth:`BuildFarm.run` produced."""
+
+    images: list[FarmImage]
+    schedule: object                   # core.build_graph.ScheduleReport
+    cache_stats: object                # cas.BuildCacheStats (aggregated)
+
+    @property
+    def success(self) -> bool:
+        return all(img.success for img in self.images)
+
+    @property
+    def makespan(self) -> float:
+        return self.schedule.makespan
+
+    @property
+    def inflight_hits(self) -> int:
+        return self.schedule.inflight_hits
+
+
+class BuildFarm:
+    """A ``parallelism=N`` build farm: whole images as concurrent tasks.
+
+    The CI analogue of ``ch-image build --parallel``: every submitted
+    image is a task on one
+    :class:`~repro.core.build_graph.BuildGraphScheduler`, so independent
+    images overlap on the sim clock while sharing ONE machine-wide
+    :class:`~repro.cas.ContentStore`-backed build cache.  Two submissions
+    with the same Dockerfile text and force mode collide on their Merkle
+    plan key and **single-flight**: the second blocks behind the first's
+    in-flight execution, then replays warm (all cache hits) — the
+    ``inflight_hits`` the §6.1 re-execution-cost story wants collapsed.
+    """
+
+    def __init__(self, machine, user_proc, *, parallelism: int = 2,
+                 engine=None, build_cache=None,
+                 force_mode: str = "fakeroot", storage_dir=None):
+        from ..cas.cache import BuildCache
+        from ..core.builder import ChImage
+        self.machine = machine
+        self.parallelism = parallelism
+        self.engine = engine
+        #: one cache for the whole farm, its layer diffs deduplicated in
+        #: the machine's content store (shared with image pulls)
+        self.cache = build_cache if build_cache is not None else \
+            BuildCache(store=machine.content_store)
+        self.builder = ChImage(machine, user_proc, storage_dir,
+                               build_cache=self.cache,
+                               force_mode=force_mode)
+        self.pending: list[FarmImage] = []
+        self.report: Optional[FarmReport] = None
+
+    def submit(self, *, tag: str, dockerfile: str,
+               force: bool = False) -> FarmImage:
+        """Queue one image build; call :meth:`run` to execute the batch."""
+        if self.report is not None:
+            raise CiError("build farm already ran")
+        spec = FarmImage(tag=tag, dockerfile=dockerfile, force=force)
+        self.pending.append(spec)
+        return spec
+
+    def run(self) -> FarmReport:
+        """Build everything submitted; idempotent (returns the first
+        report on re-entry, so CI jobs can all poke it)."""
+        if self.report is not None:
+            return self.report
+        from ..core.build_graph import BuildGraphScheduler, plan_flight_key
+        kernel = self.machine.kernel
+        scheduler = BuildGraphScheduler(
+            engine=self.engine, parallelism=self.parallelism,
+            ticks=lambda: kernel.ticks, cache=self.builder.cache,
+            kernel=kernel, fail_fast=False)
+
+        def make_fn(spec: FarmImage):
+            def build():
+                spec.result = self.builder.build(
+                    tag=spec.tag, dockerfile=spec.dockerfile,
+                    force=spec.force)
+                return spec.result
+            return build
+
+        for spec in self.pending:
+            scheduler.add_task(
+                spec.tag, make_fn(spec),
+                flight_key=plan_flight_key(
+                    spec.dockerfile, force=spec.force,
+                    force_mode=self.builder.force_mode),
+                ok=lambda r: r.success)
+        schedule = scheduler.run()
+        for spec, task in zip(self.pending, schedule.tasks):
+            spec.deduped = task.deduped
+        self.report = FarmReport(images=list(self.pending),
+                                 schedule=schedule,
+                                 cache_stats=self.cache.aggregate_stats())
+        return self.report
+
+
+def farm_build_stage(pipeline: CiPipeline, farm: BuildFarm, *,
+                     name: str = "build-farm") -> CiStage:
+    """Add a stage whose jobs are the farm's images: the first job to run
+    executes the whole batch (images still build concurrently on the sim
+    clock inside the farm); each job then reports its own image."""
+    if not farm.pending:
+        raise CiError("build farm has no submitted images")
+    stage = pipeline.stage(name)
+    for index, spec in enumerate(farm.pending):
+
+        def run(index=index, spec=spec):
+            report = farm.run()
+            task = report.schedule.tasks[index]
+            if not spec.success:
+                detail = spec.result.error if spec.result is not None \
+                    else task.error
+                return 1, f"{spec.tag}: FAILED: {detail}"
+            note = " [single-flight: warm replay]" if spec.deduped else ""
+            return 0, (f"{spec.tag}: ok on worker {task.worker} "
+                       f"({task.finish - task.start:.6f}s virtual, "
+                       f"queue wait {task.queue_wait:.6f}s){note}")
+
+        stage.jobs.append(CiJob(f"build {spec.tag}", run))
     return stage
 
 

@@ -7,7 +7,7 @@ needs it benchmarked::
 
     astra-deploy [--deploy-strategy {registry,tree,off}] [--nodes N]
                  [--runtime {charliecloud,singularity}] [--cached]
-                 -t TAG -f DOCKERFILE USER
+                 [--parallelism N] -t TAG -f DOCKERFILE USER
 
 Returns ``(exit_status, output_text)`` like the other CLI shims.
 """
@@ -26,7 +26,8 @@ from .broadcast import DEPLOY_STRATEGIES
 __all__ = ["astra_deploy_cli"]
 
 _USAGE = ("usage: astra-deploy [--deploy-strategy {registry,tree,off}] "
-          "[--nodes N] [--runtime RT] [--cached] -t TAG -f DOCKERFILE USER")
+          "[--nodes N] [--runtime RT] [--cached] [--parallelism N] "
+          "-t TAG -f DOCKERFILE USER")
 
 
 def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
@@ -35,6 +36,7 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
     n_nodes = 2
     runtime = "charliecloud"
     cached = False
+    parallelism = 1
     tag = ""
     dockerfile_path = ""
     user = ""
@@ -63,6 +65,15 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
             runtime = argv[i]
         elif a == "--cached":
             cached = True
+        elif a == "--parallelism" or a.startswith("--parallelism="):
+            if a == "--parallelism":
+                i += 1
+                value = argv[i] if i < len(argv) else ""
+            else:
+                value = a.split("=", 1)[1]
+            if not value.isdigit() or int(value) < 1:
+                return 1, f"astra-deploy: bad --parallelism value {value!r}"
+            parallelism = int(value)
         elif a == "-t":
             i += 1
             tag = argv[i] if i < len(argv) else ""
@@ -91,9 +102,13 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
         return 1, (f"astra-deploy: can't read {dockerfile_path}: "
                    f"{err.strerror}")
 
+    if parallelism > 1 and not cached:
+        return 1, ("astra-deploy: --parallelism needs --cached "
+                   "(the podman path has no parallel build engine)")
     workflow = astra_cached_build_workflow if cached \
         else astra_build_workflow
-    kwargs = {} if cached else {"runtime": runtime}
+    kwargs = {"build_parallelism": parallelism} if cached \
+        else {"runtime": runtime}
     try:
         report = workflow(cluster, user, dockerfile, tag,
                           n_nodes=n_nodes, deploy_strategy=strategy,
@@ -102,6 +117,11 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
         return 1, f"astra-deploy: {err}"
 
     lines = list(report.phases)
+    if report.build_parallelism > 1:
+        lines.append(
+            f"build makespan: {report.build_makespan * 1e3:.3f} ms on "
+            f"{report.build_parallelism} workers (critical path "
+            f"{report.build_critical_path * 1e3:.3f} ms)")
     if report.distribution is not None:
         d = report.distribution.as_dict()
         lines.append(

@@ -8,7 +8,14 @@ Type III lives in :mod:`repro.core` (Charliecloud).
 
 from .buildah import Buildah, BuildResult, DEFAULT_REGISTRY, IgnoreChownSyscalls
 from .docker import DAEMON_STARTUP_TICKS, DockerDaemon, DockerError
-from .dockerfile import Instruction, parse_dockerfile, split_env_args
+from .dockerfile import (
+    Instruction,
+    Stage,
+    StageGraph,
+    parse_dockerfile,
+    parse_stage_graph,
+    split_env_args,
+)
 from .hpc_runtimes import Enroot, HpcRuntimeError, ShifterGateway
 from .singularity import DefinitionFile, SifImage, Singularity, SingularityError
 from .oci import ImageConfig, ImageRef, Manifest
@@ -48,6 +55,9 @@ __all__ = [
     "DockerError",
     "Instruction",
     "parse_dockerfile",
+    "parse_stage_graph",
+    "Stage",
+    "StageGraph",
     "split_env_args",
     "ImageConfig",
     "ImageRef",

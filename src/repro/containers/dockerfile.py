@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import json
 import re
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 from ..errors import BuildError
 
-__all__ = ["Instruction", "parse_dockerfile", "split_env_args"]
+__all__ = ["Instruction", "Stage", "StageGraph", "parse_dockerfile",
+           "parse_stage_graph", "split_env_args"]
 
 _KINDS = {"FROM", "RUN", "ENV", "ARG", "COPY", "ADD", "WORKDIR", "CMD",
           "ENTRYPOINT", "LABEL", "USER", "EXPOSE", "VOLUME", "SHELL"}
@@ -95,6 +96,179 @@ def parse_dockerfile(text: str) -> list[Instruction]:
     if not instructions or instructions[0].kind != "FROM":
         raise BuildError("Dockerfile must start with FROM")
     return instructions
+
+
+# -- the stage dependency graph ----------------------------------------------------
+#
+# Multi-stage Dockerfiles are a DAG, not a list: ``FROM <stage>`` and
+# ``COPY --from=<stage>`` are the edges.  The parallel build engine
+# (:mod:`repro.core.build_graph`) schedules independent stages
+# concurrently, so the graph must be explicit — and strict: unknown
+# ``--from`` targets and dependency cycles are parse errors, not
+# mid-build surprises.
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One build stage: a FROM instruction and everything up to the next.
+
+    ``name`` is the ``AS``-name **normalized to lower case** — Dockerfile
+    stage names are case-insensitive.  ``deps`` are indices of earlier
+    stages this one reads (its base, plus every ``COPY --from`` source);
+    ``first_ordinal`` is the 1-based position of the FROM instruction in
+    the whole file, so transcripts number identically however stages are
+    scheduled.
+    """
+
+    index: int
+    name: Optional[str]
+    base_ref: str
+    base_stage: Optional[int]
+    instructions: tuple[Instruction, ...]
+    deps: tuple[int, ...]
+    first_ordinal: int
+
+    @property
+    def label(self) -> str:
+        return self.name if self.name is not None else f"stage{self.index}"
+
+
+@dataclass
+class StageGraph:
+    """The stage DAG of one Dockerfile."""
+
+    stages: list[Stage] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(s.instructions) for s in self.stages)
+
+    @property
+    def final(self) -> Stage:
+        return self.stages[-1]
+
+    def stage_named(self, ref: str) -> Optional[Stage]:
+        """The stage *ref* names (AS-name, case-insensitive, or index)."""
+        low = ref.lower()
+        for stage in self.stages:
+            if stage.name == low:
+                return stage
+        if low.isdigit() and int(low) < len(self.stages):
+            return self.stages[int(low)]
+        return None
+
+    def topo_order(self) -> list[int]:
+        """Kahn topological order, deterministic (lowest index first).
+        Raises :class:`BuildError` on a dependency cycle — possible only
+        in hand-built graphs, but the scheduler trusts this invariant."""
+        indegree = {s.index: 0 for s in self.stages}
+        dependents: dict[int, list[int]] = {s.index: [] for s in self.stages}
+        for stage in self.stages:
+            for dep in stage.deps:
+                if dep not in indegree:
+                    raise BuildError(
+                        f"stage {stage.label!r} depends on unknown stage "
+                        f"index {dep}")
+                indegree[stage.index] += 1
+                dependents[dep].append(stage.index)
+        import heapq
+        ready = [i for i, n in sorted(indegree.items()) if n == 0]
+        heapq.heapify(ready)
+        order: list[int] = []
+        while ready:
+            i = heapq.heappop(ready)
+            order.append(i)
+            for j in dependents[i]:
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    heapq.heappush(ready, j)
+        if len(order) != len(self.stages):
+            cyclic = sorted(i for i, n in indegree.items() if n > 0)
+            raise BuildError(
+                f"stage dependency cycle through stages {cyclic}")
+        return order
+
+    def dependency_levels(self) -> list[list[int]]:
+        """Stages grouped by dependency depth: level k can start once
+        every stage in levels < k is done; stages within a level are
+        mutually independent-by-depth (the width of each level bounds
+        useful parallelism)."""
+        self.topo_order()  # validates acyclicity
+        depth: dict[int, int] = {}
+        for stage in self.stages:  # deps always point at earlier indices
+            depth[stage.index] = (
+                1 + max((depth[d] for d in stage.deps), default=-1))
+        levels: list[list[int]] = [[] for _ in range(max(depth.values()) + 1)] \
+            if depth else []
+        for index, d in sorted(depth.items()):
+            levels[d].append(index)
+        return levels
+
+
+def _stage_ref(ref: str, names: dict[str, int], current: int
+               ) -> Optional[int]:
+    """Resolve *ref* against stages defined before *current*: a stage
+    name (case-insensitive) or a decimal index.  None = not a stage."""
+    low = ref.lower()
+    if low in names:
+        return names[low]
+    if low.isdigit() and int(low) < current:
+        return int(low)
+    return None
+
+
+def parse_stage_graph(source: "str | Sequence[Instruction]") -> StageGraph:
+    """Parse Dockerfile text (or pre-parsed instructions) into the stage
+    DAG.  Raises :class:`BuildError` on duplicate stage names, unknown
+    ``COPY --from`` targets (including forward references — a stage may
+    only read stages defined above it), and dependency cycles."""
+    instructions = (parse_dockerfile(source) if isinstance(source, str)
+                    else list(source))
+    bounds = [i for i, inst in enumerate(instructions)
+              if inst.kind == "FROM"] + [len(instructions)]
+    names: dict[str, int] = {}
+    stages: list[Stage] = []
+    for s, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+        instrs = instructions[lo:hi]
+        frm = instrs[0]
+        parts = frm.args.split()
+        if not parts:
+            raise BuildError(
+                f"Dockerfile line {frm.lineno}: FROM needs an image")
+        base_ref = parts[0]
+        name: Optional[str] = None
+        if len(parts) >= 3 and parts[1].upper() == "AS":
+            name = parts[2].lower()
+            if name in names:
+                raise BuildError(
+                    f"Dockerfile line {frm.lineno}: duplicate stage name "
+                    f"{parts[2]!r}")
+        base_stage = _stage_ref(base_ref, names, s)
+        deps = {base_stage} if base_stage is not None else set()
+        for inst in instrs[1:]:
+            if inst.kind not in ("COPY", "ADD"):
+                continue
+            words = inst.args.split()
+            if words and words[0].startswith("--from="):
+                ref = words[0].split("=", 1)[1]
+                dep = _stage_ref(ref, names, s)
+                if dep is None:
+                    raise BuildError(
+                        f"Dockerfile line {inst.lineno}: {inst.kind} "
+                        f"--from={ref}: no such stage")
+                deps.add(dep)
+        if name is not None:
+            names[name] = s
+        stages.append(Stage(
+            index=s, name=name, base_ref=base_ref, base_stage=base_stage,
+            instructions=tuple(instrs), deps=tuple(sorted(deps)),
+            first_ordinal=1 + lo))
+    graph = StageGraph(stages)
+    graph.topo_order()  # defensive: parse order cannot cycle, but verify
+    return graph
 
 
 def split_env_args(args: str) -> list[tuple[str, str]]:

@@ -5,6 +5,15 @@ fakeroot injection; ``ch-run`` — unprivileged runtime; single-layer,
 ownership-flattened push.
 """
 
+from .build_graph import (
+    BuildGraphError,
+    BuildGraphScheduler,
+    ScheduleReport,
+    TaskReport,
+    build_parallel,
+    plan_flight_key,
+    stage_plan_keys,
+)
 from .builder import ChBuildResult, ChImage
 from .cli import ch_image_cli
 from .force import CONFIGS, DEBDERIV, ForceConfig, InitStep, RHEL7, detect_config
@@ -14,6 +23,13 @@ from .runtime import ChRun, ChRunResult
 from .seccomp import SECCOMP_ENGINE, SeccompSyscalls
 
 __all__ = [
+    "BuildGraphError",
+    "BuildGraphScheduler",
+    "ScheduleReport",
+    "TaskReport",
+    "build_parallel",
+    "plan_flight_key",
+    "stage_plan_keys",
     "ChBuildResult",
     "ChImage",
     "ch_image_cli",

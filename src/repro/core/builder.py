@@ -24,7 +24,11 @@ from ..cas.diff import (
     snapshot_tree,
 )
 from ..cas.store import blob_digest
-from ..containers.dockerfile import Instruction, parse_dockerfile, split_env_args
+from ..containers.dockerfile import (
+    Instruction,
+    parse_stage_graph,
+    split_env_args,
+)
 from ..containers.oci import ImageConfig
 from ..containers.runtime import ContainerError, enter_container
 from ..errors import BuildError, KernelError
@@ -41,7 +45,13 @@ __all__ = ["ChImage", "ChBuildResult"]
 
 @dataclass
 class ChBuildResult:
-    """Outcome of one ch-image build, with the figure-style transcript."""
+    """Outcome of one ch-image build, with the figure-style transcript.
+
+    Parallel builds (``build(parallel=N)``) additionally report the
+    virtual-time ``makespan``, the ``critical_path`` length (the floor no
+    parallelism can beat), and the full
+    :class:`~repro.core.build_graph.ScheduleReport` in ``schedule``.
+    """
 
     tag: str
     success: bool = False
@@ -52,6 +62,10 @@ class ChBuildResult:
     cache_hits: int = 0
     exit_status: int = 0
     error: str = ""
+    parallelism: int = 1
+    makespan: float = 0.0
+    critical_path: float = 0.0
+    schedule: Optional[object] = None
 
     @property
     def text(self) -> str:
@@ -84,9 +98,13 @@ class ChImage:
         self.force_mode = force_mode
         #: The instruction-level build cache (None = disabled).  Passing a
         #: shared :class:`~repro.cas.BuildCache` lets several builders
-        #: (even different users) hit each other's instruction results.
+        #: (even different users) hit each other's instruction results;
+        #: each builder gets its own :class:`~repro.cas.CacheHandle` so
+        #: concurrent builders never double-count each other's hit/miss
+        #: stats (the shared cache aggregates handles on report).
         if build_cache is not None:
-            self.cache: Optional[BuildCache] = build_cache
+            self.cache: Optional[BuildCache] = build_cache.handle(
+                name=getattr(user_proc, "comm", "") or "builder")
         elif cache:
             self.cache = BuildCache(max_bytes=cache_max_bytes)
         else:
@@ -122,13 +140,22 @@ class ChImage:
     def pull(self, ref: str) -> str:
         return self.storage.pull(ref)
 
-    def build(self, *, tag: str, dockerfile: str,
-              force: bool = False) -> ChBuildResult:
-        """``ch-image build [--force] -t tag -f dockerfile .``
+    def build(self, *, tag: str, dockerfile: str, force: bool = False,
+              parallel: int = 1, sim=None) -> ChBuildResult:
+        """``ch-image build [--force] [--parallel N] -t tag -f dockerfile .``
 
         Multi-stage Dockerfiles (``FROM ... AS name`` + ``COPY --from=``)
-        are supported; only the final stage is tagged.
+        are supported; only the final stage is tagged.  With
+        ``parallel > 1`` (or an explicit *sim* engine) independent stages
+        build concurrently on the sim clock via
+        :func:`~repro.core.build_graph.build_parallel`; the image digests
+        are identical either way.
         """
+        if parallel != 1 or sim is not None:
+            from .build_graph import build_parallel  # lazy: avoids cycle
+            return build_parallel(self, tag=tag, dockerfile=dockerfile,
+                                  force=force, parallelism=parallel,
+                                  engine=sim)
         result = ChBuildResult(tag=tag)
         with kernel_span(self.machine.kernel, f"build {tag}", "build",
                          tag=tag, force=force,
@@ -142,44 +169,40 @@ class ChImage:
                result: ChBuildResult) -> None:
         out = result.transcript.append
         try:
-            instructions = parse_dockerfile(dockerfile)
+            graph = parse_stage_graph(dockerfile)
         except BuildError as err:
             result.error = str(err)
             out(f"error: {err}")
             return
 
-        # split into stages at each FROM
-        bounds = [i for i, inst in enumerate(instructions)
-                  if inst.kind == "FROM"] + [len(instructions)]
         stage_names: dict[str, str] = {}  # AS-name / index -> storage name
-        lineno = 1
-        for s in range(len(bounds) - 1):
-            stage = instructions[bounds[s]:bounds[s + 1]]
-            last = s == len(bounds) - 2
-            stage_tag = tag if last else f"{tag}%stage{s}"
-            ok, lineno = self._build_stage(
-                stage, stage_tag, force, result, out, stage_names, lineno,
-                is_last=last, final_tag=tag)
+        n = len(graph)
+        for stage in graph.stages:
+            last = stage.index == n - 1
+            stage_tag = tag if last else f"{tag}%stage{stage.index}"
+            ok = self._build_stage(
+                list(stage.instructions), stage_tag, force, result, out,
+                stage_names, stage.first_ordinal, is_last=last,
+                final_tag=tag)
             if not ok:
                 return
-            stage_names[str(s)] = stage_tag
+            stage_names[str(stage.index)] = stage_tag
         result.success = True
 
     def _build_stage(self, instructions, tag: str, force: bool,
                      result: ChBuildResult, out, stage_names: dict[str, str],
-                     lineno: int, *, is_last: bool, final_tag: str
-                     ) -> tuple[bool, int]:
-        """Build one stage; returns (ok, next_lineno)."""
+                     lineno: int, *, is_last: bool, final_tag: str) -> bool:
+        """Build one stage (instruction ordinals start at *lineno*)."""
         from_parts = instructions[0].args.split()
         base_ref = from_parts[0]
+        as_name = None
         if len(from_parts) >= 3 and from_parts[1].upper() == "AS":
-            stage_names[from_parts[2]] = tag
+            as_name = from_parts[2].lower()  # stage names: case-insensitive
         with self._inst_span(lineno, "FROM", instructions[0].args) as sp:
             out(f"  {lineno} FROM {instructions[0].args}")
             try:
-                if base_ref in stage_names:
-                    base_name = stage_names[base_ref]  # building FROM a stage
-                else:
+                base_name = stage_names.get(base_ref.lower())
+                if base_name is None:  # not a stage: pull the image
                     self.storage.pull(base_ref)
                     base_name = base_ref
             except Exception as exc:
@@ -187,10 +210,14 @@ class ChImage:
                 out(f"error: {result.error}")
                 if sp is not None:
                     sp.fail(result.error)
-                return False, lineno
+                return False
             image_path = self.storage.copy(base_name, tag,
                                            clone=self.cache_enabled)
             config = self.storage.config_of(base_name)
+        if as_name is not None:
+            # registered *after* base resolution: FROM x AS x refers to
+            # the external image x, not the stage being defined
+            stage_names[as_name] = tag
         result.instructions = lineno
 
         # Build-cache chain: rooted in the base image's identity digest so
@@ -278,7 +305,7 @@ class ChImage:
                         out(f"error: {result.error}")
                         if sp is not None:
                             sp.fail(result.error)
-                        return False, i
+                        return False
                     if self.cache_enabled:
                         snap = self._cache_store(ckey, inst, image_path,
                                                  snap)
@@ -323,7 +350,7 @@ class ChImage:
                             out(f"error: {result.error}")
                             if sp is not None:
                                 sp.fail(result.error)
-                            return False, i
+                            return False
                         initialized = True
                     if force and modifiable:
                         words = ["fakeroot"] + words
@@ -346,7 +373,7 @@ class ChImage:
                             f"{force_config.description}")
                     if sp is not None:
                         sp.fail(result.error)
-                    return False, i
+                    return False
 
         if is_last:
             if force:
@@ -360,7 +387,7 @@ class ChImage:
             self.storage.set_digest(tag, "chain:" + ckey)
         self.storage.set_config(tag, config.with_history(
             f"ch-image build {'--force ' if force else ''}from {base_ref}"))
-        return True, lineno + len(instructions)
+        return True
 
     # -- internals ----------------------------------------------------------------
 
@@ -380,7 +407,8 @@ class ChImage:
         parts = inst.args.split()
         prefix = ""
         if parts and parts[0].startswith("--from="):
-            name = (stage_names or {}).get(parts[0].split("=", 1)[1])
+            name = (stage_names or {}).get(
+                parts[0].split("=", 1)[1].lower())
             if name is None:
                 return "missing-stage"
             prefix = self.storage.path_of(name)
@@ -476,7 +504,7 @@ class ChImage:
             return 1
         src, dst = parts
         if from_stage is not None:
-            name = (stage_names or {}).get(from_stage)
+            name = (stage_names or {}).get(from_stage.lower())
             if name is None:
                 out(f"error: COPY --from={from_stage}: no such stage")
                 return 1

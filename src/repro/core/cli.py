@@ -1,7 +1,8 @@
 """A ch-image command-line front end.
 
 ``ch_image_cli(ch, argv)`` mirrors the CLI the paper's transcripts invoke:
-``ch-image build [--force] [--trace] -t TAG -f DOCKERFILE .``, plus pull/
+``ch-image build [--force] [--trace] [--parallel N] -t TAG -f DOCKERFILE
+.``, plus pull/
 push/list/delete, ``ch-image build-cache [--tree|--gc|--reset]`` and
 ``build-cache {export|import} REF`` for the §6.2.2 build cache, and
 ``ch-image trace [--audit|--json]`` to report on the last traced build.
@@ -32,6 +33,7 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
     if command == "build":
         force = False
         force_mode = None
+        parallel = 1
         tag = ""
         dockerfile_path = ""
         rest = []
@@ -45,6 +47,15 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
                 force_mode = a.split("=", 1)[1]
                 if force_mode not in ("fakeroot", "seccomp"):
                     return 1, f"ch-image: unknown --force mode {force_mode!r}"
+            elif a == "--parallel" or a.startswith("--parallel="):
+                if a == "--parallel":
+                    i += 1
+                    value = args[i] if i < len(args) else ""
+                else:
+                    value = a.split("=", 1)[1]
+                if not value.isdigit() or int(value) < 1:
+                    return 1, f"ch-image: bad --parallel value {value!r}"
+                parallel = int(value)
             elif a == "--trace":
                 ch.enable_tracing()
             elif a == "-t":
@@ -67,7 +78,8 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
         if force_mode is not None:
             ch.force_mode = force_mode
         try:
-            result = ch.build(tag=tag, dockerfile=dockerfile, force=force)
+            result = ch.build(tag=tag, dockerfile=dockerfile, force=force,
+                              parallel=parallel)
         finally:
             ch.force_mode = saved_mode
         return (0 if result.success else 1), result.text

@@ -62,6 +62,9 @@ class TraceMetrics:
     * ``net``: deploy-time distribution counters (registry egress bytes,
       peer-broadcast bytes, makespan in µs, dedup skips) — what the
       deploy-scaling smoke job compares across strategies.
+    * ``build``: parallel-build scheduling counters (tasks run, queue
+      wait in µs, in-flight dedup hits, makespan in µs) — what the
+      build-scaling smoke job compares across parallelism levels.
     """
 
     def __init__(self):
@@ -70,6 +73,7 @@ class TraceMetrics:
         self.errnos_by_syscall: Counter[tuple[str, str]] = Counter()
         self.cache: Counter[str] = Counter()
         self.net: Counter[str] = Counter()
+        self.build: Counter[str] = Counter()
 
     def count_call(self, name: str, *, top_level: bool) -> None:
         if top_level:
@@ -85,12 +89,16 @@ class TraceMetrics:
     def count_net(self, event: str, n: int = 1) -> None:
         self.net[event] += n
 
+    def count_build(self, event: str, n: int = 1) -> None:
+        self.build[event] += n
+
     def clear(self) -> None:
         self.syscalls.clear()
         self.errnos.clear()
         self.errnos_by_syscall.clear()
         self.cache.clear()
         self.net.clear()
+        self.build.clear()
 
     def snapshot(self) -> dict:
         """A JSON-friendly copy (sorted keys for deterministic exports)."""
@@ -103,4 +111,5 @@ class TraceMetrics:
             },
             "cache": dict(sorted(self.cache.items())),
             "net": dict(sorted(self.net.items())),
+            "build": dict(sorted(self.build.items())),
         }

@@ -1,0 +1,102 @@
+"""Per-handle BuildCache stats and single-flight bookkeeping.
+
+Regression for the shared-by-reference stats bug: a BuildCache shared by
+several builders used to hand every one of them the *same* counters, so
+concurrent builders double-counted each other's hits.  Handles give each
+builder private counters; the cache aggregates them on report.
+"""
+
+from repro.archive import FileType, TarArchive, TarMember
+from repro.cas import BuildCache, CacheHandle
+
+
+def mini_diff() -> TarArchive:
+    return TarArchive([TarMember(path="x", ftype=FileType.REG, mode=0o644,
+                                 uid=0, gid=0, data=b"payload")])
+
+
+class TestHandles:
+    def test_handle_stats_are_private(self):
+        cache = BuildCache()
+        key = cache.begin("sha256:base")
+        cache.store_diff(key, "RUN", "echo hi", mini_diff())
+        h1, h2 = cache.handle(name="alice"), cache.handle(name="bob")
+        assert h1.lookup(key) is not None
+        assert h1.lookup(key) is not None
+        assert h2.lookup("sha256:nope") is None
+        assert h1.stats.hits == 2 and h1.stats.misses == 0
+        assert h2.stats.hits == 0 and h2.stats.misses == 1
+        # the cache's own counters did not absorb the handle traffic
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_aggregate_sums_cache_and_handles(self):
+        cache = BuildCache()
+        key = cache.begin("sha256:base")
+        cache.store_diff(key, "RUN", "echo hi", mini_diff())  # cache: store
+        h = cache.handle()
+        h.lookup(key)                                         # handle: hit
+        cache.lookup("sha256:nope")                           # cache: miss
+        agg = cache.aggregate_stats()
+        assert agg.hits == 1 and agg.misses == 1 and agg.stores == 1
+
+    def test_handle_stores_count_on_the_handle(self):
+        cache = BuildCache()
+        h = cache.handle()
+        key = cache.begin("sha256:base")
+        h.store_diff(key, "RUN", "echo hi", mini_diff())
+        assert h.stats.stores == 1
+        assert cache.stats.stores == 0
+        assert cache.aggregate_stats().stores == 1
+        # the record itself lives in the shared cache
+        assert cache.lookup(key) is not None
+
+    def test_handle_delegates_everything_else(self):
+        cache = BuildCache()
+        h = cache.handle(name="farm")
+        assert isinstance(h, CacheHandle)
+        key = h.begin("sha256:base")       # delegated
+        key2 = h.extend(key, "RUN", "x")   # delegated
+        assert key != key2
+        h.tag("img", key2)                 # delegated
+        assert "img" in cache.tags
+
+    def test_summary_reports_aggregate_and_handles(self):
+        cache = BuildCache()
+        key = cache.begin("sha256:base")
+        cache.store_diff(key, "RUN", "echo hi", mini_diff())
+        h = cache.handle(name="alice")
+        h.lookup(key)
+        text = cache.summary()
+        assert "inflight hits:" in text
+        assert "handles:       1" in text
+        assert "hits/misses:   1/0" in text
+
+
+class TestSingleFlight:
+    def test_leader_then_waiters(self):
+        cache = BuildCache()
+        assert cache.flight_begin("k")          # leader
+        assert not cache.flight_begin("k")      # follower: already flying
+        assert cache.flight_in_progress("k")
+        cache.flight_wait("k", "t1")
+        cache.flight_wait("k", "t2")
+        assert cache.flight_finish("k") == ["t1", "t2"]
+        assert not cache.flight_in_progress("k")
+        assert cache.flight_begin("k")          # new flight allowed
+
+    def test_finish_without_flight_is_empty(self):
+        cache = BuildCache()
+        assert cache.flight_finish("ghost") == []
+
+    def test_inflight_hits_routed_to_handle(self):
+        cache = BuildCache()
+        h = cache.handle(name="builder2")
+        h.note_inflight_hit()
+        assert h.stats.inflight_hits == 1
+        assert cache.stats.inflight_hits == 0
+        assert cache.aggregate_stats().inflight_hits == 1
+
+    def test_inflight_hits_in_as_dict(self):
+        cache = BuildCache()
+        cache.note_inflight_hit()
+        assert cache.stats.as_dict()["inflight_hits"] == 1

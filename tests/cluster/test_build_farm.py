@@ -1,0 +1,173 @@
+"""The CI build farm: concurrent whole-image builds with single-flight."""
+
+import pytest
+
+from repro.cluster import (
+    BuildFarm,
+    CiError,
+    CiPipeline,
+    farm_build_stage,
+    make_astra,
+    make_machine,
+    make_world,
+)
+from repro.cluster.astra import astra_cached_build_workflow
+from repro.kernel import Syscalls
+
+APP = """\
+FROM centos:7
+RUN yum install -y openmpi hdf5
+RUN yum install -y atse
+"""
+
+OTHER = """\
+FROM centos:7
+RUN yum install -y gcc
+"""
+
+
+@pytest.fixture
+def farm(login, alice):
+    return BuildFarm(login, alice, parallelism=4, force_mode="seccomp")
+
+
+class TestBuildFarm:
+    def test_independent_images_build_concurrently(self, farm):
+        farm.submit(tag="app", dockerfile=APP, force=True)
+        farm.submit(tag="tools", dockerfile=OTHER, force=True)
+        report = farm.run()
+        assert report.success
+        assert all(img.success for img in report.images)
+        tasks = report.schedule.tasks
+        assert {t.worker for t in tasks} == {0, 1}  # really overlapped
+        assert report.makespan < sum(t.finish - t.start for t in tasks)
+
+    def test_identical_images_single_flight(self, farm):
+        """Two identical concurrent submissions: one executes, the other
+        waits and replays warm — the acceptance-criteria inflight hit."""
+        farm.submit(tag="app-a", dockerfile=APP, force=True)
+        farm.submit(tag="app-b", dockerfile=APP, force=True)
+        report = farm.run()
+        assert report.success
+        assert report.inflight_hits > 0
+        assert report.cache_stats.inflight_hits > 0
+        a, b = report.images
+        assert not a.deduped and b.deduped
+        # the follower's replay was pure cache hits, and both tags exist
+        assert b.result.cache_hits == a.result.cache_hits + 2
+        for tag in ("app-a", "app-b"):
+            assert farm.builder.storage.path_of(tag)
+
+    def test_different_dockerfiles_do_not_collide(self, farm):
+        farm.submit(tag="a", dockerfile=APP, force=True)
+        farm.submit(tag="b", dockerfile=OTHER, force=True)
+        report = farm.run()
+        assert report.inflight_hits == 0
+
+    def test_run_is_idempotent(self, farm):
+        farm.submit(tag="a", dockerfile=OTHER, force=True)
+        assert farm.run() is farm.run()
+
+    def test_submit_after_run_rejected(self, farm):
+        farm.submit(tag="a", dockerfile=OTHER, force=True)
+        farm.run()
+        with pytest.raises(CiError, match="already ran"):
+            farm.submit(tag="b", dockerfile=OTHER, force=True)
+
+    def test_failed_image_does_not_sink_the_batch(self, farm):
+        farm.submit(tag="bad", dockerfile="FROM nope-such-image:1\n")
+        farm.submit(tag="good", dockerfile=OTHER, force=True)
+        report = farm.run()
+        assert not report.success
+        bad, good = report.images
+        assert not bad.success and good.success
+
+
+class TestFarmInPipeline:
+    def test_farm_build_stage(self, login, alice):
+        farm = BuildFarm(login, alice, parallelism=2, force_mode="seccomp")
+        farm.submit(tag="app-a", dockerfile=APP, force=True)
+        farm.submit(tag="app-b", dockerfile=APP, force=True)
+        pipe = CiPipeline("nightly")
+        farm_build_stage(pipe, farm)
+        result = pipe.run()
+        assert result.passed, result.report()
+        outputs = [j.output for j in pipe.stages[0].jobs]
+        assert any("single-flight" in o for o in outputs)
+
+    def test_empty_farm_rejected(self, login, alice):
+        farm = BuildFarm(login, alice)
+        with pytest.raises(CiError, match="no submitted images"):
+            farm_build_stage(CiPipeline("p"), farm)
+
+    def test_failure_reported_per_job(self, login, alice):
+        farm = BuildFarm(login, alice, force_mode="seccomp")
+        farm.submit(tag="bad", dockerfile="FROM nope-such-image:1\n")
+        pipe = CiPipeline("p")
+        farm_build_stage(pipe, farm)
+        result = pipe.run()
+        assert not result.passed
+        assert "FAILED" in pipe.stages[0].jobs[0].output
+
+
+MULTISTAGE_ATSE = """\
+FROM centos:7 AS deps
+RUN yum install -y openmpi hdf5
+
+FROM centos:7 AS toolchain
+RUN yum install -y gcc
+
+FROM deps
+COPY --from=toolchain /etc/os-release /toolchain-marker
+RUN yum install -y atse
+"""
+
+
+class TestAstraParallelBuild:
+    def test_workflow_reports_build_makespan(self):
+        world = make_world()
+        cluster = make_astra(world, n_compute=2)
+        report = astra_cached_build_workflow(
+            cluster, "alice", MULTISTAGE_ATSE, "atse",
+            build_parallelism=3, deploy_strategy=None)
+        assert report.success, report.phases
+        assert report.build_parallelism == 3
+        assert report.build_makespan > 0.0
+        assert 0.0 < report.build_critical_path <= report.build_makespan
+        assert any("parallel 3" in p for p in report.phases)
+
+    def test_workflow_default_stays_sequential(self):
+        world = make_world()
+        cluster = make_astra(world, n_compute=2)
+        report = astra_cached_build_workflow(
+            cluster, "alice", MULTISTAGE_ATSE, "atse",
+            deploy_strategy=None)
+        assert report.success, report.phases
+        assert report.build_parallelism == 1
+        assert report.build_makespan == 0.0
+
+    def test_cli_parallelism_flag(self):
+        world = make_world()
+        cluster = make_astra(world, n_compute=2)
+        from repro.cluster.cli import astra_deploy_cli
+        alice = cluster.login.login("alice")
+        Syscalls(alice).write_file("/home/alice/Dockerfile",
+                                   MULTISTAGE_ATSE.encode())
+        status, text = astra_deploy_cli(
+            cluster, ["--cached", "--parallelism", "2", "-t", "atse",
+                      "-f", "/home/alice/Dockerfile", "alice"])
+        assert status == 0, text
+        assert "build makespan:" in text
+
+    def test_cli_parallelism_requires_cached(self):
+        world = make_world()
+        cluster = make_astra(world, n_compute=2)
+        from repro.cluster.cli import astra_deploy_cli
+        alice = cluster.login.login("alice")
+        Syscalls(alice).write_file("/home/alice/Dockerfile",
+                                   MULTISTAGE_ATSE.encode())
+        status, text = astra_deploy_cli(
+            cluster, ["--parallelism", "2", "-t", "atse",
+                      "-f", "/home/alice/Dockerfile", "alice"])
+        assert status == 1
+        assert "--cached" in text

@@ -1,0 +1,137 @@
+"""The multi-stage Dockerfile dependency graph (parse_stage_graph)."""
+
+import pytest
+
+from repro.containers import Stage, StageGraph, parse_stage_graph
+from repro.errors import BuildError
+
+DIAMOND = """\
+FROM centos:7 AS base
+RUN echo base > /base.txt
+
+FROM base AS left
+RUN yum install -y gcc
+
+FROM base AS right
+RUN yum install -y openssh
+
+FROM base
+COPY --from=left /base.txt /l
+COPY --from=right /base.txt /r
+"""
+
+
+class TestParse:
+    def test_single_stage(self):
+        g = parse_stage_graph("FROM centos:7\nRUN echo hi\n")
+        assert len(g) == 1
+        assert g.final.base_ref == "centos:7"
+        assert g.final.deps == ()
+        assert g.final.base_stage is None
+
+    def test_diamond_edges(self):
+        g = parse_stage_graph(DIAMOND)
+        assert [s.deps for s in g.stages] == [(), (0,), (0,), (0, 1, 2)]
+        assert [s.base_stage for s in g.stages] == [None, 0, 0, 0]
+        assert g.stages[1].name == "left"
+        assert g.final.name is None
+
+    def test_first_ordinals_are_global(self):
+        """Instruction numbering is file-global, so transcripts are
+        identical however stages get scheduled."""
+        g = parse_stage_graph(DIAMOND)
+        assert [s.first_ordinal for s in g.stages] == [1, 3, 5, 7]
+        assert g.total_instructions == 9
+
+    def test_copy_from_index(self):
+        g = parse_stage_graph("FROM centos:7\nRUN echo a > /a\n"
+                              "FROM centos:7\nCOPY --from=0 /a /a\n")
+        assert g.stages[1].deps == (0,)
+
+    def test_from_stage_by_name(self):
+        g = parse_stage_graph("FROM centos:7 AS b\nFROM b\nRUN echo x\n")
+        assert g.stages[1].base_stage == 0
+
+    def test_stage_named(self):
+        g = parse_stage_graph(DIAMOND)
+        assert g.stage_named("LEFT").index == 1
+        assert g.stage_named("2").index == 2
+        assert g.stage_named("nope") is None
+
+
+class TestCaseInsensitivity:
+    """Dockerfile stage names are case-insensitive (the satellite fix)."""
+
+    def test_as_name_normalized(self):
+        g = parse_stage_graph("FROM centos:7 AS Builder\nFROM centos:7\n"
+                              "COPY --from=builder /x /x\n")
+        assert g.stages[0].name == "builder"
+        assert g.stages[1].deps == (0,)
+
+    def test_mixed_case_reference(self):
+        g = parse_stage_graph("FROM centos:7 AS builder\nFROM BUILDER\n"
+                              "COPY --from=BuIlDeR /x /x\n")
+        assert g.stages[1].base_stage == 0
+        assert g.stages[1].deps == (0,)
+
+    def test_duplicate_name_differs_only_in_case(self):
+        with pytest.raises(BuildError, match="duplicate stage name"):
+            parse_stage_graph("FROM centos:7 AS app\nFROM centos:7 AS APP\n")
+
+
+class TestErrors:
+    def test_unknown_copy_from(self):
+        with pytest.raises(BuildError, match="no such stage"):
+            parse_stage_graph("FROM centos:7\nCOPY --from=ghost /x /x\n")
+
+    def test_forward_reference_rejected(self):
+        """A stage may only read stages defined above it."""
+        with pytest.raises(BuildError, match="no such stage"):
+            parse_stage_graph("FROM centos:7\nCOPY --from=later /x /x\n"
+                              "FROM centos:7 AS later\n")
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(BuildError, match="no such stage"):
+            parse_stage_graph("FROM centos:7 AS me\nCOPY --from=me /x /x\n")
+
+    def test_duplicate_stage_name(self):
+        with pytest.raises(BuildError, match="duplicate stage name"):
+            parse_stage_graph("FROM centos:7 AS a\nFROM centos:7 AS a\n")
+
+    def test_from_as_same_name_is_external(self):
+        """FROM x AS x refers to the external image x, not itself."""
+        g = parse_stage_graph("FROM alpine AS alpine\nRUN echo hi\n")
+        assert g.stages[0].base_stage is None
+        assert g.stages[0].base_ref == "alpine"
+
+
+class TestTopology:
+    def test_topo_order_diamond(self):
+        order = parse_stage_graph(DIAMOND).topo_order()
+        assert order == [0, 1, 2, 3]
+
+    def test_dependency_levels(self):
+        levels = parse_stage_graph(DIAMOND).dependency_levels()
+        assert levels == [[0], [1, 2], [3]]
+
+    def test_cycle_detected(self):
+        """parse order can't produce a cycle, but hand-built graphs (the
+        scheduler's other clients) must still be rejected."""
+        a = Stage(index=0, name="a", base_ref="x", base_stage=None,
+                  instructions=(), deps=(1,), first_ordinal=1)
+        b = Stage(index=1, name="b", base_ref="x", base_stage=None,
+                  instructions=(), deps=(0,), first_ordinal=2)
+        with pytest.raises(BuildError, match="cycle"):
+            StageGraph([a, b]).topo_order()
+
+    def test_cycle_detected_by_levels_too(self):
+        a = Stage(index=0, name="a", base_ref="x", base_stage=None,
+                  instructions=(), deps=(0,), first_ordinal=1)
+        with pytest.raises(BuildError, match="cycle"):
+            StageGraph([a]).dependency_levels()
+
+    def test_unknown_dep_index(self):
+        a = Stage(index=0, name="a", base_ref="x", base_stage=None,
+                  instructions=(), deps=(7,), first_ordinal=1)
+        with pytest.raises(BuildError, match="unknown stage"):
+            StageGraph([a]).topo_order()

@@ -1,0 +1,172 @@
+"""ch-image build --parallel: determinism under concurrency.
+
+The property the engine must hold: scheduling changes *when* stages run,
+never *what* they produce — any parallelism level and any topological
+order yield byte-identical images.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.cas.diff import snapshot_tree
+from repro.cas.store import blob_digest
+from repro.cluster import make_machine, make_world
+from repro.core import ChImage, build_parallel, ch_image_cli
+
+DIAMOND = """\
+FROM centos:7 AS base
+RUN echo base > /base.txt
+
+FROM base AS left
+RUN yum install -y gcc
+RUN echo left > /left.txt
+
+FROM base AS right
+RUN yum install -y openssh
+RUN echo right > /right.txt
+
+FROM base
+COPY --from=left /left.txt /l
+COPY --from=right /right.txt /r
+RUN echo done
+"""
+
+
+def fresh_builder():
+    world = make_world(arches=("x86_64",))
+    login = make_machine("login1", network=world.network)
+    return ChImage(login, login.login("alice"), force_mode="seccomp",
+                   cache=True)
+
+
+def image_digest(ch: ChImage, tag: str) -> str:
+    snap = snapshot_tree(ch.sys, ch.storage.path_of(tag))
+    return blob_digest(json.dumps(snap, sort_keys=True).encode())
+
+
+class TestDeterminism:
+    def test_digest_identical_across_parallelism_levels(self):
+        digests = set()
+        for parallelism in (1, 2, 3, 4):
+            ch = fresh_builder()
+            r = ch.build(tag="app", dockerfile=DIAMOND, force=True,
+                         parallel=parallelism)
+            assert r.success, r.text
+            digests.add(image_digest(ch, "app"))
+        assert len(digests) == 1
+
+    def test_digest_identical_across_topological_orders(self):
+        """Permuting tie-break priorities realizes different valid
+        topological orders; the image must not notice."""
+        digests = set()
+        for perm in itertools.permutations(range(4)):
+            ch = fresh_builder()
+            r = build_parallel(ch, tag="app", dockerfile=DIAMOND,
+                               force=True, parallelism=2,
+                               priorities=list(perm))
+            assert r.success, r.text
+            digests.add(image_digest(ch, "app"))
+        assert len(digests) == 1
+
+    def test_parallel_matches_sequential_build(self):
+        seq = fresh_builder()
+        r1 = seq.build(tag="app", dockerfile=DIAMOND, force=True)
+        par = fresh_builder()
+        r2 = par.build(tag="app", dockerfile=DIAMOND, force=True,
+                       parallel=4)
+        assert r1.success and r2.success
+        assert image_digest(seq, "app") == image_digest(par, "app")
+        # intermediate stages too, not just the final tag
+        for stage_tag in ("app%stage0", "app%stage1", "app%stage2"):
+            assert image_digest(seq, stage_tag) == \
+                image_digest(par, stage_tag)
+
+    def test_schedule_report_attached(self):
+        ch = fresh_builder()
+        r = ch.build(tag="app", dockerfile=DIAMOND, force=True, parallel=2)
+        assert r.parallelism == 2
+        assert r.makespan > 0.0
+        assert 0.0 < r.critical_path <= r.makespan
+        assert r.schedule is not None and r.schedule.success
+        assert len(r.schedule.tasks) == 4
+
+    def test_overlap_actually_happens(self):
+        """left and right must share virtual time on 2+ workers."""
+        ch = fresh_builder()
+        r = ch.build(tag="app", dockerfile=DIAMOND, force=True, parallel=2)
+        by_name = {t.name: t for t in r.schedule.tasks}
+        left, right = by_name["app:left"], by_name["app:right"]
+        assert left.start < right.finish and right.start < left.finish
+        assert {left.worker, right.worker} == {0, 1}
+
+
+class TestErrorPaths:
+    def test_unknown_stage_fails_the_build(self):
+        ch = fresh_builder()
+        df = DIAMOND.replace("--from=right", "--from=ghost")
+        r = ch.build(tag="app", dockerfile=df, force=True, parallel=2)
+        assert not r.success
+        assert "no such stage" in r.text
+
+    def test_failing_stage_skips_dependents(self):
+        ch = fresh_builder()
+        df = DIAMOND.replace("yum install -y gcc", "false")
+        r = ch.build(tag="app", dockerfile=df, force=True, parallel=2)
+        assert not r.success
+        states = {t.name: t.state for t in r.schedule.tasks}
+        assert states["app:left"] == "failed"
+        assert states["app:stage3"] == "skipped"
+        assert states["app:right"] in ("done", "skipped")
+
+    def test_bad_parallelism_via_cli(self):
+        ch = fresh_builder()
+        ch.sys.write_file("/home/alice/Dockerfile", DIAMOND.encode())
+        status, text = ch_image_cli(
+            ch, ["build", "--parallel", "nope", "-t", "app",
+                 "-f", "/home/alice/Dockerfile", "."])
+        assert status == 1 and "--parallel" in text
+
+
+class TestCaseInsensitiveStages:
+    """Regression for the case-sensitive FROM <stage> resolution bug."""
+
+    MIXED = """\
+FROM centos:7 AS Builder
+RUN echo artifact > /opt/app.bin
+
+FROM BUILDER AS Check
+RUN cat /opt/app.bin
+
+FROM centos:7
+COPY --from=bUiLdEr /opt/app.bin /usr/local/bin/app.bin
+RUN cat /usr/local/bin/app.bin
+"""
+
+    def test_sequential(self):
+        ch = fresh_builder()
+        r = ch.build(tag="app", dockerfile=self.MIXED, force=True)
+        assert r.success, r.text
+        assert "artifact" in r.text
+
+    def test_parallel(self):
+        ch = fresh_builder()
+        r = ch.build(tag="app", dockerfile=self.MIXED, force=True,
+                     parallel=3)
+        assert r.success, r.text
+        path = ch.storage.path_of("app")
+        assert ch.sys.read_file(f"{path}/usr/local/bin/app.bin") == \
+            b"artifact\n"
+
+
+class TestCli:
+    def test_build_parallel_flag(self):
+        ch = fresh_builder()
+        ch.sys.write_file("/home/alice/Dockerfile", DIAMOND.encode())
+        status, text = ch_image_cli(
+            ch, ["build", "--force", "--parallel", "4", "-t", "app",
+                 "-f", "/home/alice/Dockerfile", "."])
+        assert status == 0, text
+        assert "parallel build: 4 stages on 4 workers" in text
+        assert "makespan" in text
