@@ -16,7 +16,7 @@ from ..containers.podman import Podman
 from ..core.builder import ChImage
 from ..core.runtime import ChRun
 from ..errors import ReproError
-from ..sim import SimEngine, Topology
+from ..sim import FaultPlan, RetryPolicy, SimEngine, Topology, retry_call
 from .broadcast import (
     DEPLOY_STRATEGIES,
     BroadcastReport,
@@ -84,11 +84,22 @@ class WorkflowReport:
     build_parallelism: int = 1         # workers the login build used
     build_makespan: float = 0.0        # virtual s (parallel builds only)
     build_critical_path: float = 0.0   # DAG floor of the build (virtual s)
+    push_attempts: int = 1             # push-phase tries (retries + 1)
+    faults_injected: int = 0           # transient faults seen end to end
+    retries: int = 0                   # retried operations (push + deploy)
+    backoff_seconds: float = 0.0       # virtual seconds spent backing off
+    degraded_nodes: list = field(default_factory=list)  # crashed/dropped
 
     @property
     def success(self) -> bool:
         return (self.build_ok and self.push_ok
                 and self.deploy is not None and self.deploy.success)
+
+    @property
+    def degraded(self) -> bool:
+        """True when fault injection cost the deploy at least one node."""
+        return bool(self.degraded_nodes) or (
+            self.deploy is not None and self.deploy.degraded)
 
     @property
     def deploy_makespan(self) -> Optional[float]:
@@ -129,6 +140,47 @@ def _prepare_deploy(
     return engine, topology, targets
 
 
+def _retried_push(report: WorkflowReport, registry, engine,
+                  fault_plan: Optional[FaultPlan],
+                  policy: RetryPolicy, key: str, fn):
+    """Run one push-phase registry operation under the fault injector,
+    retrying transient 5xx-style flakes per *policy* on the engine clock.
+
+    Faults need simulated time to schedule against, so with no engine (the
+    legacy untimed path) or no plan this is just ``fn()``.
+    """
+    if engine is None or fault_plan is None or fault_plan.empty:
+        return fn()
+    fault_plan.bind_registry(registry.name)
+    installed = registry.fault_injector is None
+    if installed:
+        registry.fault_injector = fault_plan.injector(engine.clock)
+
+    def on_retry(attempt, delay, exc):
+        report.faults_injected += 1
+        report.retries += 1
+        report.push_attempts += 1
+        report.backoff_seconds += delay
+
+    try:
+        return retry_call(lambda attempt: fn(), policy=policy,
+                          clock=engine.clock, key=key, on_retry=on_retry)
+    finally:
+        if installed:
+            registry.fault_injector = None
+
+
+def _fold_distribution_faults(report: WorkflowReport) -> None:
+    """Roll the broadcast's fault accounting up into the workflow report."""
+    dist = report.distribution
+    if dist is None:
+        return
+    report.faults_injected += dist.faults_injected
+    report.retries += dist.retries
+    report.backoff_seconds += dist.backoff_seconds
+    report.degraded_nodes = sorted(set(dist.crashed) | set(dist.degraded))
+
+
 def astra_build_workflow(
     cluster: AstraCluster,
     user: str,
@@ -141,6 +193,8 @@ def astra_build_workflow(
     deploy_strategy: Optional[str] = "tree",
     sim: Optional[SimEngine] = None,
     topology: Optional[Topology] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> WorkflowReport:
     """The full Figure 6 loop on the supercomputer itself.
 
@@ -157,11 +211,19 @@ def astra_build_workflow(
     storm), and ``None`` is the legacy untimed sequential deploy.  Either
     way the build phases stay strictly sequential and every job process
     descends from the user's shell (§3.1).
+
+    A *fault_plan* (timed deploys only) injects its scheduled faults into
+    the push and distribution phases; transient failures are retried per
+    *retry_policy* and crashed nodes are skipped, so the workflow degrades
+    instead of aborting.
     """
     if runtime not in ("charliecloud", "singularity"):
         raise WorkflowError(f"unsupported HPC runtime {runtime!r}")
     engine, topo, targets = _prepare_deploy(
         cluster, deploy_strategy, n_nodes, sim, topology)
+    if retry_policy is None:
+        retry_policy = RetryPolicy(
+            seed=fault_plan.seed if fault_plan is not None else 0)
     report = WorkflowReport()
     registry_ref = f"{SITE_REGISTRY}/{user}/{tag}:latest"
     app_argv = app_argv or ["/opt/atse/bin/atse-info"]
@@ -181,7 +243,9 @@ def astra_build_workflow(
         return report
 
     # Phase 2: push to the site registry (multi-layer OCI).
-    manifest = podman.push(tag, registry_ref)
+    manifest = _retried_push(
+        report, cluster.world.site_registry, engine, fault_plan,
+        retry_policy, "push", lambda: podman.push(tag, registry_ref))
     report.push_ok = True
     report.pushed_ref = registry_ref
     report.layer_count = manifest.layer_count
@@ -223,17 +287,25 @@ def astra_build_workflow(
     report.distribution = distribute_image(
         registry, registry_ref, targets, topo,
         arch=cluster.arch, strategy=deploy_strategy, engine=engine,
-        tracer=cluster.login.kernel.tracer)
+        tracer=cluster.login.kernel.tracer,
+        fault_plan=fault_plan, retry_policy=retry_policy)
+    _fold_distribution_faults(report)
     report.deploy = cluster.scheduler.srun(
         user, n_nodes, deploy, mode="simulated", sim=engine,
-        rank_ready=report.distribution.node_ready)
+        rank_ready=report.distribution.node_ready, fault_plan=fault_plan)
     report.link_utilization = topo.utilization()
     makespan = report.deploy_makespan or 0.0
+    faults = ""
+    if report.faults_injected or report.deploy.skipped:
+        faults = (f", {report.faults_injected} faults / "
+                  f"{report.retries} retries"
+                  + (f", skipped {len(report.deploy.skipped)} node(s)"
+                     if report.deploy.skipped else ""))
     report.phases.append(
         f"deploy on {n_nodes} nodes [{deploy_strategy}]: "
         f"{'ok' if report.deploy.success else 'FAILED'} "
         f"(makespan {makespan * 1e3:.1f} ms, registry egress "
-        f"{report.distribution.registry_egress_bytes} B)")
+        f"{report.distribution.registry_egress_bytes} B{faults})")
     return report
 
 
@@ -250,6 +322,8 @@ def astra_cached_build_workflow(
     deploy_strategy: Optional[str] = "tree",
     sim: Optional[SimEngine] = None,
     topology: Optional[Topology] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> WorkflowReport:
     """Figure 6 with the §6.2.2 build cache in the loop.
 
@@ -268,6 +342,9 @@ def astra_cached_build_workflow(
     """
     engine, topo, targets = _prepare_deploy(
         cluster, deploy_strategy, n_nodes, sim, topology)
+    if retry_policy is None:
+        retry_policy = RetryPolicy(
+            seed=fault_plan.seed if fault_plan is not None else 0)
     report = WorkflowReport()
     registry_ref = f"{SITE_REGISTRY}/{user}/{tag}:latest"
     cache_ref = f"{SITE_REGISTRY}/{user}/{tag}-cache:latest"
@@ -300,9 +377,13 @@ def astra_cached_build_workflow(
 
     # Phase 2: push the image and export the cache beside it.
     from ..core.push import push_image
-    manifest = push_image(ch.storage, tag, registry_ref)
     registry = cluster.login.kernel.network.registry(SITE_REGISTRY)
-    ch.cache.export_to_registry(registry, cache_ref)
+    manifest = _retried_push(
+        report, registry, engine, fault_plan, retry_policy, "push",
+        lambda: push_image(ch.storage, tag, registry_ref))
+    _retried_push(
+        report, registry, engine, fault_plan, retry_policy, "cache-export",
+        lambda: ch.cache.export_to_registry(registry, cache_ref))
     report.push_ok = True
     report.pushed_ref = registry_ref
     report.layer_count = manifest.layer_count
@@ -338,17 +419,25 @@ def astra_cached_build_workflow(
     report.distribution = distribute_cache(
         registry, cache_ref, targets, topo,
         strategy=deploy_strategy, engine=engine,
-        tracer=cluster.login.kernel.tracer)
+        tracer=cluster.login.kernel.tracer,
+        fault_plan=fault_plan, retry_policy=retry_policy)
+    _fold_distribution_faults(report)
     report.deploy = cluster.scheduler.srun(
         user, n_nodes, deploy, mode="simulated", sim=engine,
-        rank_ready=report.distribution.node_ready)
+        rank_ready=report.distribution.node_ready, fault_plan=fault_plan)
     report.link_utilization = topo.utilization()
     makespan = report.deploy_makespan or 0.0
+    faults = ""
+    if report.faults_injected or report.deploy.skipped:
+        faults = (f", {report.faults_injected} faults / "
+                  f"{report.retries} retries"
+                  + (f", skipped {len(report.deploy.skipped)} node(s)"
+                     if report.deploy.skipped else ""))
     report.phases.append(
         f"warm rebuild + run on {n_nodes} nodes [{deploy_strategy}]: "
         f"{'ok' if report.deploy.success else 'FAILED'} "
         f"(makespan {makespan * 1e3:.1f} ms, registry egress "
-        f"{report.distribution.registry_egress_bytes} B)")
+        f"{report.distribution.registry_egress_bytes} B{faults})")
     return report
 
 

@@ -5,14 +5,26 @@ Two strategies for getting a pushed image's blobs onto N compute nodes:
 * ``registry`` — every node pulls every blob straight from the site
   registry.  Egress is O(N·image) and, since the registry has one uplink,
   makespan is O(N): the canonical fan-out bottleneck.
-* ``tree`` — a **binomial-tree broadcast**: rank 0 pulls each missing
-  blob from the registry *once*, then nodes that hold chunks re-serve
-  them to peers over node-to-node links, doubling the set of holders
-  every round.  Registry egress drops to O(image) and makespan to
-  O(log N) at fixed link bandwidth.  Transfers are chunked and
+* ``tree`` — a **binomial-tree broadcast**: nodes that already hold a
+  blob root their own trees (a forest — every pre-existing holder serves
+  round 0); if nobody holds it, rank 0 pulls it from the registry *once*.
+  Holders re-serve chunks to peers over node-to-node links, doubling the
+  holder set every round.  Registry egress drops to O(image) and makespan
+  to O(log N) at fixed link bandwidth.  Transfers are chunked and
   pipelined — a relay re-serves chunks while still receiving the tail of
   the blob — and every hop dedups against the receiving node's
   :class:`~repro.cas.ContentStore`.
+
+Both strategies are **fault-tolerant** when given a
+:class:`~repro.sim.FaultPlan`: transient failures (link-down windows,
+registry flakes, slow links tripping the attempt timeout) are retried
+with the :class:`~repro.sim.RetryPolicy`'s capped exponential backoff; a
+relay that crashes has its unserved subtree **re-parented** onto the
+earliest-ready surviving holder (tree repair); a node whose tree is
+exhausted falls back to pulling straight from the registry.  The
+invariant the fault tests pin down: with any plan that leaves the
+registry reachable, surviving nodes converge to stores digest-identical
+to the fault-free run — only the makespan degrades.
 
 No daemon appears anywhere in the chain (§3.1): the "peers" are the
 user's own job ranks re-serving bytes they already hold, exactly like the
@@ -28,9 +40,10 @@ from typing import Iterable, Optional, Sequence
 
 from ..containers.oci import ImageRef
 from ..containers.registry import Registry
-from ..errors import ReproError
+from ..errors import ReproError, TransientError
 from ..obs.trace import maybe_span
-from ..sim import SimEngine, Topology, chunk_sizes, transmit
+from ..sim import (FaultPlan, RetryPolicy, SimEngine, Topology, chunk_sizes,
+                   faulty_transmit, link_restore, link_snapshot)
 from .machines import Machine
 
 __all__ = ["BroadcastError", "BroadcastReport", "DEPLOY_STRATEGIES",
@@ -102,6 +115,15 @@ class BroadcastReport:
     node_ready: dict[str, float] = field(default_factory=dict)
     transfers: list[TransferRecord] = field(default_factory=list)
     started_at: float = 0.0
+    # fault-path accounting (all zero on a clean run)
+    attempts: int = 0                # transfer/pull attempts incl. retries
+    retries: int = 0
+    backoff_seconds: float = 0.0     # virtual seconds spent backing off
+    faults_injected: int = 0         # faults this distribution observed
+    reparented_subtrees: int = 0     # children moved off a dead relay
+    registry_fallbacks: int = 0      # nodes whose tree was exhausted
+    crashed: list[str] = field(default_factory=list)
+    degraded: list[str] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -110,6 +132,11 @@ class BroadcastReport:
         if not self.node_ready:
             return 0.0
         return max(self.node_ready.values()) - self.started_at
+
+    @property
+    def clean(self) -> bool:
+        """True when no fault touched this distribution."""
+        return not (self.faults_injected or self.crashed or self.degraded)
 
     def as_dict(self) -> dict:
         return {
@@ -125,7 +152,302 @@ class BroadcastReport:
             "node_ready": {h: round(t, 9)
                            for h, t in sorted(self.node_ready.items())},
             "transfers": len(self.transfers),
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "backoff_seconds": round(self.backoff_seconds, 9),
+            "faults_injected": self.faults_injected,
+            "reparented_subtrees": self.reparented_subtrees,
+            "registry_fallbacks": self.registry_fallbacks,
+            "crashed": list(self.crashed),
+            "degraded": list(self.degraded),
         }
+
+
+class _CastContext:
+    """Everything the per-blob casts share for one distribution."""
+
+    def __init__(self, registry, nodes, topology, reg_link, chunk, engine,
+                 report, tracer, plan, policy):
+        self.registry = registry
+        self.nodes = nodes
+        self.topology = topology
+        self.reg_link = reg_link
+        self.chunk = chunk
+        self.engine = engine
+        self.report = report
+        self.tracer = tracer
+        self.plan = plan
+        self.policy = policy
+        self.crashed: set[str] = set()    # hostnames whose crash manifested
+        self.degraded: set[str] = set()   # gave up: no path to the blob
+
+    def crashed_by(self, hostname: str, t: float) -> bool:
+        return self.plan is not None and self.plan.crashed_by(hostname, t)
+
+    def mark_crashed(self, hostname: str) -> None:
+        if hostname not in self.crashed:
+            self.crashed.add(hostname)
+            self.report.faults_injected += 1
+
+
+class _BlobCast:
+    """One blob's journey to every node, as events on the engine.
+
+    Fault-free this produces exactly the timings of the straight-line
+    implementation (the same ``transmit`` calls in the same order); under
+    a fault plan it retries, repairs the tree, and falls back to the
+    registry, all deterministically.
+    """
+
+    def __init__(self, ctx: _CastContext, digest: str, size: int,
+                 strategy: str):
+        self.ctx = ctx
+        self.digest = digest
+        self.size = size
+        self.strategy = strategy
+        self.blob: Optional[bytes] = None
+        # hostname -> machines it still owes the blob to (mutable: repair
+        # re-parents subtrees by moving entries between these lists)
+        self.children: dict[str, list[Machine]] = {}
+        self.chunk_avail: dict[str, list[float]] = {}
+        self.done: set[str] = set()           # hold the complete blob
+        self.dead: set[str] = set()           # crashed, as seen by this cast
+        self.ready_at: dict[str, float] = {}  # when the blob landed
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def _r(self):
+        return self.ctx.report
+
+    def _link(self, hostname: str):
+        return self.ctx.topology.link(hostname)
+
+    def _retry_key(self, kind: str, hostname: str) -> str:
+        return f"{self.digest[:19]}|{kind}|{hostname}"
+
+    def _mark_dead(self, hostname: str) -> None:
+        self.dead.add(hostname)
+        self.ctx.mark_crashed(hostname)
+
+    # -- entry point -------------------------------------------------------
+
+    def start(self) -> None:
+        """Event at distribution start: plan the cast and kick it off."""
+        ctx, t0 = self.ctx, self.ctx.engine.now
+        live: list[Machine] = []
+        for node in ctx.nodes:
+            if ctx.crashed_by(node.hostname, t0):
+                self._mark_dead(node.hostname)
+            else:
+                live.append(node)
+        holders = [n for n in live if n.content_store.has(self.digest)]
+        needy = [n for n in live if not n.content_store.has(self.digest)]
+        self._r.blobs_skipped += len(holders)
+        if not needy or self.size <= 0:
+            return
+
+        if self.strategy == "registry":
+            for node in needy:
+                self.pull(node, 0)
+            return
+
+        n_chunks = len(chunk_sizes(self.size, ctx.chunk))
+        if holders:
+            # per-blob dedup: every node already holding the blob roots
+            # its own tree — a forest with the needy nodes interleaved
+            # round-robin — and the registry is never touched for it
+            self.blob = holders[0].content_store.get(self.digest)
+            for k, holder in enumerate(holders):
+                self.done.add(holder.hostname)
+                self.ready_at[holder.hostname] = t0
+                self.chunk_avail[holder.hostname] = [t0] * n_chunks
+                order = [holder] + needy[k::len(holders)]
+                self._plant_tree(order)
+                ctx.engine.at(t0, self.serve, holder)
+        else:
+            # rank 0 pulls from the registry exactly once
+            self._plant_tree(needy)
+            self.pull(needy[0], 0)
+
+    def _plant_tree(self, order: Sequence[Machine]) -> None:
+        tree = binomial_children(len(order))
+        for i, machine in enumerate(order):
+            kids = [order[j] for j in tree[i]]
+            if kids:
+                self.children.setdefault(machine.hostname, []).extend(kids)
+
+    # -- registry pulls (tree root, fallback, and the direct strategy) -----
+
+    def pull(self, node: Machine, attempt: int) -> None:
+        """Event: *node* pulls the blob straight from the registry."""
+        ctx, host = self.ctx, node.hostname
+        if host in self.done or host in self.dead:
+            return
+        now = ctx.engine.now
+        if ctx.crashed_by(host, now):
+            self._mark_dead(host)
+            self._orphan(host)
+            return
+        self._r.attempts += 1
+        timeout = ctx.policy.attempt_timeout if ctx.plan is not None else None
+        try:
+            blob = ctx.registry.fetch_blob(self.digest)
+            timing = faulty_transmit(
+                ctx.plan, ctx.reg_link, self._link(host), self.size,
+                chunk_size=ctx.chunk, available=now, now=now,
+                attempt_timeout=timeout)
+        except TransientError as exc:
+            self._transient("pull", node, attempt, exc)
+            return
+        if self.blob is None:
+            self.blob = blob
+        self._r.registry_egress_bytes += self.size
+        self._r.registry_blobs_pulled += 1
+        node.content_store.put(blob)
+        self._landed(node, timing, src=ctx.registry.name)
+
+    # -- peer serving ------------------------------------------------------
+
+    def serve(self, sender: Machine) -> None:
+        """Event: *sender* holds (the head of) the blob; re-serve it to
+        each child, pipelining chunks as they arrived."""
+        host = sender.hostname
+        if host in self.dead:
+            return
+        if self.ctx.crashed_by(host, self.ctx.engine.now):
+            self._mark_dead(host)
+            self._orphan(host)
+            return
+        for child in list(self.children.get(host, ())):
+            self.send(sender, child, 0)
+
+    def send(self, sender: Machine, child: Machine, attempt: int) -> None:
+        """One hop (possibly a retry) from *sender* to *child*."""
+        ctx = self.ctx
+        shost, chost = sender.hostname, child.hostname
+        if chost in self.done or chost in self.dead:
+            return
+        now = ctx.engine.now
+        if shost in self.dead or ctx.crashed_by(shost, now):
+            if shost not in self.dead:
+                self._mark_dead(shost)
+            self._orphan(shost)
+            return
+        if ctx.crashed_by(chost, now):
+            # the child is gone: absorb its subtree — the sender serves
+            # the grandchildren directly
+            self._mark_dead(chost)
+            for grandchild in self._disinherit(chost):
+                self.children.setdefault(shost, []).append(grandchild)
+                self._r.reparented_subtrees += 1
+                ctx.engine.at(now, self.send, sender, grandchild, 0)
+            return
+        self._r.attempts += 1
+        src, dst = self._link(shost), self._link(chost)
+        snap_src, snap_dst = link_snapshot(src), link_snapshot(dst)
+        timeout = ctx.policy.attempt_timeout if ctx.plan is not None else None
+        try:
+            timing = faulty_transmit(
+                ctx.plan, src, dst, self.size, chunk_size=ctx.chunk,
+                available=self.chunk_avail[shost], now=now,
+                attempt_timeout=timeout)
+        except TransientError as exc:
+            self._transient("send", child, attempt, exc, sender=sender)
+            return
+        crash_t = ctx.plan.crash_time(shost) if ctx.plan is not None else None
+        if crash_t is not None and now < crash_t < timing.end:
+            # the sender dies mid-transfer: the chunks never complete, so
+            # roll the reservations and stats back and repair the tree
+            link_restore(src, snap_src)
+            link_restore(dst, snap_dst)
+            self._mark_dead(shost)
+            self._orphan(shost)
+            return
+        self._landed(child, timing, src=shost, peer=True)
+
+    def _landed(self, node: Machine, timing, *, src: str,
+                peer: bool = False) -> None:
+        """The blob (all chunks) reached *node*."""
+        host = node.hostname
+        self.done.add(host)
+        if peer:
+            node.content_store.put(self.blob)
+            self._r.peer_bytes += self.size
+            self._r.peer_sends += 1
+        self.chunk_avail[host] = timing.chunk_arrivals
+        self.ready_at[host] = timing.end
+        self._r.node_ready[host] = max(
+            self._r.node_ready.get(host, self._r.started_at), timing.end)
+        self._r.transfers.append(TransferRecord(
+            self.digest, self.size, src, host, timing.start, timing.end))
+        if self.strategy == "tree":
+            # the node becomes a server as soon as its first chunk lands
+            self.ctx.engine.at(timing.chunk_arrivals[0], self.serve, node)
+
+    # -- repair ------------------------------------------------------------
+
+    def _disinherit(self, hostname: str) -> list[Machine]:
+        """Remove and return *hostname*'s unserved children."""
+        orphans = [c for c in self.children.pop(hostname, [])
+                   if c.hostname not in self.done
+                   and c.hostname not in self.dead]
+        return orphans
+
+    def _orphan(self, hostname: str) -> None:
+        """Re-parent a dead relay's unserved subtree onto the
+        earliest-ready surviving holder, or fall back to the registry."""
+        orphans = self._disinherit(hostname)
+        if not orphans:
+            return
+        now = self.ctx.engine.now
+        survivors = [h for h in self.done
+                     if h not in self.dead and h != hostname]
+        parent_host = min(survivors, key=lambda h: (self.ready_at[h], h),
+                          default=None)
+        parent = None
+        if parent_host is not None:
+            parent = next(n for n in self.ctx.nodes
+                          if n.hostname == parent_host)
+        for child in orphans:
+            self._r.reparented_subtrees += 1
+            if parent is not None:
+                self.children.setdefault(parent_host, []).append(child)
+                self.ctx.engine.at(now, self.send, parent, child, 0)
+            else:
+                # tree exhausted for this child: go straight to the source
+                self._r.registry_fallbacks += 1
+                self.ctx.engine.at(now, self.pull, child, 0)
+
+    # -- retries -----------------------------------------------------------
+
+    def _transient(self, kind: str, node: Machine, attempt: int,
+                   exc: TransientError, *,
+                   sender: Optional[Machine] = None) -> None:
+        ctx, now = self.ctx, self.ctx.engine.now
+        self._r.faults_injected += 1
+        if attempt < ctx.policy.budget:
+            delay = ctx.policy.backoff(
+                attempt, self._retry_key(kind, node.hostname))
+            at = max(now + delay, exc.retry_at)
+            self._r.retries += 1
+            self._r.backoff_seconds += at - now
+            with maybe_span(ctx.tracer, f"retry {kind} -> {node.hostname}",
+                            "retry", attempt=attempt + 1,
+                            backoff=round(at - now, 9), at=round(at, 9)):
+                pass
+            if kind == "send":
+                ctx.engine.at(at, self.send, sender, node, attempt + 1)
+            else:
+                ctx.engine.at(at, self.pull, node, attempt + 1)
+        elif kind == "send":
+            # this branch of the tree is exhausted — fall back to the
+            # registry rather than deadlocking the subtree
+            self._r.registry_fallbacks += 1
+            ctx.engine.at(now, self.pull, node, 0)
+        else:
+            # even the registry path is out of budget: degraded node
+            ctx.degraded.add(node.hostname)
 
 
 def distribute_blobs(
@@ -137,13 +459,17 @@ def distribute_blobs(
     strategy: str = "tree",
     engine: Optional[SimEngine] = None,
     tracer=None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> BroadcastReport:
     """Place every blob in *digests* into every node's ContentStore,
     timing the transfers on *topology*; returns the distribution report.
 
     The actual byte movement is real (each node's store ends up holding
     the blobs, digest-verified by the store itself); the timing is the
-    simulated-network cost of that movement.
+    simulated-network cost of that movement.  With a *fault_plan*, the
+    plan's faults fire on the engine's clock and transfers are retried
+    per *retry_policy* (default: ``RetryPolicy(seed=plan.seed)``).
     """
     if strategy not in DEPLOY_STRATEGIES:
         raise BroadcastError(
@@ -156,112 +482,47 @@ def distribute_blobs(
     reg_link = topology.link(registry.name)
     for node in nodes:
         report.node_ready[node.hostname] = engine.now
-    chunk = topology.chunk_size
 
-    with maybe_span(tracer, f"distribute [{strategy}]", "broadcast",
-                    strategy=strategy, registry=registry.name,
-                    nodes=len(nodes), blobs=len(digests)) as span:
-        for digest in digests:
-            size = registry.blob_size(digest)
-            report.image_bytes += size
-            if strategy == "registry":
-                _registry_direct(registry, digest, size, nodes, topology,
-                                 reg_link, chunk, report, tracer)
-            else:
-                _tree_broadcast(registry, digest, size, nodes, topology,
-                                reg_link, chunk, engine, report, tracer)
-        engine.run()
-        if span is not None:
-            span.meta["makespan"] = round(report.makespan, 9)
-            span.meta["registry_egress_bytes"] = report.registry_egress_bytes
-            span.meta["peer_bytes"] = report.peer_bytes
+    plan = fault_plan
+    if plan is not None:
+        plan.bind(n.hostname for n in nodes)
+        plan.bind_registry(registry.name)
+    if retry_policy is None:
+        retry_policy = RetryPolicy(seed=plan.seed if plan is not None else 0)
+    ctx = _CastContext(registry, list(nodes), topology, reg_link,
+                       topology.chunk_size, engine, report, tracer, plan,
+                       retry_policy)
+    installed = plan is not None and registry.fault_injector is None
+    if installed:
+        registry.fault_injector = plan.injector(engine.clock)
+    try:
+        with maybe_span(tracer, f"distribute [{strategy}]", "broadcast",
+                        strategy=strategy, registry=registry.name,
+                        nodes=len(nodes), blobs=len(digests)) as span:
+            for digest in digests:
+                size = registry.blob_size(digest)
+                report.image_bytes += size
+                cast = _BlobCast(ctx, digest, size, strategy)
+                engine.at(engine.now, cast.start)
+            engine.run()
+            for host in sorted(ctx.crashed | ctx.degraded):
+                report.node_ready.pop(host, None)
+            report.crashed = sorted(ctx.crashed)
+            report.degraded = sorted(ctx.degraded - ctx.crashed)
+            if span is not None:
+                span.meta["makespan"] = round(report.makespan, 9)
+                span.meta["registry_egress_bytes"] = \
+                    report.registry_egress_bytes
+                span.meta["peer_bytes"] = report.peer_bytes
+                if not report.clean:
+                    span.meta["faults_injected"] = report.faults_injected
+                    span.meta["retries"] = report.retries
+                    span.meta["crashed"] = len(report.crashed)
+    finally:
+        if installed:
+            registry.fault_injector = None
     _count_metrics(tracer, report)
     return report
-
-
-def _registry_direct(registry, digest, size, nodes, topology, reg_link,
-                     chunk, report, tracer) -> None:
-    """O(N) fan-out: every needy node pulls from the registry uplink."""
-    t0 = report.started_at
-    for node in nodes:
-        if node.content_store.has(digest):
-            report.blobs_skipped += 1
-            continue
-        blob = registry.fetch_blob(digest)
-        report.registry_egress_bytes += size
-        report.registry_blobs_pulled += 1
-        timing = transmit(reg_link, topology.link(node.hostname), size,
-                          chunk_size=chunk, available=t0)
-        node.content_store.put(blob)
-        report.node_ready[node.hostname] = max(
-            report.node_ready[node.hostname], timing.end)
-        report.transfers.append(TransferRecord(
-            digest, size, registry.name, node.hostname,
-            timing.start, timing.end))
-
-
-def _tree_broadcast(registry, digest, size, nodes, topology, reg_link,
-                    chunk, engine, report, tracer) -> None:
-    """O(log N) binomial broadcast with chunk-pipelined relaying."""
-    holders = [n for n in nodes if n.content_store.has(digest)]
-    needy = [n for n in nodes if not n.content_store.has(digest)]
-    report.blobs_skipped += len(holders)
-    if not needy or size <= 0:
-        return
-    t0 = report.started_at
-    # chunk availability times at each participant, filled as blobs land
-    chunk_avail: dict[str, list[float]] = {}
-
-    if holders:
-        # per-blob dedup: a node already holding the blob roots its tree —
-        # the registry is never touched for this blob
-        order = [holders[0]] + needy
-        root = holders[0]
-        chunk_avail[root.hostname] = [t0] * len(chunk_sizes(size, chunk))
-        blob = root.content_store.get(digest)
-    else:
-        # rank 0 pulls from the registry exactly once
-        root = needy[0]
-        order = needy
-        blob = registry.fetch_blob(digest)
-        report.registry_egress_bytes += size
-        report.registry_blobs_pulled += 1
-        timing = transmit(reg_link, topology.link(root.hostname), size,
-                          chunk_size=chunk, available=t0)
-        root.content_store.put(blob)
-        chunk_avail[root.hostname] = timing.chunk_arrivals
-        report.node_ready[root.hostname] = max(
-            report.node_ready[root.hostname], timing.end)
-        report.transfers.append(TransferRecord(
-            digest, size, registry.name, root.hostname,
-            timing.start, timing.end))
-
-    children = binomial_children(len(order))
-    by_pos = {i: n for i, n in enumerate(order)}
-    pos_of = {n.hostname: i for i, n in enumerate(order)}
-
-    def serve(sender: Machine) -> None:
-        """Event: *sender* now holds (the head of) the blob; re-serve it
-        to each binomial child, pipelining chunks as they arrived."""
-        avail = chunk_avail[sender.hostname]
-        for child_pos in children[pos_of[sender.hostname]]:
-            dst = by_pos[child_pos]
-            timing = transmit(topology.link(sender.hostname),
-                              topology.link(dst.hostname), size,
-                              chunk_size=chunk, available=avail)
-            dst.content_store.put(blob)
-            chunk_avail[dst.hostname] = timing.chunk_arrivals
-            report.node_ready[dst.hostname] = max(
-                report.node_ready[dst.hostname], timing.end)
-            report.peer_bytes += size
-            report.peer_sends += 1
-            report.transfers.append(TransferRecord(
-                digest, size, sender.hostname, dst.hostname,
-                timing.start, timing.end))
-            # the child becomes a server as soon as its first chunk lands
-            engine.at(timing.chunk_arrivals[0], serve, dst)
-
-    engine.at(chunk_avail[root.hostname][0], serve, root)
 
 
 def _count_metrics(tracer, report: BroadcastReport) -> None:
@@ -276,6 +537,18 @@ def _count_metrics(tracer, report: BroadcastReport) -> None:
     m.count_net("deploy_peer_sends", report.peer_sends)
     m.count_net("deploy_blobs_skipped", report.blobs_skipped)
     m.count_net("deploy_makespan_usec", int(report.makespan * 1e6))
+    if report.faults_injected:
+        m.count_net("deploy_faults_injected", report.faults_injected)
+    if report.retries:
+        m.count_net("deploy_retries", report.retries)
+    if report.backoff_seconds:
+        m.count_net("deploy_backoff_usec",
+                    int(report.backoff_seconds * 1e6))
+    if report.reparented_subtrees:
+        m.count_net("deploy_reparented_subtrees",
+                    report.reparented_subtrees)
+    if report.registry_fallbacks:
+        m.count_net("deploy_registry_fallbacks", report.registry_fallbacks)
 
 
 def distribute_image(
@@ -288,11 +561,14 @@ def distribute_image(
     strategy: str = "tree",
     engine: Optional[SimEngine] = None,
     tracer=None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> BroadcastReport:
     """Distribute an image's layer blobs to *nodes* ahead of deploy."""
     digests = registry.image_blob_digests(ref, arch=arch)
     return distribute_blobs(registry, digests, nodes, topology,
-                            strategy=strategy, engine=engine, tracer=tracer)
+                            strategy=strategy, engine=engine, tracer=tracer,
+                            fault_plan=fault_plan, retry_policy=retry_policy)
 
 
 def distribute_cache(
@@ -304,9 +580,12 @@ def distribute_cache(
     strategy: str = "tree",
     engine: Optional[SimEngine] = None,
     tracer=None,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> BroadcastReport:
     """Distribute a build-cache export's blobs (diffs + manifest) so each
     node's cache import is served from its local store."""
     digests = registry.cache_blob_digests(ref)
     return distribute_blobs(registry, digests, nodes, topology,
-                            strategy=strategy, engine=engine, tracer=tracer)
+                            strategy=strategy, engine=engine, tracer=tracer,
+                            fault_plan=fault_plan, retry_policy=retry_policy)

@@ -168,6 +168,24 @@ class FarmReport:
     def inflight_hits(self) -> int:
         return self.schedule.inflight_hits
 
+    @property
+    def worker_crashes(self) -> int:
+        return getattr(self.schedule, "worker_crashes", 0)
+
+    @property
+    def requeues(self) -> int:
+        return getattr(self.schedule, "requeues", 0)
+
+    @property
+    def attempts(self) -> int:
+        """Total task execution attempts (requeues included)."""
+        return sum(getattr(t, "attempts", 1) for t in self.schedule.tasks)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the farm lost a worker mid-run."""
+        return self.worker_crashes > 0
+
 
 class BuildFarm:
     """A ``parallelism=N`` build farm: whole images as concurrent tasks.
@@ -185,12 +203,18 @@ class BuildFarm:
 
     def __init__(self, machine, user_proc, *, parallelism: int = 2,
                  engine=None, build_cache=None,
-                 force_mode: str = "fakeroot", storage_dir=None):
+                 force_mode: str = "fakeroot", storage_dir=None,
+                 fault_plan=None, retry_budget: int = 8):
         from ..cas.cache import BuildCache
         from ..core.builder import ChImage
         self.machine = machine
         self.parallelism = parallelism
         self.engine = engine
+        #: optional :class:`~repro.sim.FaultPlan`: worker crashes fire on
+        #: the farm's sim clock; crashed workers' images are requeued and
+        #: single-flight waiters are promoted rather than deadlocked
+        self.fault_plan = fault_plan
+        self.retry_budget = retry_budget
         #: one cache for the whole farm, its layer diffs deduplicated in
         #: the machine's content store (shared with image pulls)
         self.cache = build_cache if build_cache is not None else \
@@ -220,7 +244,8 @@ class BuildFarm:
         scheduler = BuildGraphScheduler(
             engine=self.engine, parallelism=self.parallelism,
             ticks=lambda: kernel.ticks, cache=self.builder.cache,
-            kernel=kernel, fail_fast=False)
+            kernel=kernel, fail_fast=False, fault_plan=self.fault_plan,
+            retry_budget=self.retry_budget)
 
         def make_fn(spec: FarmImage):
             def build():
@@ -240,6 +265,12 @@ class BuildFarm:
         schedule = scheduler.run()
         for spec, task in zip(self.pending, schedule.tasks):
             spec.deduped = task.deduped
+            if not task.ok and spec.result is not None \
+                    and spec.result.success:
+                # the worker died before this build's completion landed:
+                # the host-side result exists, but the virtual build never
+                # finished and the retry budget is spent — not a success
+                spec.result = None
         self.report = FarmReport(images=list(self.pending),
                                  schedule=schedule,
                                  cache_stats=self.cache.aggregate_stats())

@@ -7,15 +7,20 @@ needs it benchmarked::
 
     astra-deploy [--deploy-strategy {registry,tree,off}] [--nodes N]
                  [--runtime {charliecloud,singularity}] [--cached]
-                 [--parallelism N] -t TAG -f DOCKERFILE USER
+                 [--parallelism N] [--fault-plan SPEC] [--retries N]
+                 -t TAG -f DOCKERFILE USER
 
-Returns ``(exit_status, output_text)`` like the other CLI shims.
+``--fault-plan`` takes a :meth:`repro.sim.FaultPlan.parse` spec (e.g.
+``seed=7,link-loss=0.1,flake=0:0.05``); ``--retries`` caps the retry
+budget per transient failure.  Returns ``(exit_status, output_text)``
+like the other CLI shims.
 """
 
 from __future__ import annotations
 
 from ..errors import KernelError, ReproError
 from ..kernel import Syscalls
+from ..sim import FaultPlan, FaultPlanError, RetryPolicy
 from .astra import (
     AstraCluster,
     astra_build_workflow,
@@ -27,7 +32,7 @@ __all__ = ["astra_deploy_cli"]
 
 _USAGE = ("usage: astra-deploy [--deploy-strategy {registry,tree,off}] "
           "[--nodes N] [--runtime RT] [--cached] [--parallelism N] "
-          "-t TAG -f DOCKERFILE USER")
+          "[--fault-plan SPEC] [--retries N] -t TAG -f DOCKERFILE USER")
 
 
 def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
@@ -37,6 +42,8 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
     runtime = "charliecloud"
     cached = False
     parallelism = 1
+    fault_spec: str | None = None
+    retries: int | None = None
     tag = ""
     dockerfile_path = ""
     user = ""
@@ -74,6 +81,23 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
             if not value.isdigit() or int(value) < 1:
                 return 1, f"astra-deploy: bad --parallelism value {value!r}"
             parallelism = int(value)
+        elif a == "--fault-plan" or a.startswith("--fault-plan="):
+            if a == "--fault-plan":
+                i += 1
+                if i >= len(argv):
+                    return 1, "astra-deploy: --fault-plan needs a value"
+                fault_spec = argv[i]
+            else:
+                fault_spec = a.split("=", 1)[1]
+        elif a == "--retries" or a.startswith("--retries="):
+            if a == "--retries":
+                i += 1
+                value = argv[i] if i < len(argv) else ""
+            else:
+                value = a.split("=", 1)[1]
+            if not value.isdigit():
+                return 1, f"astra-deploy: bad --retries value {value!r}"
+            retries = int(value)
         elif a == "-t":
             i += 1
             tag = argv[i] if i < len(argv) else ""
@@ -94,6 +118,17 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
                    f"(choose from {', '.join(DEPLOY_STRATEGIES)}, off)")
     if user not in cluster.login.users:
         return 1, f"astra-deploy: no account {user!r} on the login node"
+    fault_plan = None
+    retry_policy = None
+    if fault_spec is not None:
+        try:
+            fault_plan = FaultPlan.parse(fault_spec)
+        except FaultPlanError as err:
+            return 1, f"astra-deploy: {err}"
+    if retries is not None:
+        retry_policy = RetryPolicy(
+            budget=retries,
+            seed=fault_plan.seed if fault_plan is not None else 0)
 
     login_proc = cluster.login.login(user)
     try:
@@ -112,6 +147,7 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
     try:
         report = workflow(cluster, user, dockerfile, tag,
                           n_nodes=n_nodes, deploy_strategy=strategy,
+                          fault_plan=fault_plan, retry_policy=retry_policy,
                           **kwargs)
     except ReproError as err:
         return 1, f"astra-deploy: {err}"
@@ -131,6 +167,15 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
             f"{d['peer_sends']} peer sends ({d['peer_bytes']} B), "
             f"{d['blobs_skipped']} dedup skips")
         lines.append(f"makespan: {report.deploy_makespan * 1e3:.1f} ms")
+        if report.faults_injected or report.degraded:
+            lines.append(
+                f"faults: {report.faults_injected} injected, "
+                f"{report.retries} retries "
+                f"({report.backoff_seconds * 1e3:.1f} ms backoff), "
+                f"{d['reparented_subtrees']} reparented subtrees")
+            if report.degraded_nodes:
+                lines.append("degraded nodes: "
+                             + ", ".join(report.degraded_nodes))
         busiest = max(
             report.link_utilization.items(),
             key=lambda kv: kv[1]["busy_tx_seconds"], default=None)

@@ -28,7 +28,7 @@ from typing import Callable, Mapping, Optional, Sequence, Union
 
 from ..errors import ReproError
 from ..kernel import Process
-from ..sim import SimEngine
+from ..sim import FaultPlan, SimEngine
 from .machines import Machine
 
 __all__ = ["DEFAULT_TICK_SECONDS", "Job", "JobResult", "Scheduler",
@@ -51,6 +51,9 @@ class JobResult:
     ``rank_starts`` / ``rank_finishes`` are virtual times (simulated mode
     only); ``error`` is set when the job aborted mid-run — the partial
     result is still recorded so the allocation is accounted for.
+    ``skipped`` lists allocated nodes whose rank never launched (crashed
+    or dropped by a degraded distribution): the job is *degraded* but can
+    still succeed on the survivors.
     """
 
     job_id: int
@@ -61,12 +64,19 @@ class JobResult:
     rank_starts: list[float] = field(default_factory=list)
     rank_finishes: list[float] = field(default_factory=list)
     error: str = ""
+    skipped: list[str] = field(default_factory=list)
 
     @property
     def success(self) -> bool:
         return (not self.error
-                and len(self.rank_statuses) == len(self.nodes)
+                and len(self.rank_statuses)
+                == len(self.nodes) - len(self.skipped)
                 and all(s == 0 for s in self.rank_statuses))
+
+    @property
+    def degraded(self) -> bool:
+        """True when any allocated node's rank never ran."""
+        return bool(self.skipped)
 
     @property
     def output(self) -> str:
@@ -132,6 +142,7 @@ class Scheduler:
         sim: Optional[SimEngine] = None,
         rank_ready: Union[Sequence[float], Mapping[str, float], None] = None,
         tick_seconds: float = DEFAULT_TICK_SECONDS,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> JobResult:
         """Allocate *nodes* nodes and run *fn* once per node (one rank per
         node).  The job processes are children of the user's login process
@@ -142,6 +153,13 @@ class Scheduler:
         at ``rank_ready[k]`` (or its hostname's entry; 0.0 by default) and
         finishes after its kernel-tick compute cost.  Outputs, statuses,
         and the §3.1 check are identical in both modes.
+
+        With a *fault_plan*, a node the plan has crashed before its start
+        time is **skipped** (listed in ``JobResult.skipped``) rather than
+        run, as is a node a Mapping *rank_ready* omits — a degraded
+        distribution drops crashed nodes from ``node_ready``, and silently
+        launching them at t=0 would run ranks on data that never arrived.
+        A node crashing *mid-rank* reports status 137 (killed).
         """
         if mode not in ("sequential", "simulated"):
             raise SchedulerError(f"unknown scheduling mode {mode!r}")
@@ -154,9 +172,14 @@ class Scheduler:
         statuses: list[Optional[int]] = [None] * nodes
         starts: list[float] = []
         finishes: list[float] = []
+        skipped: list[str] = []
         self._busy.update(n.hostname for n in allocated)
 
         def run_rank(rank: int, node: Machine, start: float) -> None:
+            if fault_plan is not None \
+                    and fault_plan.crashed_by(node.hostname, start):
+                skipped.append(node.hostname)
+                return
             if user not in node.users:
                 raise SchedulerError(f"user {user!r} has no account on "
                                      f"{node.hostname}")
@@ -164,12 +187,21 @@ class Scheduler:
             ticks_before = node.kernel.ticks
             status, out = fn(node, rank, login)
             self._check_descends_from_shell(node, login)
-            outputs[rank] = out
-            statuses[rank] = status
             if mode == "simulated":
                 cost = (node.kernel.ticks - ticks_before) * tick_seconds
-                starts.append(start)
-                finishes.append(start + cost)
+                crash_t = (fault_plan.crash_time(node.hostname)
+                           if fault_plan is not None else None)
+                if crash_t is not None and start < crash_t < start + cost:
+                    # the node died under the rank: killed, partial time
+                    status = 137
+                    out += f"[rank {rank} killed at t={crash_t:.6f}]\n"
+                    starts.append(start)
+                    finishes.append(crash_t)
+                else:
+                    starts.append(start)
+                    finishes.append(start + cost)
+            outputs[rank] = out
+            statuses[rank] = status
 
         try:
             if mode == "sequential":
@@ -179,6 +211,13 @@ class Scheduler:
                 engine = sim if sim is not None else SimEngine()
                 for rank, node in enumerate(allocated):
                     if isinstance(rank_ready, Mapping):
+                        if node.hostname not in rank_ready \
+                                and fault_plan is not None:
+                            # a degraded distribution dropped this node:
+                            # its data never arrived, so its rank cannot
+                            # launch
+                            skipped.append(node.hostname)
+                            continue
                         start = rank_ready.get(node.hostname, 0.0)
                     elif rank_ready is not None:
                         start = rank_ready[rank]
@@ -194,14 +233,16 @@ class Scheduler:
                 [o for o in outputs if o is not None],
                 [s for s in statuses if s is not None],
                 mode=mode, rank_starts=starts, rank_finishes=finishes,
-                error=str(err))
+                error=str(err), skipped=sorted(skipped))
             self.completed.append(partial)
             raise
         finally:
             self._busy.difference_update(n.hostname for n in allocated)
 
         result = JobResult(job.job_id, [n.hostname for n in allocated],
-                           list(outputs), list(statuses), mode=mode,
-                           rank_starts=starts, rank_finishes=finishes)
+                           [o for o in outputs if o is not None],
+                           [s for s in statuses if s is not None],
+                           mode=mode, rank_starts=starts,
+                           rank_finishes=finishes, skipped=sorted(skipped))
         self.completed.append(result)
         return result

@@ -74,6 +74,10 @@ class Registry:
         #: kernel of their own, so callers attach one explicitly to get
         #: push/pull spans.
         self.tracer = None
+        #: Optional :class:`~repro.sim.RegistryFaultInjector` — when set,
+        #: ``fetch_blob``/``push`` raise ``TransientRegistryError`` inside
+        #: the plan's flake windows and callers retry per their policy.
+        self.fault_injector = None
 
     # -- blob plumbing --------------------------------------------------------------
 
@@ -117,6 +121,8 @@ class Registry:
             self.stats.blobs_pull_skipped += 1
             self.stats.bytes_pull_skipped += len(blob)
             return blob
+        if self.fault_injector is not None:
+            self.fault_injector.check("fetch_blob")
         blob = self._get_blob(digest)
         if local_store is not None:
             local_store.put(blob)
@@ -160,6 +166,8 @@ class Registry:
         with maybe_span(self.tracer,
                         f"push {ref.repository}:{ref.tag}", "push",
                         registry=self.name, layers=len(layers)):
+            if self.fault_injector is not None:
+                self.fault_injector.check("push")
             self._check_policy(ref, layers)
             digests = tuple(self._put_blob(layer.serialize())
                             for layer in layers)

@@ -40,7 +40,7 @@ from typing import Any, Callable, Optional, Sequence
 from ..containers.dockerfile import StageGraph, parse_stage_graph
 from ..errors import BuildError, ReproError
 from ..obs.trace import kernel_span
-from ..sim import SimEngine
+from ..sim import FaultPlan, SimEngine
 
 __all__ = [
     "DEFAULT_BUILD_TICK_SECONDS",
@@ -127,6 +127,7 @@ class _Task:
     result: Any = None
     ok: bool = True
     error: str = ""
+    attempts: int = 0           # execution attempts (crash requeues + 1)
 
 
 @dataclass(frozen=True)
@@ -144,6 +145,7 @@ class TaskReport:
     worker: int
     deduped: bool
     error: str = ""
+    attempts: int = 1
 
     @property
     def duration(self) -> float:
@@ -166,6 +168,8 @@ class ScheduleReport:
     serial_time: float = 0.0          # sum of executed durations
     queue_wait_total: float = 0.0
     inflight_hits: int = 0
+    worker_crashes: int = 0           # workers permanently lost mid-run
+    requeues: int = 0                 # tasks re-run after a crash
     tasks: list[TaskReport] = field(default_factory=list)
 
     @property
@@ -188,6 +192,8 @@ class ScheduleReport:
             "serial_time": self.serial_time,
             "queue_wait_total": self.queue_wait_total,
             "inflight_hits": self.inflight_hits,
+            "worker_crashes": self.worker_crashes,
+            "requeues": self.requeues,
             "speedup": self.speedup,
             "tasks": [
                 {"name": t.name, "state": t.state, "ok": t.ok,
@@ -218,7 +224,9 @@ class BuildGraphScheduler:
                  parallelism: int = 1,
                  tick_seconds: float = DEFAULT_BUILD_TICK_SECONDS,
                  ticks: Optional[Callable[[], int]] = None,
-                 cache=None, kernel=None, fail_fast: bool = True):
+                 cache=None, kernel=None, fail_fast: bool = True,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_budget: int = 8):
         if parallelism < 1:
             raise BuildGraphError(
                 f"parallelism must be >= 1, got {parallelism}")
@@ -229,10 +237,14 @@ class BuildGraphScheduler:
         self.cache = cache
         self.kernel = kernel
         self.fail_fast = fail_fast
+        self.fault_plan = fault_plan
+        self.retry_budget = retry_budget
         self._tasks: list[_Task] = []
         self._ready: list[tuple[float, int, int]] = []  # (ready, prio, tid)
         self._free_workers: list[int] = list(range(parallelism))
         heapq.heapify(self._free_workers)
+        self._dead_workers: set[int] = set()
+        self._requeues = 0
         self._failed = False
         self._ran = False
 
@@ -284,7 +296,86 @@ class BuildGraphScheduler:
         task.ready_time = now
         heapq.heappush(self._ready, (now, task.priority, task.tid))
 
+    # -- worker crashes (fault injection) ------------------------------------------
+
+    def _alive_workers(self) -> int:
+        return self.parallelism - len(self._dead_workers)
+
+    def _retire_worker(self, worker: int) -> None:
+        """Permanently remove a crashed worker from the pool."""
+        if worker in self._dead_workers:
+            return
+        self._dead_workers.add(worker)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.metrics.count_build("worker_crashes")
+        if self._alive_workers() <= 0:
+            unfinished = [t.name for t in self._tasks
+                          if t.state in ("pending", "ready", "running",
+                                         "inflight-wait")]
+            if unfinished:
+                raise BuildGraphError(
+                    f"all {self.parallelism} workers crashed with "
+                    f"unfinished tasks: {unfinished}")
+
+    def _prune_dead_workers(self) -> None:
+        """Drop free workers whose crash time has already passed."""
+        if self.fault_plan is None:
+            return
+        now = self.engine.now
+        doomed = [w for w in self._free_workers
+                  if (ct := self.fault_plan.worker_crash_time(w)) is not None
+                  and ct <= now]
+        if doomed:
+            self._free_workers = [w for w in self._free_workers
+                                  if w not in doomed]
+            heapq.heapify(self._free_workers)
+            for w in doomed:
+                self._retire_worker(w)
+
+    def _worker_crash(self, tid: int) -> None:
+        """Event: the worker running *tid* died mid-task.  The stage is
+        requeued; if the task led a single-flight, its waiters are woken
+        to re-contend so one of them is promoted to leader — nobody parks
+        forever behind a dead leader."""
+        task = self._tasks[tid]
+        now = self.engine.now
+        self._retire_worker(task.worker)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.metrics.count_build("task_requeues")
+        if task.flight_leader and self.cache is not None:
+            # demote the dead leader and wake every waiter: the flight
+            # re-forms at the next dispatch and the first contender leads
+            task.flight_leader = False
+            for waiter_tid in self.cache.flight_finish(task.flight_key):
+                waiter = self._tasks[waiter_tid]
+                if waiter.state == "inflight-wait":
+                    waiter.deduped = False
+                    self._make_ready(waiter, now)
+        if task.attempts > self.retry_budget:
+            task.state = "failed"
+            task.finish = now
+            task.ok = False
+            task.error = (f"worker {task.worker} crashed and the retry "
+                          f"budget ({self.retry_budget}) is spent")
+            self._failed = True
+            if self.fail_fast:
+                for dep_tid in task.dependents:
+                    self._skip_tree(dep_tid)
+        else:
+            # requeue the stage from scratch on a surviving worker
+            self._requeues += 1
+            task.worker = -1
+            task.result = None
+            task.ok = True
+            task.error = ""
+            task.ticks = 0
+            self._make_ready(task, now)
+        self._dispatch()
+
     def _dispatch(self) -> None:
+        self._prune_dead_workers()
         while self._free_workers and self._ready:
             _, _, tid = heapq.heappop(self._ready)
             task = self._tasks[tid]
@@ -316,6 +407,7 @@ class BuildGraphScheduler:
         task.state = "running"
         task.worker = worker
         task.start = now
+        task.attempts += 1
         tracer = self._tracer()
         if tracer is not None:
             tracer.metrics.count_build("tasks")
@@ -343,7 +435,13 @@ class BuildGraphScheduler:
                     sp.fail(task.error)
         task.ticks = self._ticks() - ticks_before
         cost = task.ticks * self.tick_seconds
-        self.engine.after(cost, self._complete, task.tid)
+        crash_t = (self.fault_plan.worker_crash_time(worker)
+                   if self.fault_plan is not None else None)
+        if crash_t is not None and now <= crash_t < now + cost:
+            # the worker dies before this task's completion lands
+            self.engine.at(crash_t, self._worker_crash, task.tid)
+        else:
+            self.engine.after(cost, self._complete, task.tid)
 
     def _complete(self, tid: int) -> None:
         task = self._tasks[tid]
@@ -404,6 +502,8 @@ class BuildGraphScheduler:
         report.serial_time = sum(durations.values())
         report.queue_wait_total = sum(t.queue_wait for t in executed)
         report.inflight_hits = sum(1 for t in executed if t.deduped)
+        report.worker_crashes = len(self._dead_workers)
+        report.requeues = self._requeues
         # critical path over realized durations
         cp: dict[int, float] = {}
         cp_prev: dict[int, Optional[int]] = {}
@@ -428,7 +528,7 @@ class BuildGraphScheduler:
                        ready_time=t.ready_time, start=t.start,
                        finish=t.finish, queue_wait=t.queue_wait,
                        ticks=t.ticks, worker=t.worker, deduped=t.deduped,
-                       error=t.error)
+                       error=t.error, attempts=max(t.attempts, 1))
             for t in self._tasks
         ]
         tracer = self._tracer()
@@ -445,7 +545,9 @@ def build_parallel(ch, *, tag: str, dockerfile: str, force: bool = False,
                    parallelism: int = 2,
                    engine: Optional[SimEngine] = None,
                    tick_seconds: float = DEFAULT_BUILD_TICK_SECONDS,
-                   priorities: Optional[Sequence[int]] = None):
+                   priorities: Optional[Sequence[int]] = None,
+                   fault_plan: Optional[FaultPlan] = None,
+                   retry_budget: int = 8):
     """``ch-image build --parallel N``: one build as a stage DAG.
 
     Independent stages of a multi-stage Dockerfile run as concurrent
@@ -485,7 +587,8 @@ def build_parallel(ch, *, tag: str, dockerfile: str, force: bool = False,
         scheduler = BuildGraphScheduler(
             engine=engine, parallelism=parallelism,
             tick_seconds=tick_seconds, ticks=lambda: kernel.ticks,
-            cache=ch.cache, kernel=kernel)
+            cache=ch.cache, kernel=kernel, fault_plan=fault_plan,
+            retry_budget=retry_budget)
 
         def make_stage_fn(stage, stage_tag):
             def run_stage():
@@ -541,4 +644,9 @@ def build_parallel(ch, *, tag: str, dockerfile: str, force: bool = False,
         f"{schedule.makespan * 1e3:.3f} ms, critical path "
         f"{schedule.critical_path * 1e3:.3f} ms, "
         f"{schedule.inflight_hits} deduped")
+    if schedule.worker_crashes:
+        out(f"faults: {schedule.worker_crashes} worker crash"
+            f"{'es' if schedule.worker_crashes != 1 else ''}, "
+            f"{schedule.requeues} stage requeue"
+            f"{'s' if schedule.requeues != 1 else ''}")
     return result

@@ -141,7 +141,8 @@ class ChImage:
         return self.storage.pull(ref)
 
     def build(self, *, tag: str, dockerfile: str, force: bool = False,
-              parallel: int = 1, sim=None) -> ChBuildResult:
+              parallel: int = 1, sim=None, fault_plan=None,
+              retry_budget: int = 8) -> ChBuildResult:
         """``ch-image build [--force] [--parallel N] -t tag -f dockerfile .``
 
         Multi-stage Dockerfiles (``FROM ... AS name`` + ``COPY --from=``)
@@ -149,13 +150,16 @@ class ChImage:
         ``parallel > 1`` (or an explicit *sim* engine) independent stages
         build concurrently on the sim clock via
         :func:`~repro.core.build_graph.build_parallel`; the image digests
-        are identical either way.
+        are identical either way.  A *fault_plan* with worker crashes
+        (parallel builds only) kills workers on the sim clock; their
+        stages requeue onto survivors up to *retry_budget* times.
         """
         if parallel != 1 or sim is not None:
             from .build_graph import build_parallel  # lazy: avoids cycle
             return build_parallel(self, tag=tag, dockerfile=dockerfile,
                                   force=force, parallelism=parallel,
-                                  engine=sim)
+                                  engine=sim, fault_plan=fault_plan,
+                                  retry_budget=retry_budget)
         result = ChBuildResult(tag=tag)
         with kernel_span(self.machine.kernel, f"build {tag}", "build",
                          tag=tag, force=force,

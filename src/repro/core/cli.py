@@ -1,8 +1,8 @@
 """A ch-image command-line front end.
 
 ``ch_image_cli(ch, argv)`` mirrors the CLI the paper's transcripts invoke:
-``ch-image build [--force] [--trace] [--parallel N] -t TAG -f DOCKERFILE
-.``, plus pull/
+``ch-image build [--force] [--trace] [--parallel N] [--fault-plan SPEC]
+[--retries N] -t TAG -f DOCKERFILE .``, plus pull/
 push/list/delete, ``ch-image build-cache [--tree|--gc|--reset]`` and
 ``build-cache {export|import} REF`` for the §6.2.2 build cache, and
 ``ch-image trace [--audit|--json]`` to report on the last traced build.
@@ -34,6 +34,8 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
         force = False
         force_mode = None
         parallel = 1
+        fault_spec = None
+        retry_budget = 8
         tag = ""
         dockerfile_path = ""
         rest = []
@@ -56,6 +58,23 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
                 if not value.isdigit() or int(value) < 1:
                     return 1, f"ch-image: bad --parallel value {value!r}"
                 parallel = int(value)
+            elif a == "--fault-plan" or a.startswith("--fault-plan="):
+                if a == "--fault-plan":
+                    i += 1
+                    if i >= len(args):
+                        return 1, "ch-image: --fault-plan needs a value"
+                    fault_spec = args[i]
+                else:
+                    fault_spec = a.split("=", 1)[1]
+            elif a == "--retries" or a.startswith("--retries="):
+                if a == "--retries":
+                    i += 1
+                    value = args[i] if i < len(args) else ""
+                else:
+                    value = a.split("=", 1)[1]
+                if not value.isdigit():
+                    return 1, f"ch-image: bad --retries value {value!r}"
+                retry_budget = int(value)
             elif a == "--trace":
                 ch.enable_tracing()
             elif a == "-t":
@@ -74,12 +93,23 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
         except KernelError as err:
             return 1, f"ch-image: can't read {dockerfile_path}: " \
                       f"{err.strerror}"
+        fault_plan = None
+        if fault_spec is not None:
+            from ..sim import FaultPlan, FaultPlanError
+            if parallel == 1:
+                return 1, ("ch-image: --fault-plan needs --parallel "
+                           "(worker crashes need the build farm)")
+            try:
+                fault_plan = FaultPlan.parse(fault_spec)
+            except FaultPlanError as err:
+                return 1, f"ch-image: {err}"
         saved_mode = ch.force_mode
         if force_mode is not None:
             ch.force_mode = force_mode
         try:
             result = ch.build(tag=tag, dockerfile=dockerfile, force=force,
-                              parallel=parallel)
+                              parallel=parallel, fault_plan=fault_plan,
+                              retry_budget=retry_budget)
         finally:
             ch.force_mode = saved_mode
         return (0 if result.success else 1), result.text

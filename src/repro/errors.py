@@ -17,6 +17,8 @@ __all__ = [
     "BuildError",
     "RegistryError",
     "PackageError",
+    "TransientError",
+    "TransientRegistryError",
 ]
 
 
@@ -155,3 +157,23 @@ class RegistryError(ReproError):
 
 class PackageError(ReproError):
     """A distribution package operation failed."""
+
+
+class TransientError(ReproError):
+    """An operation failed for a reason expected to clear on its own.
+
+    Attributes
+    ----------
+    retry_at:
+        Earliest virtual time (SimClock seconds) at which retrying can
+        possibly succeed — e.g. the end of the link-down or registry-flake
+        window that caused the failure.  ``0.0`` when unknown.
+    """
+
+    def __init__(self, msg: str = "", *, retry_at: float = 0.0):
+        self.retry_at = float(retry_at)
+        super().__init__(msg)
+
+
+class TransientRegistryError(TransientError, RegistryError):
+    """A registry request failed transiently (the 5xx of this world)."""

@@ -8,6 +8,17 @@ can report makespans instead of pretending a for-loop is a cluster.
 
 from .clock import SimClock
 from .events import EventQueue, SimEngine, SimError
+from .faults import (
+    FaultPlan,
+    FaultPlanError,
+    RegistryFaultInjector,
+    RetryPolicy,
+    TransientTransferError,
+    faulty_transmit,
+    link_restore,
+    link_snapshot,
+    retry_call,
+)
 from .topology import (
     DEFAULT_BANDWIDTH,
     DEFAULT_CHUNK_SIZE,
@@ -24,6 +35,15 @@ __all__ = [
     "EventQueue",
     "SimEngine",
     "SimError",
+    "FaultPlan",
+    "FaultPlanError",
+    "RegistryFaultInjector",
+    "RetryPolicy",
+    "TransientTransferError",
+    "faulty_transmit",
+    "link_restore",
+    "link_snapshot",
+    "retry_call",
     "DEFAULT_BANDWIDTH",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_LATENCY",

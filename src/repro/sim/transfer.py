@@ -53,7 +53,13 @@ def transmit(src: NetLink, dst: NetLink, size: int, *, chunk_size: int,
     """
     chunks = chunk_sizes(size, chunk_size)
     if not chunks:
-        t = available if isinstance(available, (int, float)) else 0.0
+        # A zero-size transfer still cannot complete before its data
+        # exists: with a per-chunk sequence the source finishes receiving
+        # at max(available), and that is when this hop is "done".
+        if isinstance(available, (int, float)):
+            t = float(available)
+        else:
+            t = max((float(a) for a in available), default=0.0)
         return TransferTiming(size=0, start=t, end=t)
     if isinstance(available, (int, float)):
         avail = [float(available)] * len(chunks)

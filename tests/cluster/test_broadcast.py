@@ -116,6 +116,31 @@ class TestDistributeBlobs:
         assert rep.peer_sends == 3  # the three needy nodes
         assert all(n.content_store.has(digests[0]) for n in nodes)
 
+    def test_multiple_holders_root_a_forest(self):
+        """Regression: with several pre-seeded holders only holders[0]
+        used to serve — the rest sat idle.  Every holder now roots its
+        own subtree, so more holders means a shorter makespan."""
+        def run(n_holders):
+            r = Registry("site")
+            r.push("app:v1", ImageConfig(), [layer("bin", b"b" * 8000)])
+            digest = r.image_blob_digests("app:v1")[0]
+            blob = r.fetch_blob(digest)
+            nodes = nodes_named(9)
+            for k in range(n_holders):
+                nodes[k].content_store.put(blob)
+            topo = make_deploy_topology(r, nodes)
+            rep = distribute_blobs(r, [digest], nodes, topo,
+                                   strategy="tree")
+            for n in nodes:
+                assert n.content_store.has(digest)
+            return rep
+
+        one, three = run(1), run(3)
+        assert three.registry_blobs_pulled == 0
+        # all three holders actually served somebody
+        assert {"cn0", "cn1", "cn2"} <= {t.src for t in three.transfers}
+        assert three.makespan < one.makespan
+
     def test_all_holders_means_no_transfers(self, registry, digests):
         nodes = nodes_named(2)
         for d in digests:

@@ -83,6 +83,65 @@ class TestBuildFarm:
         assert not bad.success and good.success
 
 
+class TestFarmFaults:
+    def test_worker_crash_requeues_the_stage(self, login, alice):
+        """A crashed worker's image requeues onto a survivor and the batch
+        still converges."""
+        from repro.sim import FaultPlan
+        plan = FaultPlan().add_worker_crash(0, 1e-9)
+        farm = BuildFarm(login, alice, parallelism=2,
+                         force_mode="seccomp", fault_plan=plan)
+        farm.submit(tag="app", dockerfile=APP, force=True)
+        farm.submit(tag="tools", dockerfile=OTHER, force=True)
+        report = farm.run()
+        assert report.success, [i.result and i.result.error
+                                for i in report.images]
+        assert report.degraded
+        assert report.worker_crashes == 1
+        assert report.requeues >= 1
+        assert report.attempts > len(report.images)
+        for tag in ("app", "tools"):
+            assert farm.builder.storage.path_of(tag)
+
+    def test_killing_the_leader_promotes_a_waiter(self, login, alice):
+        """The single-flight deadlock case: the leader's worker dies while
+        a waiter is parked behind its flight.  The waiter must be woken
+        and promoted, never left waiting on a result that cannot come."""
+        from repro.sim import FaultPlan
+        plan = FaultPlan().add_worker_crash(0, 1e-9)
+        farm = BuildFarm(login, alice, parallelism=2,
+                         force_mode="seccomp", fault_plan=plan)
+        farm.submit(tag="app-a", dockerfile=APP, force=True)
+        farm.submit(tag="app-b", dockerfile=APP, force=True)
+        report = farm.run()   # terminating at all proves no deadlock
+        assert report.success
+        assert report.worker_crashes == 1 and report.requeues >= 1
+        for tag in ("app-a", "app-b"):
+            assert farm.builder.storage.path_of(tag)
+
+    def test_crash_budget_exhaustion_fails_the_task(self, login, alice):
+        from repro.sim import FaultPlan
+        plan = FaultPlan().add_worker_crash(0, 1e-9)
+        farm = BuildFarm(login, alice, parallelism=2,
+                         force_mode="seccomp", fault_plan=plan,
+                         retry_budget=0)
+        farm.submit(tag="app", dockerfile=APP, force=True)
+        farm.submit(tag="tools", dockerfile=OTHER, force=True)
+        report = farm.run()
+        assert not report.success
+        assert any(t.error for t in report.schedule.tasks)
+
+    def test_all_workers_crashed_raises(self, login, alice):
+        from repro.core.build_graph import BuildGraphError
+        from repro.sim import FaultPlan
+        plan = FaultPlan().add_worker_crash(0, 1e-9)
+        farm = BuildFarm(login, alice, parallelism=1,
+                         force_mode="seccomp", fault_plan=plan)
+        farm.submit(tag="app", dockerfile=OTHER, force=True)
+        with pytest.raises(BuildGraphError, match="crashed"):
+            farm.run()
+
+
 class TestFarmInPipeline:
     def test_farm_build_stage(self, login, alice):
         farm = BuildFarm(login, alice, parallelism=2, force_mode="seccomp")

@@ -188,6 +188,15 @@ class TestTransmit:
         assert t.size == 0 and t.start == t.end == 3.0
         assert a.stats.bytes_tx == 0
 
+    def test_zero_size_with_sequence_availability(self):
+        """Regression: a relayed zero-size hop used to report itself done
+        at t=0 even though its source data only existed at max(avail)."""
+        a, b = links(2)
+        t = transmit(a, b, 0, chunk_size=100, available=[2.0, 5.0, 1.0])
+        assert t.size == 0 and t.start == t.end == 5.0
+        t = transmit(a, b, 0, chunk_size=100, available=[])
+        assert t.start == t.end == 0.0
+
     def test_stats_account_both_sides(self):
         a, b = links(2, latency=0.05)
         transmit(a, b, 250, chunk_size=100, available=0.0)
