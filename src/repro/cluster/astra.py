@@ -82,6 +82,7 @@ class WorkflowReport:
     distribution: Optional[BroadcastReport] = None
     link_utilization: dict = field(default_factory=dict)
     build_parallelism: int = 1         # workers the login build used
+    registry_shards: int = 1           # fleet size (1 = single registry)
     build_makespan: float = 0.0        # virtual s (parallel builds only)
     build_critical_path: float = 0.0   # DAG floor of the build (virtual s)
     push_attempts: int = 1             # push-phase tries (retries + 1)
@@ -134,10 +135,29 @@ def _prepare_deploy(
     if topology is None:
         topology = make_deploy_topology(registry, targets)
     else:
-        topology.attach(registry)
+        for endpoint in getattr(registry, "shards", None) or (registry,):
+            topology.attach(endpoint)
         for node in targets:
             topology.attach(node)
     return engine, topology, targets
+
+
+def _prepare_registry(cluster: AstraCluster, report: "WorkflowReport",
+                      shards: int, replicas: int) -> None:
+    """Swap the world's site registry for a fleet when asked.
+
+    Must run before :func:`_prepare_deploy` so the deploy topology gets
+    one uplink per shard instead of a single origin link."""
+    report.registry_shards = max(shards, 1)
+    if shards <= 1 and replicas <= 1:
+        return
+    from .fleet import deploy_fleet
+    fleet = deploy_fleet(cluster.world, n_shards=max(shards, 1),
+                         replicas=replicas)
+    report.registry_shards = len(fleet.shards)
+    report.phases.append(
+        f"registry fleet: {len(fleet.shards)} shards x "
+        f"{fleet.replicas} replicas")
 
 
 def _retried_push(report: WorkflowReport, registry, engine,
@@ -191,6 +211,8 @@ def astra_build_workflow(
     app_argv: Optional[list[str]] = None,
     runtime: str = "charliecloud",
     deploy_strategy: Optional[str] = "tree",
+    registry_shards: int = 1,
+    registry_replicas: int = 1,
     sim: Optional[SimEngine] = None,
     topology: Optional[Topology] = None,
     fault_plan: Optional[FaultPlan] = None,
@@ -219,12 +241,13 @@ def astra_build_workflow(
     """
     if runtime not in ("charliecloud", "singularity"):
         raise WorkflowError(f"unsupported HPC runtime {runtime!r}")
+    report = WorkflowReport()
+    _prepare_registry(cluster, report, registry_shards, registry_replicas)
     engine, topo, targets = _prepare_deploy(
         cluster, deploy_strategy, n_nodes, sim, topology)
     if retry_policy is None:
         retry_policy = RetryPolicy(
             seed=fault_plan.seed if fault_plan is not None else 0)
-    report = WorkflowReport()
     registry_ref = f"{SITE_REGISTRY}/{user}/{tag}:latest"
     app_argv = app_argv or ["/opt/atse/bin/atse-info"]
 
@@ -320,6 +343,8 @@ def astra_cached_build_workflow(
     force: bool = True,
     build_parallelism: int = 1,
     deploy_strategy: Optional[str] = "tree",
+    registry_shards: int = 1,
+    registry_replicas: int = 1,
     sim: Optional[SimEngine] = None,
     topology: Optional[Topology] = None,
     fault_plan: Optional[FaultPlan] = None,
@@ -340,12 +365,13 @@ def astra_cached_build_workflow(
     re-serves them peer-to-peer, so the O(N) cache-import storm
     disappears the same way the image-pull storm does.
     """
+    report = WorkflowReport()
+    _prepare_registry(cluster, report, registry_shards, registry_replicas)
     engine, topo, targets = _prepare_deploy(
         cluster, deploy_strategy, n_nodes, sim, topology)
     if retry_policy is None:
         retry_policy = RetryPolicy(
             seed=fault_plan.seed if fault_plan is not None else 0)
-    report = WorkflowReport()
     registry_ref = f"{SITE_REGISTRY}/{user}/{tag}:latest"
     cache_ref = f"{SITE_REGISTRY}/{user}/{tag}-cache:latest"
     app_argv = app_argv or ["/opt/atse/bin/atse-info"]

@@ -40,7 +40,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..containers.oci import ImageRef
 from ..containers.registry import Registry
-from ..errors import ReproError, TransientError
+from ..errors import RegistryError, ReproError, TransientError
 from ..obs.trace import maybe_span
 from ..sim import (FaultPlan, RetryPolicy, SimEngine, Topology, chunk_sizes,
                    faulty_transmit, link_restore, link_snapshot)
@@ -60,9 +60,12 @@ class BroadcastError(ReproError):
 def make_deploy_topology(registry: Registry, nodes: Sequence[Machine],
                          **kwargs) -> Topology:
     """A star fabric for one deployment: one uplink per endpoint, the
-    registry and every node attached (``obj.netlink`` set on each)."""
+    registry and every node attached (``obj.netlink`` set on each).  A
+    sharded fleet (anything exposing ``.shards``) gets one uplink per
+    shard — there is no single origin link in a fleet."""
     topo = Topology(**kwargs)
-    topo.attach(registry)
+    for endpoint in getattr(registry, "shards", None) or (registry,):
+        topo.attach(endpoint)
     for node in nodes:
         topo.attach(node)
     return topo
@@ -181,6 +184,24 @@ class _CastContext:
         self.crashed: set[str] = set()    # hostnames whose crash manifested
         self.degraded: set[str] = set()   # gave up: no path to the blob
 
+    def blob_source(self, digest: str) -> tuple[str, object]:
+        """``(name, link)`` of the endpoint serving *digest*.
+
+        A sharded fleet routes each digest to the nearest live holder on
+        its ring; a plain registry is the single origin.  Raises
+        :class:`~repro.errors.RegistryError` when no live shard holds the
+        blob, and :class:`BroadcastError` when a single registry was never
+        attached to the topology."""
+        route = getattr(self.registry, "route_blob", None)
+        if route is not None:
+            shard = route(digest)
+            return shard.hostname, self.topology.link(shard.hostname)
+        if self.reg_link is None:
+            raise BroadcastError(
+                f"registry {self.registry.name!r} is not attached to the "
+                f"deploy topology")
+        return self.registry.name, self.reg_link
+
     def crashed_by(self, hostname: str, t: float) -> bool:
         return self.plan is not None and self.plan.crashed_by(hostname, t)
 
@@ -289,15 +310,31 @@ class _BlobCast:
             self._mark_dead(host)
             self._orphan(host)
             return
+        try:
+            src_name, src_link = self.ctx.blob_source(self.digest)
+        except TransientError as exc:
+            self._r.attempts += 1
+            self._transient("pull", node, attempt, exc)
+            return
+        except RegistryError:
+            # no live shard holds this blob: nothing to retry against
+            ctx.degraded.add(host)
+            return
         self._r.attempts += 1
         timeout = ctx.policy.attempt_timeout if ctx.plan is not None else None
+        dst = self._link(host)
+        snap_src, snap_dst = link_snapshot(src_link), link_snapshot(dst)
         try:
-            blob = ctx.registry.fetch_blob(self.digest)
+            # transmit first, fetch second: a flake during the transfer
+            # must not leave the pull counted in the source's stats
             timing = faulty_transmit(
-                ctx.plan, ctx.reg_link, self._link(host), self.size,
+                ctx.plan, src_link, dst, self.size,
                 chunk_size=ctx.chunk, available=now, now=now,
                 attempt_timeout=timeout)
+            blob = ctx.registry.fetch_blob(self.digest)
         except TransientError as exc:
+            link_restore(src_link, snap_src)
+            link_restore(dst, snap_dst)
             self._transient("pull", node, attempt, exc)
             return
         if self.blob is None:
@@ -305,7 +342,7 @@ class _BlobCast:
         self._r.registry_egress_bytes += self.size
         self._r.registry_blobs_pulled += 1
         node.content_store.put(blob)
-        self._landed(node, timing, src=ctx.registry.name)
+        self._landed(node, timing, src=src_name)
 
     # -- peer serving ------------------------------------------------------
 
@@ -479,7 +516,8 @@ def distribute_blobs(
     digests = list(digests)
     report = BroadcastReport(strategy=strategy, blobs=len(digests),
                              started_at=engine.now)
-    reg_link = topology.link(registry.name)
+    reg_link = (topology.link(registry.name)
+                if topology.has(registry.name) else None)
     for node in nodes:
         report.node_ready[node.hostname] = engine.now
 

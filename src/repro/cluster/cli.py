@@ -8,6 +8,7 @@ needs it benchmarked::
     astra-deploy [--deploy-strategy {registry,tree,off}] [--nodes N]
                  [--runtime {charliecloud,singularity}] [--cached]
                  [--parallelism N] [--fault-plan SPEC] [--retries N]
+                 [--registry-shards N] [--replicas R]
                  -t TAG -f DOCKERFILE USER
 
 ``--fault-plan`` takes a :meth:`repro.sim.FaultPlan.parse` spec (e.g.
@@ -32,7 +33,8 @@ __all__ = ["astra_deploy_cli"]
 
 _USAGE = ("usage: astra-deploy [--deploy-strategy {registry,tree,off}] "
           "[--nodes N] [--runtime RT] [--cached] [--parallelism N] "
-          "[--fault-plan SPEC] [--retries N] -t TAG -f DOCKERFILE USER")
+          "[--fault-plan SPEC] [--retries N] [--registry-shards N] "
+          "[--replicas R] -t TAG -f DOCKERFILE USER")
 
 
 def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
@@ -44,6 +46,8 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
     parallelism = 1
     fault_spec: str | None = None
     retries: int | None = None
+    registry_shards = 1
+    replicas = 1
     tag = ""
     dockerfile_path = ""
     user = ""
@@ -98,6 +102,25 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
             if not value.isdigit():
                 return 1, f"astra-deploy: bad --retries value {value!r}"
             retries = int(value)
+        elif a == "--registry-shards" or a.startswith("--registry-shards="):
+            if a == "--registry-shards":
+                i += 1
+                value = argv[i] if i < len(argv) else ""
+            else:
+                value = a.split("=", 1)[1]
+            if not value.isdigit() or int(value) < 1:
+                return 1, (f"astra-deploy: bad --registry-shards value "
+                           f"{value!r}")
+            registry_shards = int(value)
+        elif a == "--replicas" or a.startswith("--replicas="):
+            if a == "--replicas":
+                i += 1
+                value = argv[i] if i < len(argv) else ""
+            else:
+                value = a.split("=", 1)[1]
+            if not value.isdigit() or int(value) < 1:
+                return 1, f"astra-deploy: bad --replicas value {value!r}"
+            replicas = int(value)
         elif a == "-t":
             i += 1
             tag = argv[i] if i < len(argv) else ""
@@ -116,6 +139,9 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
     elif strategy not in DEPLOY_STRATEGIES:
         return 1, (f"astra-deploy: unknown strategy {strategy!r} "
                    f"(choose from {', '.join(DEPLOY_STRATEGIES)}, off)")
+    if replicas > registry_shards:
+        return 1, (f"astra-deploy: --replicas {replicas} exceeds "
+                   f"--registry-shards {registry_shards}")
     if user not in cluster.login.users:
         return 1, f"astra-deploy: no account {user!r} on the login node"
     fault_plan = None
@@ -147,12 +173,21 @@ def astra_deploy_cli(cluster: AstraCluster, argv: list[str]
     try:
         report = workflow(cluster, user, dockerfile, tag,
                           n_nodes=n_nodes, deploy_strategy=strategy,
+                          registry_shards=registry_shards,
+                          registry_replicas=replicas,
                           fault_plan=fault_plan, retry_policy=retry_policy,
                           **kwargs)
     except ReproError as err:
         return 1, f"astra-deploy: {err}"
 
     lines = list(report.phases)
+    fleet = cluster.world.site_registry
+    if report.registry_shards > 1 and hasattr(fleet, "report"):
+        f = fleet.report()
+        lines.append(
+            f"fleet: {f['shards']} shards x {f['replicas']} replicas, "
+            f"hit ratio {f['hit_ratio']:.3f}, "
+            f"rebalance {f['rebalance_bytes']} B")
     if report.build_parallelism > 1:
         lines.append(
             f"build makespan: {report.build_makespan * 1e3:.3f} ms on "

@@ -134,6 +134,84 @@ class Registry:
             raise RegistryError(f"{self.name}: no blob {digest[:19]}...")
         return self.store.size_of(digest)
 
+    # -- fleet plumbing: shard-side primitives the RegistryFleet composes ----------------
+
+    def put_blob(self, blob: bytes) -> str:
+        """Accept one raw blob (a fleet shard receiving its placement);
+        counted like a layer push, dedup included."""
+        return self._put_blob(blob)
+
+    def adopt_blob(self, digest: str) -> None:
+        """Register an already-resident blob as owned — the peer-to-peer
+        replica/rebalance fill path, whose bytes arrive via the broadcast
+        fabric and are accounted there, so *no* transfer is counted here
+        (the zero-double-counting invariant)."""
+        if not self.store.has(digest):
+            raise RegistryError(
+                f"{self.name}: cannot adopt absent blob {digest[:19]}...")
+        if digest not in self._owned:
+            self._owned.add(digest)
+            self.store.incref(digest)
+
+    def drop_blob(self, digest: str) -> bool:
+        """Release ownership of one blob (rebalanced away); the bytes are
+        reclaimed unless another owner on a shared store still holds a
+        reference.  Returns whether the bytes were removed."""
+        if digest not in self._owned:
+            return False
+        self._owned.discard(digest)
+        self.store.decref(digest)
+        return self.store.discard(digest)
+
+    def owned_digests(self) -> list[str]:
+        """Every blob digest this registry owns (sorted)."""
+        return sorted(self._owned)
+
+    def put_manifest(self, ref: ImageRef | str, manifest: Manifest) -> None:
+        """Record a manifest whose layer blobs were placed separately
+        (fleet metadata mirroring — no blob transfer happens here)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        variants = self._manifests.setdefault((ref.repository, ref.tag), {})
+        variants[manifest.config.arch] = manifest
+        self._manifest_log.append((ref.repository, ref.tag,
+                                   manifest.digest()))
+
+    def manifest_variants(self, ref: ImageRef | str) -> dict[str, Manifest]:
+        """All architecture variants recorded for *ref* (may be empty)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        return dict(self._manifests.get((ref.repository, ref.tag), {}))
+
+    def put_cache_manifest(self, ref: ImageRef | str, digest: str) -> None:
+        """Record a cache-manifest pointer placed separately (fleet
+        metadata mirroring)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        self._cache_manifests[(ref.repository, ref.tag)] = digest
+
+    def cache_manifest_digest(self, ref: ImageRef | str) -> str:
+        """The cache-manifest blob digest recorded for *ref*."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        try:
+            return self._cache_manifests[(ref.repository, ref.tag)]
+        except KeyError:
+            raise RegistryError(
+                f"{self.name}: cache manifest unknown: "
+                f"{ref.repository}:{ref.tag}")
+
+    def mirror_metadata_from(self, other: "Registry") -> None:
+        """Copy *other*'s manifest and cache-manifest tables (a shard
+        joining the fleet mirrors metadata before serving).  Blob bytes
+        are NOT copied — placement moves those."""
+        for (repo, tag), variants in other._manifests.items():
+            mine = self._manifests.setdefault((repo, tag), {})
+            mine.update(variants)
+        self._manifest_log.extend(
+            e for e in other._manifest_log if e not in self._manifest_log)
+        self._cache_manifests.update(other._cache_manifests)
+
     # -- ownership policy (§6.2.5 proposed OCI extension) -------------------------------
 
     def set_repo_policy(self, repository: str, *,

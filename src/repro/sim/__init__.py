@@ -29,6 +29,15 @@ from .topology import (
     TopologyError,
 )
 from .transfer import TransferTiming, chunk_sizes, transmit
+from .workload import (
+    PullRequest,
+    WorkloadError,
+    WorkloadReport,
+    WorkloadSpec,
+    generate_requests,
+    run_workload,
+    zipf_weights,
+)
 
 __all__ = [
     "SimClock",
@@ -54,4 +63,11 @@ __all__ = [
     "TransferTiming",
     "chunk_sizes",
     "transmit",
+    "PullRequest",
+    "WorkloadError",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "generate_requests",
+    "run_workload",
+    "zipf_weights",
 ]

@@ -1,0 +1,216 @@
+"""Fault matrix for the registry fleet.
+
+The same seeded workload replayed under shard-crash and registry-flake
+plans must converge (reads re-route to replicas, flakes retry to
+completion), deploys must land digest-identical node stores, and no byte
+may ever be double-counted in shard stats — not by replica fill, not by
+retried pulls.
+
+Also the satellite regression: the broadcast's registry path used to
+hardcode one origin link; with a fleet it must route every pull through
+ring placement.
+"""
+
+import pytest
+
+from repro.archive import TarArchive, TarMember
+from repro.cluster import (
+    RegistryFleet,
+    distribute_blobs,
+    make_deploy_topology,
+    make_machine,
+)
+from repro.containers import ImageConfig, Registry
+from repro.kernel import FileType
+from repro.sim import FaultPlan, WorkloadSpec, run_workload
+
+LAYER_SIZES = (3000, 1500)
+
+
+def layer(name, data=b"payload"):
+    return TarArchive([TarMember(name, FileType.REG, 0o644, 0, 0,
+                                 data=data)])
+
+
+SPEC = WorkloadSpec(seed=11, rate=30.0, duration=4.0, zipf_s=1.1,
+                    images=[f"app:v{i}" for i in range(4)],
+                    tenants=[("alice", 3.0), ("bob", 1.0)])
+
+
+def make_fleet(*, queue_limit=None):
+    fleet = RegistryFleet("site", n_shards=4, replicas=2,
+                          queue_limit=queue_limit)
+    for i, ref in enumerate(SPEC.refs()):
+        fleet.push(ref, ImageConfig(),
+                   [layer("bin", bytes([i % 251]) * LAYER_SIZES[0]),
+                    layer("lib", bytes([(i * 7) % 251]) * LAYER_SIZES[1])])
+    return fleet
+
+
+def shard_pull_bytes(fleet):
+    return sum(s.registry.stats.bytes_pulled for s in fleet.shards)
+
+
+def served_bytes(fleet):
+    return sum(s.stats.served_bytes for s in fleet.shards)
+
+
+def image_bytes(fleet):
+    ref = SPEC.refs()[0]
+    return sum(fleet.blob_size(d) for d in fleet.image_blob_digests(ref))
+
+
+CRASH_PLAN = FaultPlan(seed=11).add_node_crash("site.s01", 1.0)
+FLAKE_PLAN = FaultPlan(seed=11).add_registry_flake(0.5, 0.9)
+
+
+class TestWorkloadFaultMatrix:
+    def test_shard_crash_reroutes_to_replicas(self):
+        fleet = make_fleet()
+        report = run_workload(fleet, SPEC, fault_plan=CRASH_PLAN)
+        assert report.completed == report.offered
+        assert report.failed == 0 and report.dropped == 0
+
+    def test_registry_flake_retries_to_completion(self):
+        fleet = make_fleet()
+        report = run_workload(fleet, SPEC, fault_plan=FLAKE_PLAN)
+        assert report.completed == report.offered
+        assert report.faults > 0 and report.retries > 0
+        assert report.dropped == 0
+
+    @pytest.mark.parametrize("plan_key", ["crash", "flake", "clean"])
+    def test_seeded_replay_is_identical(self, plan_key):
+        plans = {"crash": lambda: FaultPlan(seed=11).add_node_crash(
+                     "site.s01", 1.0),
+                 "flake": lambda: FaultPlan(seed=11).add_registry_flake(
+                     0.5, 0.9),
+                 "clean": lambda: None}
+        dicts = []
+        for _ in range(2):
+            fleet = make_fleet()
+            plan = plans[plan_key]()
+            dicts.append(run_workload(fleet, SPEC,
+                                      fault_plan=plan).as_dict())
+        assert dicts[0] == dicts[1]
+
+    @pytest.mark.parametrize("plan_key", ["crash", "flake", "clean"])
+    def test_zero_double_counted_bytes(self, plan_key):
+        """Every served byte appears exactly once in the shard stats:
+        front-door pulls == shard registry pulls == shard served bytes ==
+        completed requests x image bytes.  Failed attempts (flakes,
+        overloads) and replica fill must not inflate any of them."""
+        plans = {"crash": lambda: FaultPlan(seed=11).add_node_crash(
+                     "site.s01", 1.0),
+                 "flake": lambda: FaultPlan(seed=11).add_registry_flake(
+                     0.5, 0.9),
+                 "clean": lambda: None}
+        fleet = make_fleet()
+        # replica fill never masquerades as client traffic
+        assert shard_pull_bytes(fleet) == 0
+        assert fleet.stats.bytes_pulled == 0
+        assert fleet.rebalance_bytes > 0
+        report = run_workload(fleet, SPEC, fault_plan=plans[plan_key]())
+        expected = report.completed * image_bytes(fleet)
+        assert fleet.stats.bytes_pulled == expected
+        assert shard_pull_bytes(fleet) == expected
+        assert served_bytes(fleet) == expected
+
+    def test_backpressure_rejections_reserve_nothing(self):
+        fleet = make_fleet(queue_limit=2)
+        hot = WorkloadSpec(seed=3, rate=400.0, duration=1.0,
+                           images=SPEC.images, tenants=SPEC.tenants)
+        report = run_workload(fleet, hot, fault_plan=None)
+        assert report.overloads > 0
+        assert report.completed + report.dropped == report.offered
+        expected = report.completed * image_bytes(fleet)
+        assert fleet.stats.bytes_pulled == expected
+        assert shard_pull_bytes(fleet) == expected
+        rejected = sum(s.stats.rejected for s in fleet.shards)
+        assert rejected >= report.overloads
+
+
+class TestDeployConvergence:
+    def node_trees(self, plan, strategy="tree"):
+        fleet = make_fleet()
+        ref = SPEC.refs()[0]
+        digests = fleet.image_blob_digests(ref)
+        nodes = [make_machine(f"cn{i}") for i in range(8)]
+        topo = make_deploy_topology(fleet, nodes)
+        report = distribute_blobs(fleet, digests, nodes, topo,
+                                  strategy=strategy, fault_plan=plan)
+        trees = {n.hostname: sorted(n.content_store.digests())
+                 for n in nodes}
+        return trees, report, fleet
+
+    def test_shard_crash_converges_digest_identical(self):
+        clean, _, _ = self.node_trees(None)
+        crashed, report, _ = self.node_trees(
+            FaultPlan(seed=11).add_node_crash("site.s01", 0.0))
+        assert crashed == clean
+        assert not report.crashed  # compute nodes all survived
+
+    def test_registry_flake_converges_digest_identical(self):
+        clean, _, _ = self.node_trees(None)
+        flaked, report, _ = self.node_trees(
+            FaultPlan(seed=11).add_registry_flake(0.0, 0.05),
+            strategy="registry")
+        assert flaked == clean
+        assert report.retries > 0
+
+    def test_retried_pulls_count_shard_bytes_once(self):
+        _, report, fleet = self.node_trees(
+            FaultPlan(seed=11).add_registry_flake(0.0, 0.05),
+            strategy="registry")
+        assert report.retries > 0
+        assert shard_pull_bytes(fleet) == report.registry_egress_bytes
+
+
+class TestBroadcastFleetRouting:
+    """Satellite regression: no single-origin assumption left."""
+
+    def two_shard_fleet(self):
+        fleet = RegistryFleet("site", n_shards=2, replicas=1)
+        fleet.push("alice/app:v1", ImageConfig(),
+                   [layer("bin", b"b" * 4000), layer("lib", b"l" * 2000)])
+        digests = fleet.image_blob_digests("alice/app:v1")
+        by_shard = {d: fleet.blob_holders(d)[0] for d in digests}
+        if len(set(by_shard.values())) < 2:
+            pytest.skip("blobs hashed to one shard; pick other layers")
+        return fleet, digests, by_shard
+
+    def test_registry_strategy_routes_per_blob_placement(self):
+        fleet, digests, by_shard = self.two_shard_fleet()
+        nodes = [make_machine(f"cn{i}") for i in range(4)]
+        topo = make_deploy_topology(fleet, nodes)
+        report = distribute_blobs(fleet, digests, nodes, topo,
+                                  strategy="registry")
+        srcs = {t.digest: t.src for t in report.transfers}
+        for d in digests:
+            assert srcs[d] == by_shard[d]
+        assert len({t.src for t in report.transfers}) == 2
+
+    def test_tree_root_pull_honors_placement(self):
+        fleet, digests, by_shard = self.two_shard_fleet()
+        nodes = [make_machine(f"cn{i}") for i in range(8)]
+        topo = make_deploy_topology(fleet, nodes)
+        report = distribute_blobs(fleet, digests, nodes, topo,
+                                  strategy="tree")
+        for d in digests:
+            root_pulls = [t for t in report.transfers
+                          if t.digest == d and t.src.startswith("site.")]
+            assert len(root_pulls) == 1
+            assert root_pulls[0].src == by_shard[d]
+        assert all(n.content_store.has(d) for n in nodes for d in digests)
+
+    def test_single_registry_path_is_unchanged(self):
+        registry = Registry("solo")
+        registry.push("app:v1", ImageConfig(),
+                      [layer("bin", b"b" * 4000)])
+        digests = registry.image_blob_digests("app:v1")
+        nodes = [make_machine(f"cn{i}") for i in range(4)]
+        topo = make_deploy_topology(registry, nodes)
+        report = distribute_blobs(registry, digests, nodes, topo,
+                                  strategy="tree")
+        root_srcs = {t.src for t in report.transfers
+                     if not t.src.startswith("cn")}
+        assert root_srcs == {"solo"}

@@ -1,0 +1,100 @@
+"""Property tests for the fleet's consistent-hash ring.
+
+The three invariants everything else leans on: placement is a pure
+function of (key, shard names, vnodes) so two worlds agree; load is
+balanced within a constant of perfect at 10k keys; and growing the ring
+moves only ~K/N keys, all of them onto the new shard.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import HashRing
+from repro.cluster.fleet import FleetError
+
+KEYS = [f"sha256:key{k}" for k in range(10_000)]
+SHARDS = [f"site.s{i:02d}" for i in range(8)]
+
+
+class TestDeterminism:
+    def test_same_shards_same_placement_across_instances(self):
+        a = HashRing(SHARDS)
+        b = HashRing(SHARDS)
+        for key in KEYS[:500]:
+            assert a.holders(key, 2) == b.holders(key, 2)
+
+    def test_insertion_order_is_irrelevant(self):
+        a = HashRing(SHARDS)
+        b = HashRing(reversed(SHARDS))
+        for key in KEYS[:500]:
+            assert a.holders(key, 3) == b.holders(key, 3)
+
+    def test_holders_are_distinct_and_clamped(self):
+        ring = HashRing(SHARDS[:3])
+        holders = ring.holders(KEYS[0], 8)
+        assert len(holders) == 3
+        assert len(set(holders)) == 3
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(FleetError):
+            HashRing().holders("sha256:x")
+
+    def test_placement_matches_holders(self):
+        ring = HashRing(SHARDS[:4])
+        placed = ring.placement(KEYS[:50], 2)
+        assert placed == {k: ring.holders(k, 2) for k in KEYS[:50]}
+
+
+class TestBalance:
+    #: 64 vnodes lands measured primary imbalance at <= 1.12x the perfect
+    #: ceil(K/N) share on 10k keys; 1.25 is the contract with headroom.
+    EPSILON = 0.25
+
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_primary_imbalance_bounded(self, n_shards):
+        ring = HashRing(SHARDS[:n_shards])
+        counts = {s: 0 for s in ring.shards}
+        for key in KEYS:
+            counts[ring.holders(key)[0]] += 1
+        assert sum(counts.values()) == len(KEYS)
+        cap = math.ceil(len(KEYS) / n_shards) * (1 + self.EPSILON)
+        assert max(counts.values()) <= cap, counts
+
+    def test_replica_sets_are_spread(self):
+        ring = HashRing(SHARDS[:4])
+        counts = {s: 0 for s in ring.shards}
+        for key in KEYS:
+            for holder in ring.holders(key, 2):
+                counts[holder] += 1
+        # every shard participates in replica duty, none is idle
+        assert min(counts.values()) > 0
+        cap = math.ceil(2 * len(KEYS) / 4) * (1 + self.EPSILON)
+        assert max(counts.values()) <= cap
+
+
+class TestMinimalMovement:
+    def test_adding_a_shard_moves_about_k_over_n(self):
+        ring = HashRing(SHARDS[:4])
+        before = {k: ring.holders(k)[0] for k in KEYS}
+        ring.add("site.s99")
+        after = {k: ring.holders(k)[0] for k in KEYS}
+        moved = [k for k in KEYS if before[k] != after[k]]
+        share = len(KEYS) / 5
+        assert 0.5 * share <= len(moved) <= 1.5 * share, len(moved)
+        # every relocation lands on the new shard — no churn elsewhere
+        assert all(after[k] == "site.s99" for k in moved)
+
+    def test_removal_restores_the_old_placement(self):
+        ring = HashRing(SHARDS[:4])
+        before = {k: ring.holders(k, 2) for k in KEYS[:1000]}
+        ring.add("site.s99")
+        ring.remove("site.s99")
+        assert {k: ring.holders(k, 2) for k in KEYS[:1000]} == before
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing(SHARDS[:4])
+        points = list(ring._points)
+        ring.add(SHARDS[0])
+        ring.remove("site.s99")
+        assert ring._points == points

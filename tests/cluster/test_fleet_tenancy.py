@@ -1,0 +1,143 @@
+"""Tenant isolation on the registry fleet.
+
+Private namespaces reject cross-tenant access with an auth error, quota
+exhaustion rejects pushes with a *retryable* error, and per-tenant stats
+never name another tenant's blob digests.
+"""
+
+import pytest
+
+from repro.archive import TarArchive, TarMember
+from repro.cas.store import blob_digest
+from repro.cluster import RegistryFleet
+from repro.cluster.fleet import (
+    FleetAuthError,
+    FleetError,
+    FleetQuotaError,
+)
+from repro.containers import ImageConfig
+from repro.errors import TransientError
+from repro.kernel import FileType
+
+
+def layer(name, data=b"payload"):
+    return TarArchive([TarMember(name, FileType.REG, 0o644, 0, 0,
+                                 data=data)])
+
+
+def make_fleet(**kwargs):
+    fleet = RegistryFleet("site", n_shards=4, replicas=2, **kwargs)
+    # quotas are on *serialized* blob bytes (~2x the member payload)
+    fleet.add_tenant("alice", token="tok-alice", quota_bytes=150_000)
+    fleet.add_tenant("bob", token="tok-bob", quota_bytes=150_000)
+    return fleet
+
+
+class TestAuth:
+    def test_push_without_token_is_denied(self):
+        fleet = make_fleet()
+        with pytest.raises(FleetAuthError):
+            fleet.push("alice/app:v1", ImageConfig(), [layer("bin")])
+
+    def test_cross_tenant_pull_of_private_repo_is_denied(self):
+        fleet = make_fleet()
+        fleet.push("alice/app:v1", ImageConfig(), [layer("bin")],
+                   token="tok-alice")
+        with pytest.raises(FleetAuthError):
+            fleet.pull("alice/app:v1", token="tok-bob")
+        with pytest.raises(FleetAuthError):
+            fleet.pull("alice/app:v1")           # anonymous
+
+    def test_owner_pull_succeeds(self):
+        fleet = make_fleet()
+        fleet.push("alice/app:v1", ImageConfig(),
+                   [layer("bin", b"b" * 2000)], token="tok-alice")
+        _, layers = fleet.pull("alice/app:v1", token="tok-alice")
+        assert len(layers) == 1
+
+    def test_public_tenant_allows_anonymous_pull_not_push(self):
+        fleet = make_fleet()
+        fleet.add_tenant("pub", token="tok-pub", public=True)
+        fleet.push("pub/base:v1", ImageConfig(), [layer("bin")],
+                   token="tok-pub")
+        _, layers = fleet.pull("pub/base:v1")
+        assert len(layers) == 1
+        with pytest.raises(FleetAuthError):
+            fleet.push("pub/base:v2", ImageConfig(), [layer("bin")])
+
+    def test_unregistered_namespace_stays_open(self):
+        fleet = make_fleet()
+        fleet.push("carol/app:v1", ImageConfig(), [layer("bin")])
+        _, layers = fleet.pull("carol/app:v1")
+        assert len(layers) == 1
+
+    def test_auth_rejections_are_counted(self):
+        fleet = make_fleet()
+        with pytest.raises(FleetAuthError):
+            fleet.push("alice/app:v1", ImageConfig(), [layer("bin")],
+                       token="wrong")
+        assert fleet.tenant_stats("alice")["auth_rejections"] == 1
+
+
+class TestQuota:
+    def test_quota_exhaustion_rejects_push_retryably(self):
+        fleet = make_fleet()
+        fleet.push("alice/big:v1", ImageConfig(),
+                   [layer("bin", b"x" * 60_000)], token="tok-alice")
+        with pytest.raises(FleetQuotaError) as err:
+            fleet.push("alice/big:v2", ImageConfig(),
+                       [layer("bin", b"y" * 60_000)], token="tok-alice")
+        # the 503 contract: retryable, composes with RetryPolicy
+        assert isinstance(err.value, TransientError)
+        assert fleet.tenant_stats("alice")["quota_rejections"] == 1
+
+    def test_rejected_push_charges_nothing_and_stores_nothing(self):
+        fleet = make_fleet()
+        before = fleet.storage_bytes()
+        with pytest.raises(FleetQuotaError):
+            fleet.push("alice/big:v1", ImageConfig(),
+                       [layer("bin", b"x" * 100_000)], token="tok-alice")
+        assert fleet.tenant_stats("alice")["bytes_used"] == 0
+        assert fleet.storage_bytes() == before
+
+    def test_duplicate_blobs_charge_once(self):
+        fleet = make_fleet()
+        blob = layer("bin", b"b" * 2000)
+        fleet.push("alice/app:v1", ImageConfig(), [blob],
+                   token="tok-alice")
+        used = fleet.tenant_stats("alice")["bytes_used"]
+        fleet.push("alice/app:v2", ImageConfig(), [blob],
+                   token="tok-alice")
+        assert fleet.tenant_stats("alice")["bytes_used"] == used
+
+    def test_unknown_tenant_stats_raise(self):
+        with pytest.raises(FleetError):
+            make_fleet().tenant_stats("nobody")
+
+
+class TestStatsIsolation:
+    def test_per_tenant_stats_never_leak_other_digests(self):
+        fleet = make_fleet()
+        alice_blob = layer("bin", b"alice-data" * 100)
+        bob_blob = layer("bin", b"bob-data" * 100)
+        fleet.push("alice/app:v1", ImageConfig(), [alice_blob],
+                   token="tok-alice")
+        fleet.push("bob/app:v1", ImageConfig(), [bob_blob],
+                   token="tok-bob")
+        alice_digests = set(fleet.tenant_stats("alice")["digests"])
+        bob_digests = set(fleet.tenant_stats("bob")["digests"])
+        assert alice_digests and bob_digests
+        assert not alice_digests & bob_digests
+        assert blob_digest(bob_blob.serialize()) not in alice_digests
+        assert blob_digest(alice_blob.serialize()) not in bob_digests
+
+    def test_counters_are_per_tenant(self):
+        fleet = make_fleet()
+        fleet.push("alice/app:v1", ImageConfig(),
+                   [layer("bin", b"a" * 1000)], token="tok-alice")
+        fleet.pull("alice/app:v1", token="tok-alice")
+        stats = fleet.tenant_stats("alice")
+        assert (stats["pushes"], stats["pulls"]) == (1, 1)
+        bob = fleet.tenant_stats("bob")
+        assert (bob["pushes"], bob["pulls"]) == (0, 0)
+        assert bob["bytes_used"] == 0

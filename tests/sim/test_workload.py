@@ -1,0 +1,101 @@
+"""The seeded open-loop workload generator.
+
+Statistical shape (Poisson arrival rate, Zipf popularity ordering,
+tenant mix) plus the determinism contract the fault matrix leans on: the
+same spec always produces the same tape, byte for byte.
+"""
+
+import pytest
+
+from repro.sim import (
+    WorkloadError,
+    WorkloadSpec,
+    generate_requests,
+    zipf_weights,
+)
+from repro.sim.workload import _percentile
+
+SPEC = WorkloadSpec(seed=42, rate=100.0, duration=20.0, zipf_s=1.2,
+                    images=[f"app:v{i}" for i in range(8)],
+                    tenants=[("alice", 3.0), ("bob", 1.0)])
+
+
+class TestDeterminism:
+    def test_same_spec_same_tape(self):
+        a = [r.as_dict() for r in generate_requests(SPEC)]
+        b = [r.as_dict() for r in generate_requests(SPEC)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_requests(SPEC)
+        b = generate_requests(WorkloadSpec(
+            seed=43, rate=SPEC.rate, duration=SPEC.duration,
+            zipf_s=SPEC.zipf_s, images=SPEC.images, tenants=SPEC.tenants))
+        assert [r.at for r in a] != [r.at for r in b]
+
+    def test_arrivals_sorted_and_in_window(self):
+        reqs = generate_requests(SPEC)
+        times = [r.at for r in reqs]
+        assert times == sorted(times)
+        assert 0 < times[0] and times[-1] < SPEC.duration
+
+
+class TestShape:
+    def test_poisson_mean_rate(self):
+        reqs = generate_requests(SPEC)
+        # ~2000 expected; 3-sigma of a Poisson(2000) is ~134
+        assert abs(len(reqs) - SPEC.rate * SPEC.duration) < 200
+
+    def test_zipf_popularity_is_rank_monotone(self):
+        reqs = generate_requests(SPEC)
+        counts = [0] * len(SPEC.images)
+        for r in reqs:
+            counts[SPEC.images.index(r.image.split("/", 1)[1])] += 1
+        # hottest rank clearly beats the coldest; top beats median
+        assert counts[0] > counts[-1]
+        assert counts[0] > counts[len(counts) // 2]
+
+    def test_tenant_mix_tracks_weights(self):
+        reqs = generate_requests(SPEC)
+        alice = sum(r.tenant == "alice" for r in reqs)
+        bob = len(reqs) - alice
+        assert bob > 0
+        assert 2.0 < alice / bob < 4.5   # weight ratio 3.0 +/- sampling
+
+    def test_tokens_ride_along(self):
+        spec = WorkloadSpec(seed=1, rate=50, duration=1.0,
+                            images=["app:v0"],
+                            tenants=[("alice", 1.0)],
+                            tokens={"alice": "tok-a"})
+        assert all(r.token == "tok-a" for r in generate_requests(spec))
+
+    def test_refs_enumerates_tenant_x_image(self):
+        assert WorkloadSpec(images=["a:v0", "b:v0"],
+                            tenants=[("t1", 1.0), ("t2", 1.0)]).refs() == \
+            ["t1/a:v0", "t1/b:v0", "t2/a:v0", "t2/b:v0"]
+
+
+class TestValidation:
+    def test_bad_specs_raise(self):
+        with pytest.raises(WorkloadError):
+            generate_requests(WorkloadSpec(rate=0))
+        with pytest.raises(WorkloadError):
+            generate_requests(WorkloadSpec(duration=0))
+        with pytest.raises(WorkloadError):
+            generate_requests(WorkloadSpec(images=()))
+        with pytest.raises(WorkloadError):
+            generate_requests(WorkloadSpec(tenants=[("a", 0.0)]))
+        with pytest.raises(WorkloadError):
+            zipf_weights(0, 1.0)
+
+    def test_zipf_weights_decrease(self):
+        w = zipf_weights(10, 1.1)
+        assert w == sorted(w, reverse=True)
+        assert w[0] == 1.0
+
+    def test_percentile_nearest_rank(self):
+        vals = [float(i) for i in range(1, 101)]
+        assert _percentile(vals, 0.50) == 50.0
+        assert _percentile(vals, 0.99) == 99.0
+        assert _percentile([], 0.99) == 0.0
+        assert _percentile([7.0], 0.50) == 7.0
