@@ -7,9 +7,15 @@ meaningful comparisons are *relative* (who wins, by what factor) plus the
 qualitative outcomes (who fails, with which error).
 """
 
+import json
+import pathlib
+
 import pytest
 
 from repro.cluster import make_machine, make_world
+
+#: where committed benchmark artifacts land (the repo root)
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent
 
 FIG2_DOCKERFILE = """\
 FROM centos:7
@@ -75,3 +81,13 @@ def report(title: str, rows: list[tuple[str, str]]) -> None:
     print(f"\n### {title}")
     for key, value in rows:
         print(f"  {key.ljust(width)} : {value}")
+
+
+def write_bench(name: str, payload: dict) -> pathlib.Path:
+    """Write the committed ``BENCH_<name>.json`` artifact a smoke CI job
+    gates on.  One emitter for every ``test_scaling_*`` file: stable key
+    order, 2-space indent, trailing newline — so regenerated artifacts
+    diff cleanly."""
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -15,16 +15,13 @@ Three shapes, all on the sim clock so the numbers are deterministic:
 makespan trajectory) for the ``build-scaling-smoke`` CI job.
 """
 
-import json
-import pathlib
-
 import pytest
 
 from repro.cas import snapshot_digest, snapshot_tree
 from repro.cluster import BuildFarm, make_machine, make_world
 from repro.core import ChImage, build_parallel
 
-from .conftest import report
+from .conftest import report, write_bench
 
 #: the diamond 4-stage fixture: branches diverge on their first echo (so
 #: their cache chains differ) then do identical-cost heavy installs,
@@ -51,9 +48,6 @@ RUN echo done
 """
 
 PARALLELISM_LEVELS = (1, 2, 4)
-
-BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / \
-    "BENCH_build.json"
 
 
 def fresh_builder() -> ChImage:
@@ -133,7 +127,7 @@ def test_ablation_build_parallelism():
     # 2 balanced branches: N=2 already reaches the critical path
     assert makespan[2] == pytest.approx(critical_path[2])
 
-    BENCH_PATH.write_text(json.dumps({
+    write_bench("build", {
         "benchmark": "build-scaling",
         "fixture": "diamond-4-stage",
         "parallelism_levels": list(PARALLELISM_LEVELS),
@@ -143,7 +137,7 @@ def test_ablation_build_parallelism():
                                   for n in PARALLELISM_LEVELS},
         "parallel_over_sequential": ratio,
         "digests_identical": True,
-    }, indent=2) + "\n")
+    })
 
     report("Build scaling ablation (diamond multi-stage)", [
         *((f"makespan N={n}",

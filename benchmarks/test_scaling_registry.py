@@ -14,9 +14,6 @@ which gates on pulls/sec no worse than 0.9x the committed baseline and
 on seeded-replay byte-identity at 4 shards.
 """
 
-import json
-import pathlib
-
 from repro.archive import TarArchive, TarMember
 from repro.cluster import RegistryFleet, make_astra, make_world
 from repro.cluster.astra import astra_build_workflow
@@ -24,12 +21,9 @@ from repro.containers import ImageConfig
 from repro.kernel import FileType
 from repro.sim import WorkloadSpec, run_workload
 
-from .conftest import ATSE_DOCKERFILE, report
+from .conftest import ATSE_DOCKERFILE, report, write_bench
 
 SHARD_LEVELS = (1, 2, 4, 8)
-
-BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / \
-    "BENCH_registry.json"
 
 SPEC = WorkloadSpec(seed=17, rate=200.0, duration=5.0, zipf_s=1.1,
                     images=[f"app:v{i}" for i in range(16)],
@@ -100,7 +94,7 @@ def test_scaling_registry_fleet():
     trees = {n: deploy_trees(n) for n in (1, 4)}
     assert trees[1] == trees[4]
 
-    BENCH_PATH.write_text(json.dumps({
+    write_bench("registry", {
         "benchmark": "registry-scaling",
         "workload": {"seed": SPEC.seed, "rate": SPEC.rate,
                      "duration": SPEC.duration, "zipf_s": SPEC.zipf_s,
@@ -113,7 +107,7 @@ def test_scaling_registry_fleet():
         "speedup_8_over_1": round(speedup, 6),
         "replay_identical": True,
         "deploys_digest_identical": True,
-    }, indent=2) + "\n")
+    })
 
     report("Registry fleet scaling (seeded Zipf workload)", [
         *((f"pulls/sec N={n}",

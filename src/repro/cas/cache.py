@@ -91,6 +91,17 @@ class BuildCacheStats:
         self.exports += other.exports
         self.inflight_hits += other.inflight_hits
 
+    def copy(self) -> "BuildCacheStats":
+        """An independent snapshot of these counters."""
+        return BuildCacheStats(**self.as_dict())
+
+    def delta(self, earlier: "BuildCacheStats") -> "BuildCacheStats":
+        """Counter-wise ``self - earlier``: what happened between two
+        snapshots of the same counter set (the per-image attribution the
+        build farm reports)."""
+        mine, theirs = self.as_dict(), earlier.as_dict()
+        return BuildCacheStats(**{k: mine[k] - theirs[k] for k in mine})
+
 
 class BuildCache:
     """One build cache, possibly shared by many builders.

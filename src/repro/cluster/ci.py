@@ -140,8 +140,15 @@ class FarmImage:
     tag: str
     dockerfile: str
     force: bool = False
+    priority: Optional[int] = None   # FIFO tie-break (default: submit order)
     result: Optional[object] = None  # ChBuildResult, set by run()
     deduped: bool = False
+    #: this image's own slice of the farm cache counters (a
+    #: :class:`~repro.cas.BuildCacheStats` delta): hits/misses/stores are
+    #: what *this* build did against the shared cache, and
+    #: ``inflight_hits`` is 1 when it parked behind an identical in-flight
+    #: build — the per-cell attribution a matrix amplification report needs
+    cache_stats: Optional[object] = None
 
     @property
     def success(self) -> bool:
@@ -186,6 +193,19 @@ class FarmReport:
         """True when the farm lost a worker mid-run."""
         return self.worker_crashes > 0
 
+    def per_image_stats(self) -> dict[str, dict]:
+        """Cache hit/miss/store/inflight attribution per submitted image
+        (tag -> counter dict).  The aggregate handle stats answer "how
+        warm was the farm"; this answers "which image paid for it" —
+        e.g. which matrix cell amplified the cache and which one filled
+        it."""
+        out: dict[str, dict] = {}
+        for img in self.images:
+            stats = img.cache_stats
+            out[img.tag] = (stats.as_dict() if stats is not None
+                            else {})
+        return out
+
 
 class BuildFarm:
     """A ``parallelism=N`` build farm: whole images as concurrent tasks.
@@ -225,12 +245,16 @@ class BuildFarm:
         self.pending: list[FarmImage] = []
         self.report: Optional[FarmReport] = None
 
-    def submit(self, *, tag: str, dockerfile: str,
-               force: bool = False) -> FarmImage:
-        """Queue one image build; call :meth:`run` to execute the batch."""
+    def submit(self, *, tag: str, dockerfile: str, force: bool = False,
+               priority: Optional[int] = None) -> FarmImage:
+        """Queue one image build; call :meth:`run` to execute the batch.
+        *priority* breaks FIFO ties among equally-ready images (lower
+        first; default submission order) — a matrix orchestrator uses it
+        to front-load the cells that fill the shared cache."""
         if self.report is not None:
             raise CiError("build farm already ran")
-        spec = FarmImage(tag=tag, dockerfile=dockerfile, force=force)
+        spec = FarmImage(tag=tag, dockerfile=dockerfile, force=force,
+                         priority=priority)
         self.pending.append(spec)
         return spec
 
@@ -249,9 +273,18 @@ class BuildFarm:
 
         def make_fn(spec: FarmImage):
             def build():
+                # builds execute synchronously at dispatch, so snapshotting
+                # the shared handle's counters around the call attributes
+                # exactly this image's cache traffic (re-run on a crash
+                # requeue, so the surviving attempt's slice wins)
+                before = self.builder.cache.stats.copy() \
+                    if self.builder.cache is not None else None
                 spec.result = self.builder.build(
                     tag=spec.tag, dockerfile=spec.dockerfile,
                     force=spec.force)
+                if before is not None:
+                    spec.cache_stats = \
+                        self.builder.cache.stats.delta(before)
                 return spec.result
             return build
 
@@ -261,10 +294,16 @@ class BuildFarm:
                 flight_key=plan_flight_key(
                     spec.dockerfile, force=spec.force,
                     force_mode=self.builder.force_mode),
-                ok=lambda r: r.success)
+                ok=lambda r: r.success,
+                priority=spec.priority)
         schedule = scheduler.run()
         for spec, task in zip(self.pending, schedule.tasks):
             spec.deduped = task.deduped
+            if task.deduped and spec.cache_stats is not None:
+                # the in-flight wait is booked on the scheduler's cache
+                # handle before the warm replay runs; mirror it onto the
+                # image's own slice so per-cell attribution sees the park
+                spec.cache_stats.inflight_hits = 1
             if not task.ok and spec.result is not None \
                     and spec.result.success:
                 # the worker died before this build's completion landed:

@@ -15,12 +15,18 @@ needs it benchmarked::
 ``seed=7,link-loss=0.1,flake=0:0.05``); ``--retries`` caps the retry
 budget per transient failure.  Returns ``(exit_status, output_text)``
 like the other CLI shims.
+
+Whole image *families* go through ``astra-matrix`` instead
+(:func:`~repro.matrix.cli.astra_matrix_cli`, re-exported here): a
+build-matrix spec file in place of ``-t``/``-f``, the same
+``--parallelism`` / ``--registry-shards`` / ``--fault-plan`` knobs.
 """
 
 from __future__ import annotations
 
 from ..errors import KernelError, ReproError
 from ..kernel import Syscalls
+from ..matrix.cli import astra_matrix_cli
 from ..sim import FaultPlan, FaultPlanError, RetryPolicy
 from .astra import (
     AstraCluster,
@@ -29,7 +35,7 @@ from .astra import (
 )
 from .broadcast import DEPLOY_STRATEGIES
 
-__all__ = ["astra_deploy_cli"]
+__all__ = ["astra_deploy_cli", "astra_matrix_cli"]
 
 _USAGE = ("usage: astra-deploy [--deploy-strategy {registry,tree,off}] "
           "[--nodes N] [--runtime RT] [--cached] [--parallelism N] "

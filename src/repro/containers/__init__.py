@@ -14,7 +14,10 @@ from .dockerfile import (
     StageGraph,
     parse_dockerfile,
     parse_stage_graph,
+    render_dockerfile,
     split_env_args,
+    template_preamble_args,
+    template_variables,
 )
 from .hpc_runtimes import Enroot, HpcRuntimeError, ShifterGateway
 from .singularity import DefinitionFile, SifImage, Singularity, SingularityError
@@ -56,9 +59,12 @@ __all__ = [
     "Instruction",
     "parse_dockerfile",
     "parse_stage_graph",
+    "render_dockerfile",
     "Stage",
     "StageGraph",
     "split_env_args",
+    "template_preamble_args",
+    "template_variables",
     "ImageConfig",
     "ImageRef",
     "Manifest",

@@ -16,7 +16,8 @@ from typing import Optional, Sequence
 from ..errors import BuildError
 
 __all__ = ["Instruction", "Stage", "StageGraph", "parse_dockerfile",
-           "parse_stage_graph", "split_env_args"]
+           "parse_stage_graph", "render_dockerfile", "split_env_args",
+           "template_preamble_args", "template_variables"]
 
 _KINDS = {"FROM", "RUN", "ENV", "ARG", "COPY", "ADD", "WORKDIR", "CMD",
           "ENTRYPOINT", "LABEL", "USER", "EXPOSE", "VOLUME", "SHELL"}
@@ -269,6 +270,102 @@ def parse_stage_graph(source: "str | Sequence[Instruction]") -> StageGraph:
     graph = StageGraph(stages)
     graph.topo_order()  # defensive: parse order cannot cycle, but verify
     return graph
+
+
+# -- template rendering (build-matrix variables) -----------------------------------
+#
+# A Dockerfile *template* is an ordinary Dockerfile whose FROM references
+# and instruction text may use ``${name}`` variables, optionally declared
+# with defaults by ``ARG name[=default]`` lines before the first FROM (the
+# Docker global-ARG convention).  Rendering is strict and digest-stable:
+# the output is the template text with every ``${name}`` replaced and the
+# ARG preamble dropped, so two templates that render to the same
+# instruction sequence produce byte-identical text — and therefore
+# identical Merkle cache chains.  Undefined *and* unused variables are
+# parse-time errors, never silent: a matrix axis that does not shape the
+# image is a spec bug, not a 64-way duplicate build.
+
+_VAR_RE = re.compile(r"\$\{([A-Za-z_][A-Za-z_0-9]*)\}")
+_ARG_LINE_RE = re.compile(
+    r"^ARG\s+([A-Za-z_][A-Za-z_0-9]*)(?:=(.*))?\s*$")
+
+
+def template_variables(text: str) -> set[str]:
+    """Every ``${name}`` referenced anywhere in *text*."""
+    return {m.group(1) for m in _VAR_RE.finditer(text)}
+
+
+def template_preamble_args(text: str) -> dict[str, Optional[str]]:
+    """The ``ARG name[=default]`` declarations before the first FROM.
+
+    Returns name -> default (None when declared without one).  Raises
+    :class:`BuildError` on a duplicate declaration.
+    """
+    declared: dict[str, Optional[str]] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.split(None, 1)[0].upper() == "FROM":
+            break
+        m = _ARG_LINE_RE.match(stripped)
+        if m is None:
+            continue  # parse_dockerfile reports non-ARG preamble lines
+        name = m.group(1)
+        if name in declared:
+            raise BuildError(f"Dockerfile template line {lineno}: "
+                             f"duplicate ARG {name!r}")
+        declared[name] = m.group(2)
+    return declared
+
+
+def render_dockerfile(template: str, variables=None) -> str:
+    """Render a Dockerfile template: substitute ``${name}`` everywhere
+    (FROM references and instruction text alike) and drop the ARG
+    preamble.
+
+    *variables* (a mapping) overrides preamble defaults.  Raises
+    :class:`BuildError` when a referenced variable has no value
+    (undefined) and when a supplied or declared variable is never
+    referenced (unused) — both are parse-time errors so a build matrix
+    fails on the spec, not halfway through 64 image builds.
+    """
+    supplied = dict(variables) if variables else {}
+    declared = template_preamble_args(template)
+    values = {**{n: d for n, d in declared.items() if d is not None},
+              **supplied}
+
+    used: set[str] = set()
+    errors: list[str] = []
+
+    out_lines: list[str] = []
+    in_preamble = True
+    for lineno, raw in enumerate(template.splitlines(), 1):
+        stripped = raw.strip()
+        if in_preamble and stripped \
+                and not stripped.startswith("#") \
+                and stripped.split(None, 1)[0].upper() == "FROM":
+            in_preamble = False
+        if in_preamble and _ARG_LINE_RE.match(stripped):
+            continue  # declaration, consumed
+
+        def sub(m: "re.Match[str]", lineno=lineno) -> str:
+            name = m.group(1)
+            used.add(name)
+            if name not in values:
+                errors.append(
+                    f"line {lineno}: undefined variable ${{{name}}}")
+                return m.group(0)
+            return values[name]
+
+        out_lines.append(_VAR_RE.sub(sub, raw))
+
+    unused = sorted((set(supplied) | set(declared)) - used)
+    for name in unused:
+        errors.append(f"variable {name!r} is never used")
+    if errors:
+        raise BuildError("Dockerfile template: " + "; ".join(errors))
+    return "\n".join(out_lines) + ("\n" if template.endswith("\n") else "")
 
 
 def split_env_args(args: str) -> list[tuple[str, str]]:

@@ -49,6 +49,7 @@ __all__ = [
     "ScheduleReport",
     "TaskReport",
     "build_parallel",
+    "instruction_chain_keys",
     "plan_flight_key",
     "stage_plan_keys",
 ]
@@ -97,6 +98,52 @@ def stage_plan_keys(graph: StageGraph, *, force: bool = False,
             h.update(f"|{inst.kind} {inst.args}".encode())
         keys[stage.index] = h.hexdigest()
     return keys
+
+
+def instruction_chain_keys(graph: StageGraph, *, force: bool = False,
+                           force_mode: str = ""
+                           ) -> list[list[tuple[Any, str]]]:
+    """The instruction-level Merkle chain of every stage, *statically*.
+
+    Returns one list per stage of ``(instruction, chain_key)`` pairs —
+    entry 0 is the FROM instruction paired with the chain's root key,
+    and each later entry's key extends its predecessor exactly the way
+    :class:`~repro.cas.BuildCache` does during a real build
+    (:meth:`begin`/:meth:`extend` on a throwaway cache, so the formulas
+    can never drift).  Two differences from runtime keys, both
+    grouping-preserving:
+
+    * external base images root at the placeholder ``image:<ref>``
+      instead of the world-specific image digest (same ref ⇒ same
+      digest within any one world, so two chains collide here iff they
+      collide at build time);
+    * COPY/ADD context digests are unknown before the build and enter
+      as ``""`` — correct grouping as long as all planned builds share
+      one build context, which a matrix run does.
+
+    Stage-internal FROMs root at ``chain:<tail>`` of the base stage's
+    chain, mirroring how a cached build roots in the stage tag's
+    recorded digest.  The matrix planner
+    (:mod:`repro.matrix.plan`) uses these keys to count unique stage
+    builds — distinct RUN/COPY/ADD keys — before anything is scheduled.
+    """
+    from ..cas.cache import BuildCache
+    cache = BuildCache()  # throwaway: only begin/extend key derivation
+    mode = force_mode if force else ""
+    chains: list[list[tuple[Any, str]]] = []
+    tails: list[str] = []
+    for stage in graph.stages:  # deps always point at earlier indices
+        root_digest = (f"chain:{tails[stage.base_stage]}"
+                       if stage.base_stage is not None
+                       else f"image:{stage.base_ref}")
+        key = cache.begin(root_digest, force=force, force_mode=mode)
+        chain: list[tuple[Any, str]] = [(stage.instructions[0], key)]
+        for inst in stage.instructions[1:]:
+            key = cache.extend(key, inst.kind, inst.args)
+            chain.append((inst, key))
+        chains.append(chain)
+        tails.append(key)
+    return chains
 
 
 # -- the scheduler ------------------------------------------------------------------

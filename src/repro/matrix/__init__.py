@@ -1,0 +1,41 @@
+"""The declarative build-matrix subsystem.
+
+Sites build container *families* — base distro × MPI flavor × framework
+version — not single images.  This package turns a declarative spec
+into a deduplicated farm run:
+
+1. :mod:`~repro.matrix.spec` parses and validates the spec (axes,
+   excludes/includes, Dockerfile template, tag pattern) — every
+   degenerate shape is a loud :class:`MatrixSpecError`;
+2. :mod:`~repro.matrix.expand` enumerates the concrete cells;
+3. :mod:`~repro.matrix.plan` renders each cell and computes its Merkle
+   chain keys, so shared stage builds are known *before* scheduling —
+   the predicted **cache amplification** (total ÷ unique stage builds);
+4. :mod:`~repro.matrix.orchestrator` runs the cells on the single-flight
+   :class:`~repro.cluster.ci.BuildFarm` and pushes results per-tenant
+   into the :class:`~repro.cluster.fleet.RegistryFleet`, reporting plan
+   vs. measurement in a :class:`MatrixReport`;
+5. :mod:`~repro.matrix.cli` is the ``astra-matrix`` front end.
+"""
+
+from .expand import Variant, expand
+from .orchestrator import CellOutcome, MatrixReport, build_matrix
+from .plan import CellPlan, MatrixPlan, plan_matrix
+from .spec import Axis, MatrixSpec, MatrixSpecError, parse_spec_text
+from .cli import astra_matrix_cli
+
+__all__ = [
+    "Axis",
+    "CellOutcome",
+    "CellPlan",
+    "MatrixPlan",
+    "MatrixReport",
+    "MatrixSpec",
+    "MatrixSpecError",
+    "Variant",
+    "astra_matrix_cli",
+    "build_matrix",
+    "expand",
+    "parse_spec_text",
+    "plan_matrix",
+]

@@ -1,0 +1,148 @@
+"""The ``astra-matrix`` front end: one spec file in, a family out.
+
+::
+
+    astra-matrix [--parallelism N] [--registry-shards N] [--replicas R]
+                 [--tenant NAME] [--token T] [--force]
+                 [--fault-plan SPEC] [--retries N] -f SPECFILE USER
+
+Reads the matrix spec from SPECFILE (the :func:`~repro.matrix.spec.
+parse_spec_text` format), builds every cell on the login node's build
+farm, and — when ``--registry-shards`` ≥ 1 — deploys the site registry
+as a :class:`~repro.cluster.fleet.RegistryFleet` of that size and
+pushes the family under the tenant namespace.  ``--fault-plan`` takes
+the same :meth:`repro.sim.FaultPlan.parse` spec as ``astra-deploy``
+(worker crashes hit the farm; builds requeue and single-flight waiters
+are promoted).  Returns ``(exit_status, output_text)`` like every other
+CLI shim here.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, ReproError
+from ..kernel import Syscalls
+from ..sim import FaultPlan, FaultPlanError
+from .orchestrator import build_matrix
+from .spec import MatrixSpecError, parse_spec_text
+
+__all__ = ["astra_matrix_cli"]
+
+_USAGE = ("usage: astra-matrix [--parallelism N] [--registry-shards N] "
+          "[--replicas R] [--tenant NAME] [--token T] [--force] "
+          "[--fault-plan SPEC] [--retries N] -f SPECFILE USER")
+
+
+def _int_opt(argv: list[str], i: int, a: str, name: str, *, minimum: int
+             ) -> tuple[int, int, str]:
+    """Parse ``--opt N`` / ``--opt=N``; returns (value, new_i, error)."""
+    if a == name:
+        i += 1
+        value = argv[i] if i < len(argv) else ""
+    else:
+        value = a.split("=", 1)[1]
+    try:
+        n = int(value)
+    except ValueError:
+        n = minimum - 1
+    if n < minimum:
+        return 0, i, f"astra-matrix: bad {name} value {value!r}"
+    return n, i, ""
+
+
+def astra_matrix_cli(cluster, argv: list[str]) -> tuple[int, str]:
+    parallelism = 4
+    registry_shards = 0
+    replicas = 1
+    tenant: str | None = None
+    token: str | None = None
+    force = False
+    fault_spec: str | None = None
+    retries = 8
+    spec_path = ""
+    user = ""
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a == "--parallelism" or a.startswith("--parallelism="):
+            parallelism, i, err = _int_opt(argv, i, a, "--parallelism",
+                                           minimum=1)
+            if err:
+                return 1, err
+        elif a == "--registry-shards" \
+                or a.startswith("--registry-shards="):
+            registry_shards, i, err = _int_opt(
+                argv, i, a, "--registry-shards", minimum=0)
+            if err:
+                return 1, err
+        elif a == "--replicas" or a.startswith("--replicas="):
+            replicas, i, err = _int_opt(argv, i, a, "--replicas",
+                                        minimum=1)
+            if err:
+                return 1, err
+        elif a == "--retries" or a.startswith("--retries="):
+            retries, i, err = _int_opt(argv, i, a, "--retries", minimum=0)
+            if err:
+                return 1, err
+        elif a == "--tenant":
+            i += 1
+            tenant = argv[i] if i < len(argv) else None
+        elif a == "--token":
+            i += 1
+            token = argv[i] if i < len(argv) else None
+        elif a == "--force":
+            force = True
+        elif a == "--fault-plan" or a.startswith("--fault-plan="):
+            if a == "--fault-plan":
+                i += 1
+                if i >= len(argv):
+                    return 1, "astra-matrix: --fault-plan needs a value"
+                fault_spec = argv[i]
+            else:
+                fault_spec = a.split("=", 1)[1]
+        elif a == "-f":
+            i += 1
+            spec_path = argv[i] if i < len(argv) else ""
+        elif a.startswith("-"):
+            return 1, f"astra-matrix: unknown option {a!r}\n{_USAGE}"
+        else:
+            user = a
+        i += 1
+    if not (spec_path and user):
+        return 1, _USAGE
+    if replicas > max(registry_shards, 1):
+        return 1, (f"astra-matrix: --replicas {replicas} exceeds "
+                   f"--registry-shards {registry_shards}")
+    if user not in cluster.login.users:
+        return 1, f"astra-matrix: no account {user!r} on the login node"
+
+    fault_plan = None
+    if fault_spec is not None:
+        try:
+            fault_plan = FaultPlan.parse(fault_spec)
+        except FaultPlanError as err:
+            return 1, f"astra-matrix: {err}"
+
+    login_proc = cluster.login.login(user)
+    try:
+        text = Syscalls(login_proc).read_file(spec_path).decode()
+    except KernelError as err:
+        return 1, f"astra-matrix: can't read {spec_path}: {err.strerror}"
+    try:
+        spec = parse_spec_text(text)
+    except MatrixSpecError as err:
+        return 1, f"astra-matrix: {err}"
+
+    fleet = None
+    if registry_shards >= 1:
+        from ..cluster.fleet import deploy_fleet
+        fleet = deploy_fleet(cluster.world, n_shards=registry_shards,
+                             replicas=replicas)
+    try:
+        report = build_matrix(cluster.login, login_proc, spec,
+                              parallelism=parallelism, force=force,
+                              fleet=fleet, tenant=tenant, token=token,
+                              fault_plan=fault_plan,
+                              retry_budget=retries)
+    except ReproError as err:
+        return 1, f"astra-matrix: {err}"
+    return (0 if report.success else 1), "\n".join(report.summary())

@@ -1,0 +1,108 @@
+"""Cross-product expansion: spec → concrete matrix cells.
+
+Expansion is pure and deterministic: the cross product is enumerated
+row-major in axis declaration order (last axis varies fastest), exclude
+rules drop matching cells, include rows append extras, and every
+surviving cell gets its tag rendered from the spec's tag pattern with
+axis values sanitized into legal tag components.
+
+Degenerate results are *errors*, never silent no-ops — a matrix
+orchestrator that quietly builds nothing (or builds one thing 64 times)
+is how a site ships an empty registry:
+
+* a matrix whose cross product (before exclusion) has exactly one cell
+  is a plain build in disguise — use ``ch-image build``;
+* exclude rules that eliminate every cell leave nothing to build;
+* two cells rendering the same tag would silently overwrite each other
+  in storage and in the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..containers.dockerfile import template_variables
+from .spec import MatrixSpec, MatrixSpecError, sanitize_tag_component
+
+__all__ = ["Variant", "expand"]
+
+# substitution on the *tag pattern* reuses the template's ${name} syntax
+from ..containers.dockerfile import _VAR_RE  # noqa: E402
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One concrete matrix cell: an axis assignment and its image tag."""
+
+    index: int
+    tag: str
+    values: tuple[tuple[str, str], ...]  # (axis, value), declaration order
+
+    def value_map(self) -> dict[str, str]:
+        return dict(self.values)
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell coordinates: ``base=centos:7 mpi=openmpi``."""
+        return " ".join(f"{k}={v}" for k, v in self.values)
+
+
+def render_tag(spec: MatrixSpec, values: dict[str, str]) -> str:
+    """The cell's image tag: pattern variables replaced by *sanitized*
+    axis values (``centos:7`` → ``centos-7``), so any axis value yields
+    a legal ``repo:tag``."""
+    return _VAR_RE.sub(
+        lambda m: sanitize_tag_component(values[m.group(1)]),
+        spec.tag_pattern)
+
+
+def _matches(values: dict[str, str],
+             rule: tuple[tuple[str, str], ...]) -> bool:
+    return all(values.get(axis) == value for axis, value in rule)
+
+
+def expand(spec: MatrixSpec) -> list[Variant]:
+    """Expand *spec* into its concrete cells.
+
+    Raises :class:`MatrixSpecError` on a single-cell matrix, an
+    all-cells-excluded matrix, and duplicate rendered tags.
+    """
+    total = spec.cross_product_size
+    if total == 1 and not spec.includes:
+        only = " ".join(f"{ax.name}={ax.values[0]}" for ax in spec.axes)
+        raise MatrixSpecError(
+            f"matrix {spec.name!r}: a single cell ({only}) is not a "
+            f"matrix — build it directly with ch-image build")
+
+    assignments: list[tuple[tuple[str, str], ...]] = []
+    for combo in product(*(ax.values for ax in spec.axes)):
+        values = tuple(zip(spec.axis_names, combo))
+        if any(_matches(dict(values), rule) for rule in spec.excludes):
+            continue
+        assignments.append(values)
+    if not assignments and not spec.includes:
+        raise MatrixSpecError(
+            f"matrix {spec.name!r}: exclude rules eliminate all {total} "
+            f"cells — nothing would be built")
+    for row in spec.includes:
+        if row not in assignments:
+            assignments.append(row)
+
+    variants: list[Variant] = []
+    seen: dict[str, Variant] = {}
+    for index, values in enumerate(assignments):
+        variant = Variant(index=index,
+                          tag=render_tag(spec, dict(values)),
+                          values=values)
+        clash = seen.get(variant.tag)
+        if clash is not None:
+            raise MatrixSpecError(
+                f"matrix {spec.name!r}: cells [{clash.label}] and "
+                f"[{variant.label}] both render tag {variant.tag!r} — "
+                f"make the tag pattern distinguish them (it uses "
+                f"{sorted(template_variables(spec.tag_pattern))}, the "
+                f"matrix varies {list(spec.axis_names)})")
+        seen[variant.tag] = variant
+        variants.append(variant)
+    return variants

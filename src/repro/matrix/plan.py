@@ -1,0 +1,142 @@
+"""Matrix planning: recognize shared work *before* scheduling any of it.
+
+For every expanded cell the planner renders the Dockerfile template and
+computes its instruction-level Merkle chain keys
+(:func:`~repro.core.build_graph.instruction_chain_keys`) — the same keys
+the shared :class:`~repro.cas.BuildCache` will derive at build time.  A
+**stage build** is one executable work unit at the cache's granularity:
+a RUN/COPY/ADD instruction, identified by its chain key (its full
+Merkle prefix).  Cells that agree on a prefix — same base, same early
+RUNs — share those keys, so the plan knows exactly which builds the
+cache and the single-flight farm will collapse:
+
+* ``total_stage_builds`` — what N independent builders would execute;
+* ``unique_stage_builds`` — distinct chain keys: what one shared-cache
+  farm executes (and, on a cold cache, exactly the diff ``stores`` it
+  records — the orchestrator asserts this);
+* **cache amplification** = total ÷ unique, the headline metric: how
+  many cells' worth of work each unique stage build serves.
+
+``unique_cell_builds`` counts distinct rendered Dockerfiles (the
+whole-image plan keys the farm single-flights); identical cells park
+behind one leader and replay warm.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..containers.dockerfile import parse_stage_graph, render_dockerfile
+from ..core.build_graph import instruction_chain_keys, plan_flight_key
+from ..errors import BuildError
+from .expand import Variant, expand
+from .spec import MatrixSpec, MatrixSpecError
+
+__all__ = ["CellPlan", "MatrixPlan", "plan_matrix"]
+
+#: instruction kinds that execute work and store a layer diff — the
+#: build cache's unit of deduplication, and therefore the planner's
+EXECUTABLE_KINDS = ("RUN", "COPY", "ADD")
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """One cell, rendered and keyed."""
+
+    variant: Variant
+    dockerfile: str
+    flight_key: str                 # whole-image single-flight key
+    unit_keys: tuple[str, ...]      # chain keys of executable instructions
+
+    @property
+    def tag(self) -> str:
+        return self.variant.tag
+
+
+@dataclass
+class MatrixPlan:
+    """The deduplicated work a matrix implies, known before building."""
+
+    spec_name: str
+    force: bool
+    force_mode: str
+    cells: list[CellPlan] = field(default_factory=list)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def unique_cell_builds(self) -> int:
+        return len({c.flight_key for c in self.cells})
+
+    @property
+    def total_stage_builds(self) -> int:
+        return sum(len(c.unit_keys) for c in self.cells)
+
+    @property
+    def unique_stage_builds(self) -> int:
+        return len({k for c in self.cells for k in c.unit_keys})
+
+    @property
+    def amplification(self) -> float:
+        """total ÷ unique stage builds (1.0 when nothing executes)."""
+        unique = self.unique_stage_builds
+        return self.total_stage_builds / unique if unique else 1.0
+
+    def sharing_histogram(self) -> dict[int, int]:
+        """How wide the sharing is: {cells-sharing → unique stages
+        shared that widely}.  ``{1: 64, 3: 6}`` reads "64 stages are
+        cell-private, 6 are shared by 3 cells each"."""
+        per_key: Counter[str] = Counter()
+        for cell in self.cells:
+            for key in set(cell.unit_keys):
+                per_key[key] += 1
+        hist: Counter[int] = Counter(per_key.values())
+        return dict(sorted(hist.items()))
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec_name,
+            "cells": self.n_cells,
+            "unique_cell_builds": self.unique_cell_builds,
+            "total_stage_builds": self.total_stage_builds,
+            "unique_stage_builds": self.unique_stage_builds,
+            "amplification": self.amplification,
+            "sharing_histogram": {
+                str(k): v for k, v in self.sharing_histogram().items()},
+        }
+
+
+def plan_matrix(spec: MatrixSpec, *, force: bool = False,
+                force_mode: str = "") -> MatrixPlan:
+    """Expand, render, and key every cell of *spec*.
+
+    Template rendering and Dockerfile parse errors surface as
+    :class:`MatrixSpecError` naming the offending cell — the whole
+    matrix is validated before a single build is scheduled.
+    """
+    plan = MatrixPlan(spec_name=spec.name, force=force,
+                      force_mode=force_mode if force else "")
+    for variant in expand(spec):
+        try:
+            dockerfile = render_dockerfile(spec.template,
+                                           variant.value_map())
+            graph = parse_stage_graph(dockerfile)
+        except BuildError as err:
+            raise MatrixSpecError(
+                f"matrix {spec.name!r}: cell [{variant.label}]: "
+                f"{err}") from err
+        chains = instruction_chain_keys(graph, force=force,
+                                        force_mode=force_mode)
+        unit_keys = tuple(
+            key for chain in chains for inst, key in chain[1:]
+            if inst.kind in EXECUTABLE_KINDS)
+        plan.cells.append(CellPlan(
+            variant=variant, dockerfile=dockerfile,
+            flight_key=plan_flight_key(dockerfile, force=force,
+                                       force_mode=force_mode if force
+                                       else ""),
+            unit_keys=unit_keys))
+    return plan

@@ -1,0 +1,303 @@
+"""Build-matrix specs: parse and validate declaratively, fail loudly.
+
+A *matrix spec* names an image family the way HPC sites actually build
+them — base distro × MPI flavor × framework version — as a cross product
+of axes over one Dockerfile template.  The survey of adaptive
+containerization architectures calls this the dominant site workload;
+the paper's unprivileged builder only ever sees one cell at a time.
+This module is the declarative front door: everything that can be
+rejected *before* any build is scheduled is rejected here, as a
+:class:`MatrixSpecError` with the offending axis/value/cell named.
+
+Two input shapes, one validator:
+
+* :meth:`MatrixSpec.from_dict` — the programmatic form (tests, CI).
+* :func:`parse_spec_text` — a small line-oriented file format (no YAML
+  dependency)::
+
+      # image family: base distro x MPI x framework
+      name: hpc-apps
+      tag: hpc/${base}-${mpi}:${fw}
+      axis base: centos:7 | debian:buster
+      axis mpi: openmpi | mpich
+      axis fw: torch-2.1 | torch-2.2
+      exclude: base=debian:buster mpi=mpich
+      include: base=centos:7 mpi=openmpi fw=torch-nightly
+      template: |
+        ARG fw
+        FROM ${base}
+        RUN echo install ${mpi}
+        RUN echo install ${fw}
+
+  ``template: |`` starts an indented block (every following line must be
+  blank or indented; it is dedented verbatim).  ``exclude`` rules are
+  partial assignments — a cell matching *every* listed pair is dropped.
+  ``include`` rows are full assignments appended after exclusion,
+  GitHub-Actions style (values outside the declared axis lists are
+  allowed there, and only there).
+
+Validation invariants (each violation is a :class:`MatrixSpecError`):
+axes must be non-empty and duplicate-free; every axis must be referenced
+by the template (an axis that does not shape the image is an N-way
+duplicate build, not a matrix); every ``${var}`` in template and tag
+pattern must resolve to an axis or an ``ARG`` default; exclude/include
+rules may only name declared axes and (for exclude) declared values.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..containers.dockerfile import template_preamble_args, template_variables
+from ..errors import ReproError
+
+__all__ = ["Axis", "MatrixSpec", "MatrixSpecError", "parse_spec_text"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+#: characters legal in an image tag/repository component; everything
+#: else collapses to ``-`` when an axis value lands in a tag
+_TAG_SANITIZE_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+class MatrixSpecError(ReproError):
+    """A build-matrix spec is malformed or degenerate."""
+
+
+def sanitize_tag_component(value: str) -> str:
+    """An axis value as a tag component: ``centos:7`` → ``centos-7``."""
+    return _TAG_SANITIZE_RE.sub("-", value).strip("-")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One matrix dimension: an ordered, duplicate-free value list."""
+
+    name: str
+    values: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A validated build-matrix specification."""
+
+    name: str
+    tag_pattern: str
+    axes: tuple[Axis, ...]
+    template: str
+    excludes: tuple[tuple[tuple[str, str], ...], ...] = ()
+    includes: tuple[tuple[tuple[str, str], ...], ...] = ()
+    tenant: Optional[str] = None
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(axis.name for axis in self.axes)
+
+    def axis(self, name: str) -> Axis:
+        for ax in self.axes:
+            if ax.name == name:
+                return ax
+        raise MatrixSpecError(f"matrix {self.name!r}: no axis {name!r}")
+
+    @property
+    def cross_product_size(self) -> int:
+        n = 1
+        for axis in self.axes:
+            n *= len(axis.values)
+        return n
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "MatrixSpec":
+        """Build and validate a spec from a plain mapping.
+
+        Keys: ``name`` (str), ``tag`` (pattern, str), ``axes`` (mapping
+        name → value sequence, in iteration order), ``template`` (str),
+        optional ``exclude`` / ``include`` (sequences of mappings) and
+        ``tenant`` (str).
+        """
+        name = d.get("name")
+        if not isinstance(name, str) or not name.strip():
+            raise MatrixSpecError("matrix spec needs a non-empty 'name'")
+        name = name.strip()
+
+        raw_axes = d.get("axes")
+        if not isinstance(raw_axes, Mapping) or not raw_axes:
+            raise MatrixSpecError(
+                f"matrix {name!r}: needs at least one axis")
+        axes: list[Axis] = []
+        for axis_name, values in raw_axes.items():
+            if not _NAME_RE.match(str(axis_name)):
+                raise MatrixSpecError(
+                    f"matrix {name!r}: bad axis name {axis_name!r} "
+                    f"(want an identifier)")
+            if isinstance(values, str) or not isinstance(values, Sequence):
+                raise MatrixSpecError(
+                    f"matrix {name!r}: axis {axis_name!r} needs a value "
+                    f"list")
+            vals = tuple(str(v).strip() for v in values)
+            if not vals or any(not v for v in vals):
+                raise MatrixSpecError(
+                    f"matrix {name!r}: axis {axis_name!r} is empty — an "
+                    f"axis with no values makes the whole matrix empty")
+            dupes = sorted({v for v in vals if vals.count(v) > 1})
+            if dupes:
+                raise MatrixSpecError(
+                    f"matrix {name!r}: axis {axis_name!r} repeats "
+                    f"value(s) {', '.join(dupes)}")
+            axes.append(Axis(str(axis_name), vals))
+        axis_names = {ax.name for ax in axes}
+        if len(axis_names) != len(axes):
+            raise MatrixSpecError(f"matrix {name!r}: duplicate axis names")
+
+        template = d.get("template")
+        if not isinstance(template, str) or not template.strip():
+            raise MatrixSpecError(
+                f"matrix {name!r}: needs a Dockerfile 'template'")
+        tag_pattern = d.get("tag")
+        if not isinstance(tag_pattern, str) or not tag_pattern.strip():
+            raise MatrixSpecError(
+                f"matrix {name!r}: needs a 'tag' pattern")
+        tag_pattern = tag_pattern.strip()
+
+        # every ${var} must resolve to an axis or an ARG default; every
+        # axis must shape the image (be referenced by the template)
+        defaults = {n for n, v in template_preamble_args(template).items()
+                    if v is not None}
+        tpl_vars = template_variables(template)
+        for var in sorted(template_variables(tag_pattern) - axis_names):
+            raise MatrixSpecError(
+                f"matrix {name!r}: tag pattern references ${{{var}}} "
+                f"which is not an axis")
+        for var in sorted(tpl_vars - axis_names - defaults):
+            raise MatrixSpecError(
+                f"matrix {name!r}: template references ${{{var}}} which "
+                f"is neither an axis nor an ARG with a default")
+        for ax in axes:
+            if ax.name not in tpl_vars:
+                raise MatrixSpecError(
+                    f"matrix {name!r}: axis {ax.name!r} is never used by "
+                    f"the template — every cell along it would be the "
+                    f"same image built {len(ax.values)} times over")
+
+        by_name = {ax.name: ax for ax in axes}
+        excludes = tuple(
+            cls._rule(name, "exclude", rule, by_name, full=False)
+            for rule in d.get("exclude", ()))
+        includes = tuple(
+            cls._rule(name, "include", rule, by_name, full=True)
+            for rule in d.get("include", ()))
+
+        tenant = d.get("tenant")
+        if tenant is not None:
+            tenant = str(tenant).strip()
+            if "/" in tenant or not tenant:
+                raise MatrixSpecError(
+                    f"matrix {name!r}: tenant must be a single non-empty "
+                    f"path segment, got {tenant!r}")
+
+        return cls(name=name, tag_pattern=tag_pattern, axes=tuple(axes),
+                   template=template, excludes=excludes,
+                   includes=includes, tenant=tenant)
+
+    @staticmethod
+    def _rule(name: str, kind: str, rule: Mapping, axes: Mapping[str, Axis],
+              *, full: bool) -> tuple[tuple[str, str], ...]:
+        if not isinstance(rule, Mapping) or not rule:
+            raise MatrixSpecError(
+                f"matrix {name!r}: {kind} rules are non-empty "
+                f"axis=value mappings, got {rule!r}")
+        for axis_name, value in rule.items():
+            if axis_name not in axes:
+                raise MatrixSpecError(
+                    f"matrix {name!r}: {kind} rule names unknown axis "
+                    f"{axis_name!r}")
+            if not full and str(value) not in axes[axis_name].values:
+                raise MatrixSpecError(
+                    f"matrix {name!r}: {kind} rule names unknown value "
+                    f"{value!r} for axis {axis_name!r}")
+        if full:
+            missing = sorted(set(axes) - set(rule))
+            if missing:
+                raise MatrixSpecError(
+                    f"matrix {name!r}: {kind} rows are full assignments; "
+                    f"missing axis(es) {', '.join(missing)}")
+        # canonical order: axis declaration order, so identical rules
+        # written in different orders compare equal
+        return tuple((ax, str(rule[ax])) for ax in axes if ax in rule)
+
+
+# -- the text format ----------------------------------------------------------------
+
+_AXIS_LINE_RE = re.compile(r"^axis\s+([A-Za-z_][A-Za-z_0-9]*)\s*:\s*(.*)$")
+_PAIR_RE = re.compile(r"([A-Za-z_][A-Za-z_0-9]*)=(\S+)")
+
+
+def _parse_pairs(name: str, kind: str, body: str, lineno: int) -> dict:
+    pairs = dict(_PAIR_RE.findall(body))
+    leftover = _PAIR_RE.sub("", body).strip()
+    if not pairs or leftover:
+        raise MatrixSpecError(
+            f"matrix spec line {lineno}: {kind} wants space-separated "
+            f"axis=value pairs, got {body!r}")
+    return pairs
+
+
+def parse_spec_text(text: str) -> MatrixSpec:
+    """Parse the line-oriented spec format into a validated
+    :class:`MatrixSpec` (see the module docstring for the grammar)."""
+    d: dict = {"axes": {}, "exclude": [], "include": []}
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        raw = lines[i]
+        i += 1
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        lineno = i  # 1-based: i was already advanced
+        m = _AXIS_LINE_RE.match(stripped)
+        if m:
+            axis_name = m.group(1)
+            if axis_name in d["axes"]:
+                raise MatrixSpecError(
+                    f"matrix spec line {lineno}: duplicate axis "
+                    f"{axis_name!r}")
+            d["axes"][axis_name] = [v.strip()
+                                    for v in m.group(2).split("|")]
+            continue
+        key, sep, body = stripped.partition(":")
+        if not sep:
+            raise MatrixSpecError(
+                f"matrix spec line {lineno}: cannot parse {stripped!r}")
+        key, body = key.strip(), body.strip()
+        if key == "template":
+            if body != "|":
+                raise MatrixSpecError(
+                    f"matrix spec line {lineno}: template starts an "
+                    f"indented block — write 'template: |'")
+            block: list[str] = []
+            while i < len(lines):
+                line = lines[i]
+                if line.strip() and not line[:1].isspace():
+                    break
+                block.append(line)
+                i += 1
+            while block and not block[-1].strip():
+                block.pop()
+            if not block:
+                raise MatrixSpecError(
+                    f"matrix spec line {lineno}: empty template block")
+            indent = min(len(ln) - len(ln.lstrip())
+                         for ln in block if ln.strip())
+            d["template"] = "\n".join(ln[indent:] for ln in block) + "\n"
+        elif key == "exclude":
+            d["exclude"].append(_parse_pairs("", "exclude", body, lineno))
+        elif key == "include":
+            d["include"].append(_parse_pairs("", "include", body, lineno))
+        elif key in ("name", "tag", "tenant"):
+            d[key] = body
+        else:
+            raise MatrixSpecError(
+                f"matrix spec line {lineno}: unknown key {key!r}")
+    return MatrixSpec.from_dict(d)

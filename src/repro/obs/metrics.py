@@ -65,6 +65,9 @@ class TraceMetrics:
     * ``build``: parallel-build scheduling counters (tasks run, queue
       wait in µs, in-flight dedup hits, makespan in µs) — what the
       build-scaling smoke job compares across parallelism levels.
+    * ``matrix``: build-matrix orchestration counters (cells expanded,
+      unique cell builds, total/unique stage builds, amplification
+      ×100, images pushed) — what the matrix-smoke job gates on.
     """
 
     def __init__(self):
@@ -74,6 +77,7 @@ class TraceMetrics:
         self.cache: Counter[str] = Counter()
         self.net: Counter[str] = Counter()
         self.build: Counter[str] = Counter()
+        self.matrix: Counter[str] = Counter()
 
     def count_call(self, name: str, *, top_level: bool) -> None:
         if top_level:
@@ -92,6 +96,9 @@ class TraceMetrics:
     def count_build(self, event: str, n: int = 1) -> None:
         self.build[event] += n
 
+    def count_matrix(self, event: str, n: int = 1) -> None:
+        self.matrix[event] += n
+
     def clear(self) -> None:
         self.syscalls.clear()
         self.errnos.clear()
@@ -99,6 +106,7 @@ class TraceMetrics:
         self.cache.clear()
         self.net.clear()
         self.build.clear()
+        self.matrix.clear()
 
     def snapshot(self) -> dict:
         """A JSON-friendly copy (sorted keys for deterministic exports)."""
@@ -112,4 +120,5 @@ class TraceMetrics:
             "cache": dict(sorted(self.cache.items())),
             "net": dict(sorted(self.net.items())),
             "build": dict(sorted(self.build.items())),
+            "matrix": dict(sorted(self.matrix.items())),
         }

@@ -83,6 +83,58 @@ class TestBuildFarm:
         assert not bad.success and good.success
 
 
+#: shares APP's first RUN (same Merkle prefix), diverges on the second
+APP_VARIANT = """\
+FROM centos:7
+RUN yum install -y openmpi hdf5
+RUN yum install -y gcc
+"""
+
+
+class TestPerImageStats:
+    """Cache hit/miss/store attribution per submitted image: which image
+    filled the shared cache and which one rode it."""
+
+    def test_attribution_across_prefix_sharing_and_duplicates(self, farm):
+        farm.submit(tag="a", dockerfile=APP, force=True)
+        farm.submit(tag="b", dockerfile=APP_VARIANT, force=True)
+        farm.submit(tag="c", dockerfile=APP, force=True)  # duplicate of a
+        report = farm.run()
+        assert report.success
+        stats = report.per_image_stats()
+        # a builds cold: both RUNs miss and store
+        assert stats["a"]["misses"] == 2 and stats["a"]["stores"] == 2
+        assert stats["a"]["hits"] == 0
+        # b shares a's first RUN, pays only for its divergent tail
+        assert stats["b"]["hits"] == 1
+        assert stats["b"]["misses"] == 1 and stats["b"]["stores"] == 1
+        # c is a's single-flight follower: warm replay, zero new work
+        assert stats["c"]["hits"] == 2
+        assert stats["c"]["misses"] == 0 and stats["c"]["stores"] == 0
+        assert stats["c"]["inflight_hits"] == 1
+        assert report.images[2].deduped
+
+    def test_slices_sum_to_the_aggregate(self, farm):
+        farm.submit(tag="a", dockerfile=APP, force=True)
+        farm.submit(tag="b", dockerfile=APP_VARIANT, force=True)
+        report = farm.run()
+        stats = report.per_image_stats()
+        for key in ("hits", "misses", "stores"):
+            assert sum(s[key] for s in stats.values()) == \
+                getattr(report.cache_stats, key)
+
+    def test_priority_breaks_fifo_ties(self, login, alice):
+        farm = BuildFarm(login, alice, parallelism=1,
+                         force_mode="seccomp")
+        farm.submit(tag="late", dockerfile=OTHER, force=True,
+                    priority=10)
+        farm.submit(tag="early", dockerfile=APP, force=True, priority=0)
+        report = farm.run()
+        assert report.success
+        by_tag = {t.name: t for t in report.schedule.tasks}
+        assert by_tag["early"].start <= by_tag["late"].start
+
+
 class TestFarmFaults:
     def test_worker_crash_requeues_the_stage(self, login, alice):
         """A crashed worker's image requeues onto a survivor and the batch

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.containers import Instruction, parse_dockerfile, split_env_args
+from repro.containers import (
+    Instruction,
+    parse_dockerfile,
+    render_dockerfile,
+    split_env_args,
+    template_preamble_args,
+    template_variables,
+)
 from repro.errors import BuildError
 
 
@@ -56,6 +63,80 @@ class TestParse:
         )
         instrs = parse_dockerfile(text)
         assert len(instrs) == 11
+
+
+TEMPLATE = """\
+ARG mpi=openmpi
+ARG fw
+FROM ${base}
+RUN echo install ${mpi}
+RUN echo build ${fw} with ${mpi}
+"""
+
+
+class TestTemplates:
+    def test_variables_found_everywhere(self):
+        assert template_variables(TEMPLATE) == {"base", "mpi", "fw"}
+
+    def test_preamble_args(self):
+        assert template_preamble_args(TEMPLATE) == \
+            {"mpi": "openmpi", "fw": None}
+
+    def test_preamble_stops_at_from(self):
+        # an ARG after FROM is an ordinary instruction, not a declaration
+        text = "FROM a\nARG x=1\nRUN echo hi\n"
+        assert template_preamble_args(text) == {}
+
+    def test_duplicate_preamble_arg(self):
+        with pytest.raises(BuildError, match="duplicate ARG 'x'"):
+            template_preamble_args("ARG x=1\nARG x=2\nFROM a\n")
+
+    def test_render_substitutes_from_and_instructions(self):
+        out = render_dockerfile(TEMPLATE,
+                                {"base": "centos:7", "fw": "gromacs"})
+        assert out == ("FROM centos:7\n"
+                       "RUN echo install openmpi\n"
+                       "RUN echo build gromacs with openmpi\n")
+        parse_dockerfile(out)  # renders to a valid Dockerfile
+
+    def test_render_override_beats_default(self):
+        out = render_dockerfile(
+            TEMPLATE, {"base": "a", "fw": "x", "mpi": "mpich"})
+        assert "install mpich" in out and "openmpi" not in out
+
+    def test_undefined_variable_is_parse_error(self):
+        with pytest.raises(BuildError,
+                           match=r"line 3: undefined variable \$\{base\}"):
+            render_dockerfile(TEMPLATE, {"fw": "x"})
+
+    def test_unused_variable_is_parse_error(self):
+        with pytest.raises(BuildError, match="'extra' is never used"):
+            render_dockerfile(TEMPLATE, {"base": "a", "fw": "x",
+                                         "extra": "y"})
+
+    def test_unused_declared_arg_is_parse_error(self):
+        with pytest.raises(BuildError, match="'unused' is never used"):
+            render_dockerfile("ARG unused=1\nFROM a\nRUN echo hi\n")
+
+    def test_all_errors_reported_together(self):
+        with pytest.raises(BuildError) as exc:
+            render_dockerfile("FROM ${base}\nRUN ${cmd}\n", {"junk": "x"})
+        msg = str(exc.value)
+        assert "${base}" in msg and "${cmd}" in msg and "junk" in msg
+
+    def test_digest_stable_rendering(self):
+        """Equal variable values -> byte-identical output, however the
+        values were supplied (default vs explicit): the property the
+        matrix planner's Merkle keys rely on."""
+        via_default = render_dockerfile(TEMPLATE,
+                                        {"base": "a", "fw": "x"})
+        via_override = render_dockerfile(
+            TEMPLATE, {"base": "a", "fw": "x", "mpi": "openmpi"})
+        assert via_default == via_override
+
+    def test_no_variables_is_identity_modulo_preamble(self):
+        plain = "FROM centos:7\nRUN echo hi\n"
+        assert render_dockerfile(plain) == plain
 
 
 class TestSplitEnvArgs:

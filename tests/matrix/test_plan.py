@@ -1,0 +1,123 @@
+"""Matrix planner tests: Merkle stage-key math on small matrices.
+
+The 2x2 helper family (2 bases x 2 apps, one shared RUN + one per-app
+RUN) has 8 executable stage builds of which 6 are unique: the shared
+RUN is keyed by its base's chain, so it folds across apps but not
+across bases.  Amplification 8/6 = 1.333x, sharing histogram
+{1: 4, 2: 2}.
+"""
+
+import pytest
+
+from repro.matrix import (
+    MatrixSpec,
+    MatrixSpecError,
+    plan_matrix,
+)
+
+TEMPLATE = """\
+FROM ${base}
+RUN echo shared > /s
+RUN echo ${app} > /a
+"""
+
+
+def spec_dict(**over):
+    d = {
+        "name": "fam",
+        "tag": "fam/${base}:${app}",
+        "axes": {"base": ["centos:7", "debian:buster"],
+                 "app": ["a1", "a2"]},
+        "template": TEMPLATE,
+    }
+    d.update(over)
+    return d
+
+
+def make_plan(**over):
+    return plan_matrix(MatrixSpec.from_dict(spec_dict(**over)))
+
+
+class TestPlanMath:
+    def test_two_by_two_key_math(self):
+        plan = make_plan()
+        assert plan.n_cells == 4
+        assert plan.unique_cell_builds == 4
+        assert plan.total_stage_builds == 8
+        assert plan.unique_stage_builds == 6
+        assert plan.amplification == pytest.approx(8 / 6)
+        assert plan.sharing_histogram() == {1: 4, 2: 2}
+
+    def test_shared_prefix_folds_within_base_only(self):
+        plan = make_plan()
+        by_tag = {c.variant.tag: c for c in plan.cells}
+        centos_a1 = by_tag["fam/centos-7:a1"].unit_keys
+        centos_a2 = by_tag["fam/centos-7:a2"].unit_keys
+        debian_a1 = by_tag["fam/debian-buster:a1"].unit_keys
+        # shared RUN: same key across apps on one base ...
+        assert centos_a1[0] == centos_a2[0]
+        # ... but a different key on a different base (different root)
+        assert centos_a1[0] != debian_a1[0]
+        # per-app RUN never folds
+        assert centos_a1[1] != centos_a2[1]
+
+    def test_flight_keys_distinct_per_distinct_dockerfile(self):
+        plan = make_plan()
+        assert len({c.flight_key for c in plan.cells}) == 4
+
+    def test_config_only_instructions_are_not_stage_builds(self):
+        """ENV/WORKDIR extend the Merkle chain (they shape digests) but
+        are not executable work units, so they don't count toward
+        amplification."""
+        plan = make_plan(template=(
+            "FROM ${base}\nENV SITE=hpc\nWORKDIR /opt\n"
+            "RUN echo shared > /s\nRUN echo ${app} > /a\n"))
+        assert plan.total_stage_builds == 8
+        assert plan.unique_stage_builds == 6
+
+    def test_force_changes_every_key(self):
+        cold = make_plan()
+        forced = plan_matrix(MatrixSpec.from_dict(spec_dict()),
+                             force=True, force_mode="setuid")
+        cold_keys = {k for c in cold.cells for k in c.unit_keys}
+        forced_keys = {k for c in forced.cells for k in c.unit_keys}
+        assert cold_keys.isdisjoint(forced_keys)
+        assert forced.unique_stage_builds == cold.unique_stage_builds
+
+    def test_deeper_shared_prefix_raises_amplification(self):
+        deeper = make_plan(template=(
+            "FROM ${base}\nRUN echo s1 > /1\nRUN echo s2 > /2\n"
+            "RUN echo s3 > /3\nRUN echo ${app} > /a\n"))
+        assert deeper.amplification > make_plan().amplification
+
+    def test_multi_stage_template(self):
+        """A two-stage template: the builder stage is app-independent,
+        so it folds across apps; the COPY in the final stage is keyed
+        by its source stage's chain."""
+        plan = make_plan(template=(
+            "FROM ${base} AS build\nRUN echo tool > /t\n"
+            "FROM ${base}\nCOPY --from=build /t /t\n"
+            "RUN echo ${app} > /a\n"))
+        # per cell: 1 builder RUN + 1 COPY + 1 app RUN = 12 total;
+        # builder RUN and COPY fold across apps per base (2+2 unique),
+        # app RUN is unique per cell (4) -> 8 unique
+        assert plan.total_stage_builds == 12
+        assert plan.unique_stage_builds == 8
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+        d = make_plan().as_dict()
+        json.dumps(d)
+        assert d["amplification"] == pytest.approx(8 / 6)
+        assert d["cells"] == 4
+
+
+class TestPlanErrors:
+    def test_bad_instruction_error_names_the_cell(self):
+        with pytest.raises(MatrixSpecError) as exc:
+            make_plan(template=(
+                "FROM ${base}\nRUN echo ${app}\nBADINSTR x\n"))
+        msg = str(exc.value)
+        assert "matrix 'fam'" in msg
+        assert "base=centos:7 app=a1" in msg
+        assert "BADINSTR" in msg

@@ -1,0 +1,227 @@
+"""Matrix spec validation: every degenerate shape is a loud error.
+
+The satellite acceptance list: empty axis, single cell, all cells
+excluded, duplicate tags — each must raise a clear
+:class:`MatrixSpecError`, never produce a silent empty (or N-way
+duplicate) build.
+"""
+
+import pytest
+
+from repro.matrix import MatrixSpec, MatrixSpecError, expand, parse_spec_text
+
+TEMPLATE = """\
+FROM ${base}
+RUN echo shared > /s
+RUN echo ${app} > /a
+"""
+
+
+def spec_dict(**over):
+    d = {
+        "name": "fam",
+        "tag": "fam/${base}:${app}",
+        "axes": {"base": ["centos:7", "debian:buster"],
+                 "app": ["a1", "a2"]},
+        "template": TEMPLATE,
+    }
+    d.update(over)
+    return d
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        spec = MatrixSpec.from_dict(spec_dict())
+        assert spec.axis_names == ("base", "app")
+        assert spec.cross_product_size == 4
+
+    def test_missing_name(self):
+        with pytest.raises(MatrixSpecError, match="non-empty 'name'"):
+            MatrixSpec.from_dict(spec_dict(name=""))
+
+    def test_no_axes(self):
+        with pytest.raises(MatrixSpecError, match="at least one axis"):
+            MatrixSpec.from_dict(spec_dict(axes={}))
+
+    def test_empty_axis(self):
+        with pytest.raises(MatrixSpecError,
+                           match="axis 'app' is empty"):
+            MatrixSpec.from_dict(spec_dict(
+                axes={"base": ["centos:7", "debian:buster"], "app": []}))
+
+    def test_duplicate_axis_value(self):
+        with pytest.raises(MatrixSpecError, match="repeats value"):
+            MatrixSpec.from_dict(spec_dict(
+                axes={"base": ["centos:7", "centos:7"],
+                      "app": ["a1", "a2"]}))
+
+    def test_axis_unused_by_template_is_an_error(self):
+        """An axis that does not shape the image is an N-way duplicate
+        build, not a matrix."""
+        with pytest.raises(MatrixSpecError,
+                           match="axis 'arch' is never used"):
+            MatrixSpec.from_dict(spec_dict(
+                axes={"base": ["centos:7", "debian:buster"],
+                      "app": ["a1", "a2"],
+                      "arch": ["x86_64", "aarch64"]}))
+
+    def test_undefined_template_variable(self):
+        with pytest.raises(MatrixSpecError,
+                           match=r"\$\{mpi\} which is neither an axis"):
+            MatrixSpec.from_dict(spec_dict(
+                template=TEMPLATE + "RUN echo ${mpi}\n"))
+
+    def test_arg_default_fills_non_axis_variable(self):
+        spec = MatrixSpec.from_dict(spec_dict(
+            template="ARG prefix=/opt\n" + TEMPLATE
+                     + "RUN echo ${prefix}\n"))
+        assert spec.cross_product_size == 4
+
+    def test_tag_pattern_must_use_axes(self):
+        with pytest.raises(MatrixSpecError,
+                           match=r"tag pattern references \$\{ver\}"):
+            MatrixSpec.from_dict(spec_dict(tag="fam:${ver}"))
+
+    def test_exclude_unknown_axis(self):
+        with pytest.raises(MatrixSpecError, match="unknown axis 'mpi'"):
+            MatrixSpec.from_dict(spec_dict(exclude=[{"mpi": "openmpi"}]))
+
+    def test_exclude_unknown_value(self):
+        with pytest.raises(MatrixSpecError,
+                           match="unknown value 'alpine'"):
+            MatrixSpec.from_dict(spec_dict(exclude=[{"base": "alpine"}]))
+
+    def test_include_must_be_full_assignment(self):
+        with pytest.raises(MatrixSpecError, match="missing axis"):
+            MatrixSpec.from_dict(spec_dict(include=[{"base": "centos:7"}]))
+
+    def test_tenant_is_single_segment(self):
+        with pytest.raises(MatrixSpecError, match="single non-empty"):
+            MatrixSpec.from_dict(spec_dict(tenant="a/b"))
+
+
+class TestDegenerateExpansion:
+    def test_single_cell_is_not_a_matrix(self):
+        spec = MatrixSpec.from_dict(spec_dict(
+            axes={"base": ["centos:7"], "app": ["a1"]}))
+        with pytest.raises(MatrixSpecError,
+                           match="single cell .* is not a matrix"):
+            expand(spec)
+
+    def test_all_cells_excluded(self):
+        spec = MatrixSpec.from_dict(spec_dict(
+            exclude=[{"base": "centos:7"}, {"base": "debian:buster"}]))
+        with pytest.raises(MatrixSpecError,
+                           match="eliminate all 4 cells"):
+            expand(spec)
+
+    def test_duplicate_tags(self):
+        """A tag pattern that cannot distinguish cells along some axis
+        collides — and the error names both cells and the pattern's
+        variables."""
+        spec = MatrixSpec.from_dict(spec_dict(tag="fam:${base}"))
+        with pytest.raises(MatrixSpecError) as exc:
+            expand(spec)
+        msg = str(exc.value)
+        assert "both render tag 'fam:centos-7'" in msg
+        assert "app=a1" in msg and "app=a2" in msg
+
+    def test_include_resurrects_an_excluded_matrix(self):
+        """Includes are appended after exclusion, GitHub-matrix style —
+        a fully excluded cross product with explicit include rows is
+        not empty."""
+        spec = MatrixSpec.from_dict(spec_dict(
+            exclude=[{"base": "centos:7"}, {"base": "debian:buster"}],
+            include=[{"base": "centos:7", "app": "a1"},
+                     {"base": "centos:7", "app": "a2"}]))
+        variants = expand(spec)
+        assert [v.tag for v in variants] == \
+            ["fam/centos-7:a1", "fam/centos-7:a2"]
+
+
+class TestExpansion:
+    def test_row_major_order_and_tags(self):
+        variants = expand(MatrixSpec.from_dict(spec_dict()))
+        assert [v.tag for v in variants] == [
+            "fam/centos-7:a1", "fam/centos-7:a2",
+            "fam/debian-buster:a1", "fam/debian-buster:a2"]
+        assert variants[0].value_map() == \
+            {"base": "centos:7", "app": "a1"}
+        assert variants[0].label == "base=centos:7 app=a1"
+
+    def test_exclude_drops_matching_cells(self):
+        spec = MatrixSpec.from_dict(spec_dict(
+            exclude=[{"base": "debian:buster", "app": "a2"}]))
+        assert [v.tag for v in expand(spec)] == [
+            "fam/centos-7:a1", "fam/centos-7:a2",
+            "fam/debian-buster:a1"]
+
+    def test_include_deduplicates_existing_cells(self):
+        spec = MatrixSpec.from_dict(spec_dict(
+            include=[{"base": "centos:7", "app": "a1"}]))
+        assert len(expand(spec)) == 4  # already in the cross product
+
+    def test_include_may_introduce_new_values(self):
+        spec = MatrixSpec.from_dict(spec_dict(
+            include=[{"base": "centos:7", "app": "nightly"}]))
+        variants = expand(spec)
+        assert len(variants) == 5
+        assert variants[-1].tag == "fam/centos-7:nightly"
+
+
+class TestTextFormat:
+    SPEC_TEXT = """\
+# a family
+name: fam
+tag: fam/${base}:${app}
+tenant: hpc
+axis base: centos:7 | debian:buster
+axis app: a1 | a2
+exclude: base=debian:buster app=a2
+template: |
+  FROM ${base}
+  RUN echo shared > /s
+  RUN echo ${app} > /a
+"""
+
+    def test_roundtrip(self):
+        spec = parse_spec_text(self.SPEC_TEXT)
+        assert spec.name == "fam"
+        assert spec.tenant == "hpc"
+        assert spec.axis("base").values == ("centos:7", "debian:buster")
+        assert spec.excludes == ((("base", "debian:buster"),
+                                  ("app", "a2")),)
+        assert spec.template.startswith("FROM ${base}\n")
+        assert len(expand(spec)) == 3
+
+    def test_duplicate_axis_line(self):
+        with pytest.raises(MatrixSpecError, match="duplicate axis"):
+            parse_spec_text("name: x\naxis a: 1 | 2\naxis a: 3 | 4\n")
+
+    def test_unknown_key(self):
+        with pytest.raises(MatrixSpecError, match="unknown key 'bogus'"):
+            parse_spec_text("bogus: value\n")
+
+    def test_template_needs_block_marker(self):
+        with pytest.raises(MatrixSpecError, match="template: \\|"):
+            parse_spec_text("template: FROM x\n")
+
+    def test_empty_template_block(self):
+        with pytest.raises(MatrixSpecError, match="empty template"):
+            parse_spec_text("name: x\ntemplate: |\n")
+
+    def test_bad_exclude_pairs(self):
+        with pytest.raises(MatrixSpecError, match="axis=value pairs"):
+            parse_spec_text("exclude: what even\n")
+
+    def test_unparseable_line(self):
+        with pytest.raises(MatrixSpecError, match="line 1: cannot parse"):
+            parse_spec_text("no colon here\n")
+
+    def test_committed_example_parses(self):
+        import pathlib
+        spec = parse_spec_text(
+            (pathlib.Path(__file__).resolve().parents[2] / "examples"
+             / "matrix_family.spec").read_text())
+        assert spec.cross_product_size == 64
+        assert spec.tenant == "hpcsite"
