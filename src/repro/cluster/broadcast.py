@@ -36,14 +36,15 @@ but the job's own ranks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 from ..containers.oci import ImageRef
 from ..containers.registry import Registry
 from ..errors import RegistryError, ReproError, TransientError
 from ..obs.trace import maybe_span
-from ..sim import (FaultPlan, RetryPolicy, SimEngine, Topology, chunk_sizes,
+from ..sim import (FaultPlan, RetryPolicy, SimEngine, Topology,
                    faulty_transmit, link_restore, link_snapshot)
+from ..sim import opts as sim_opts
 from .machines import Machine
 
 __all__ = ["BroadcastError", "BroadcastReport", "DEPLOY_STRATEGIES",
@@ -183,6 +184,12 @@ class _CastContext:
         self.policy = policy
         self.crashed: set[str] = set()    # hostnames whose crash manifested
         self.degraded: set[str] = set()   # gave up: no path to the blob
+        # Event coalescing is only sound when the cast's tree cannot be
+        # rewired mid-flight: under a live fault plan a leaf may later be
+        # promoted to a relay (re-parenting) or probed for crashes by its
+        # serve event, so every transfer keeps its chunk schedule there.
+        self.coalesce = ((plan is None or plan.empty)
+                         and sim_opts.ENABLED)
 
     def blob_source(self, digest: str) -> tuple[str, object]:
         """``(name, link)`` of the endpoint serving *digest*.
@@ -230,7 +237,10 @@ class _BlobCast:
         # hostname -> machines it still owes the blob to (mutable: repair
         # re-parents subtrees by moving entries between these lists)
         self.children: dict[str, list[Machine]] = {}
-        self.chunk_avail: dict[str, list[float]] = {}
+        # hostname -> per-chunk arrival times (a pipelined relay) or a
+        # single float (every chunk available at once: a pre-existing
+        # holder, or a node whose transfer was coalesced)
+        self.chunk_avail: dict[str, Union[float, list[float]]] = {}
         self.done: set[str] = set()           # hold the complete blob
         self.dead: set[str] = set()           # crashed, as seen by this cast
         self.ready_at: dict[str, float] = {}  # when the blob landed
@@ -251,6 +261,13 @@ class _BlobCast:
         self.dead.add(hostname)
         self.ctx.mark_crashed(hostname)
 
+    def _observed(self, hostname: str) -> bool:
+        """Does anyone observe *hostname*'s mid-flight chunks?  A relay's
+        chunk arrivals seed its children's pipelined sends; a leaf's are
+        observed by nobody, so its transfer coalesces into one completion
+        event (unless a fault plan could still rewire the tree)."""
+        return bool(self.children.get(hostname)) or not self.ctx.coalesce
+
     # -- entry point -------------------------------------------------------
 
     def start(self) -> None:
@@ -269,11 +286,15 @@ class _BlobCast:
             return
 
         if self.strategy == "registry":
+            # one pull event per node, all at t0: the §4.2 pull storm is
+            # a same-timestamp flood, and the EventQueue bucket fast path
+            # absorbs it without heap churn.  FIFO within the bucket
+            # keeps the registry link's FIFO reservations in the same
+            # order a synchronous loop would produce.
             for node in needy:
-                self.pull(node, 0)
+                ctx.engine.at(t0, self.pull, node, 0)
             return
 
-        n_chunks = len(chunk_sizes(self.size, ctx.chunk))
         if holders:
             # per-blob dedup: every node already holding the blob roots
             # its own tree — a forest with the needy nodes interleaved
@@ -282,7 +303,7 @@ class _BlobCast:
             for k, holder in enumerate(holders):
                 self.done.add(holder.hostname)
                 self.ready_at[holder.hostname] = t0
-                self.chunk_avail[holder.hostname] = [t0] * n_chunks
+                self.chunk_avail[holder.hostname] = t0
                 order = [holder] + needy[k::len(holders)]
                 self._plant_tree(order)
                 ctx.engine.at(t0, self.serve, holder)
@@ -330,7 +351,8 @@ class _BlobCast:
             timing = faulty_transmit(
                 ctx.plan, src_link, dst, self.size,
                 chunk_size=ctx.chunk, available=now, now=now,
-                attempt_timeout=timeout)
+                attempt_timeout=timeout,
+                record_arrivals=self._observed(host))
             blob = ctx.registry.fetch_blob(self.digest)
         except TransientError as exc:
             link_restore(src_link, snap_src)
@@ -388,7 +410,8 @@ class _BlobCast:
             timing = faulty_transmit(
                 ctx.plan, src, dst, self.size, chunk_size=ctx.chunk,
                 available=self.chunk_avail[shost], now=now,
-                attempt_timeout=timeout)
+                attempt_timeout=timeout,
+                record_arrivals=self._observed(chost))
         except TransientError as exc:
             self._transient("send", child, attempt, exc, sender=sender)
             return
@@ -412,15 +435,23 @@ class _BlobCast:
             node.content_store.put(self.blob)
             self._r.peer_bytes += self.size
             self._r.peer_sends += 1
-        self.chunk_avail[host] = timing.chunk_arrivals
+        # a coalesced transfer (chunk_arrivals is None) means the node is
+        # a leaf: it holds everything at timing.end, and should it ever
+        # serve after all (it can't — coalescing is off under fault
+        # plans), scalar availability gives the identical schedule
+        arrivals = timing.chunk_arrivals
+        self.chunk_avail[host] = arrivals if arrivals is not None \
+            else timing.end
         self.ready_at[host] = timing.end
         self._r.node_ready[host] = max(
             self._r.node_ready.get(host, self._r.started_at), timing.end)
         self._r.transfers.append(TransferRecord(
             self.digest, self.size, src, host, timing.start, timing.end))
-        if self.strategy == "tree":
-            # the node becomes a server as soon as its first chunk lands
-            self.ctx.engine.at(timing.chunk_arrivals[0], self.serve, node)
+        if self.strategy == "tree" and self._observed(host):
+            # the node becomes a server as soon as its first chunk lands;
+            # childless nodes on a clean run never serve, so their
+            # no-op serve events coalesce away entirely
+            self.ctx.engine.at(timing.first_arrival, self.serve, node)
 
     # -- repair ------------------------------------------------------------
 

@@ -7,7 +7,7 @@ can report makespans instead of pretending a for-loop is a cluster.
 """
 
 from .clock import SimClock
-from .events import EventQueue, SimEngine, SimError
+from .events import EventQueue, ReferenceEventQueue, SimEngine, SimError
 from .faults import (
     FaultPlan,
     FaultPlanError,
@@ -19,6 +19,8 @@ from .faults import (
     link_snapshot,
     retry_call,
 )
+from .opts import optimizations_enabled, reference_engine, set_optimizations
+from .profile import EngineProfile, category_of
 from .topology import (
     DEFAULT_BANDWIDTH,
     DEFAULT_CHUNK_SIZE,
@@ -28,7 +30,12 @@ from .topology import (
     Topology,
     TopologyError,
 )
-from .transfer import TransferTiming, chunk_sizes, transmit
+from .transfer import (
+    TransferTiming,
+    chunk_sizes,
+    transmit,
+    transmit_reference,
+)
 from .workload import (
     PullRequest,
     WorkloadError,
@@ -42,8 +49,14 @@ from .workload import (
 __all__ = [
     "SimClock",
     "EventQueue",
+    "ReferenceEventQueue",
     "SimEngine",
     "SimError",
+    "EngineProfile",
+    "category_of",
+    "optimizations_enabled",
+    "reference_engine",
+    "set_optimizations",
     "FaultPlan",
     "FaultPlanError",
     "RegistryFaultInjector",
@@ -63,6 +76,7 @@ __all__ = [
     "TransferTiming",
     "chunk_sizes",
     "transmit",
+    "transmit_reference",
     "PullRequest",
     "WorkloadError",
     "WorkloadReport",

@@ -379,7 +379,8 @@ def faulty_transmit(plan: Optional[FaultPlan], src: NetLink, dst: NetLink,
                     size: int, *, chunk_size: int,
                     available: Union[float, Sequence[float]],
                     now: float = 0.0,
-                    attempt_timeout: Optional[float] = None) -> TransferTiming:
+                    attempt_timeout: Optional[float] = None,
+                    record_arrivals: bool = True) -> TransferTiming:
     """:func:`transmit`, but aborting (with full rollback) under faults.
 
     Checks, in order: slow-link degradation at *now* scales the effective
@@ -393,7 +394,8 @@ def faulty_transmit(plan: Optional[FaultPlan], src: NetLink, dst: NetLink,
     """
     if plan is None or plan.empty:
         return transmit(src, dst, size, chunk_size=chunk_size,
-                        available=available)
+                        available=available,
+                        record_arrivals=record_arrivals)
     src_snap = link_snapshot(src)
     dst_snap = link_snapshot(dst)
     factor = min(plan.bandwidth_factor(src.name, now),
@@ -405,7 +407,8 @@ def faulty_transmit(plan: Optional[FaultPlan], src: NetLink, dst: NetLink,
         dst.bandwidth = dst_bw * factor
     try:
         timing = transmit(src, dst, size, chunk_size=chunk_size,
-                          available=available)
+                          available=available,
+                          record_arrivals=record_arrivals)
     finally:
         if scaled:
             src.bandwidth, dst.bandwidth = src_bw, dst_bw

@@ -9,16 +9,39 @@ both endpoints' one-way latencies.  Because chunk *c*'s start time is
 blob can already re-serve the chunks it has — that is the pipelining the
 tree broadcast leans on, and it falls out of the cost model rather than
 being special-cased.
+
+Two implementations share one arithmetic contract:
+
+* the **reference chunk loop** (:func:`transmit_reference`) walks every
+  chunk — required when ``available`` is a per-chunk sequence, i.e. the
+  source is itself mid-receive;
+* the **closed-form bulk path** handles scalar ``available`` (a registry,
+  or a relay that already holds the whole blob).  Back-to-back equal-rate
+  chunks make every per-chunk quantity an affine function of the *exact
+  integer* byte count, so the start/end/arrival schedule and the
+  :class:`~repro.sim.LinkStats` increments are computed analytically —
+  O(1) stat mutations, no per-chunk heap traffic — with **bit-identical
+  floats** to the loop (the property tests in
+  ``tests/sim/test_transfer_property.py`` pin this down).
+
+Bit-identity works because both paths evaluate the *same float
+expressions*: within one busy period starting at ``base`` after ``b0``
+bytes, chunk *c* ends at ``base + (B_c - b0)/rate`` where ``B_c`` is an
+exact int; the byte·seconds congestion integral is decomposed into
+``Σ nbytes·cum / rate + bytes·(base + hop_latency) - bytes·ready`` whose
+first numerator is an exact integer with a closed form
+(``chunk² · n(n+1)/2 + rem·size`` for a scalar-available transfer).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
+from . import opts
 from .topology import NetLink
 
-__all__ = ["TransferTiming", "chunk_sizes", "transmit"]
+__all__ = ["TransferTiming", "chunk_sizes", "transmit", "transmit_reference"]
 
 
 def chunk_sizes(size: int, chunk_size: int) -> list[int]:
@@ -29,69 +52,216 @@ def chunk_sizes(size: int, chunk_size: int) -> list[int]:
     return [chunk_size] * n_full + ([rem] if rem else [])
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferTiming:
-    """When one blob's chunks arrived at the receiver."""
+    """When one blob's chunks arrived at the receiver.
+
+    ``chunk_arrivals`` is ``None`` for a coalesced transfer
+    (``record_arrivals=False``): nobody observes the intermediate chunks,
+    so the schedule is never materialized — only its first and last
+    points (``first_arrival`` / ``end``) are kept.
+    """
 
     size: int
     start: float                     # first chunk's wire start
     end: float                       # last chunk's arrival
-    chunk_arrivals: list[float] = field(default_factory=list)
+    first_arrival: float = 0.0       # first chunk's arrival
+    chunk_arrivals: Optional[list[float]] = field(default=None)
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
 
+def _zero_size(src: NetLink, dst: NetLink,
+               available: Union[float, Sequence[float]]) -> TransferTiming:
+    # A zero-size transfer still cannot complete before its data exists
+    # (with a per-chunk sequence the source finishes receiving at
+    # max(available)) *nor* before both FIFO horizons are free — an empty
+    # blob queues behind in-flight traffic like any other send.
+    if isinstance(available, (int, float)):
+        ready = float(available)
+    else:
+        ready = max((float(a) for a in available), default=0.0)
+    t = max(ready, src.tx_free_at, dst.rx_free_at)
+    return TransferTiming(size=0, start=t, end=t, first_arrival=t,
+                          chunk_arrivals=[])
+
+
 def transmit(src: NetLink, dst: NetLink, size: int, *, chunk_size: int,
-             available: Union[float, Sequence[float]]) -> TransferTiming:
+             available: Union[float, Sequence[float]],
+             record_arrivals: bool = True) -> TransferTiming:
     """Move *size* bytes ``src -> dst``; returns the chunk arrival times.
 
     *available* is either a single time (all bytes ready at the source —
     a registry or a node that already holds the blob) or a per-chunk
     sequence (the source is itself still receiving — pipelined relay).
+
+    With ``record_arrivals=False`` the per-chunk arrival list is not
+    materialized (``chunk_arrivals is None``); use it for transfers whose
+    intermediate chunks nobody observes.  All timings and LinkStats are
+    identical either way.
     """
-    chunks = chunk_sizes(size, chunk_size)
-    if not chunks:
-        # A zero-size transfer still cannot complete before its data
-        # exists: with a per-chunk sequence the source finishes receiving
-        # at max(available), and that is when this hop is "done".
-        if isinstance(available, (int, float)):
-            t = float(available)
-        else:
-            t = max((float(a) for a in available), default=0.0)
-        return TransferTiming(size=0, start=t, end=t)
+    if size <= 0:
+        return _zero_size(src, dst, available)
     if isinstance(available, (int, float)):
-        avail = [float(available)] * len(chunks)
+        if opts.ENABLED:
+            return _transmit_bulk(src, dst, size, chunk_size,
+                                  float(available), record_arrivals)
+        n_full, rem = divmod(size, chunk_size)
+        avail = [float(available)] * (n_full + (1 if rem else 0))
     else:
-        if len(available) != len(chunks):
-            raise ValueError(
-                f"have {len(available)} chunk availability times for "
-                f"{len(chunks)} chunks")
         avail = [float(a) for a in available]
+    return _transmit_chunked(src, dst, size, chunk_size, avail,
+                             record_arrivals)
+
+
+def transmit_reference(src: NetLink, dst: NetLink, size: int, *,
+                       chunk_size: int,
+                       available: Union[float, Sequence[float]],
+                       record_arrivals: bool = True) -> TransferTiming:
+    """:func:`transmit` forced down the per-chunk reference loop, even
+    for scalar availability.  The bulk path must be bit-identical to
+    this — it is the oracle the property tests compare against."""
+    if size <= 0:
+        return _zero_size(src, dst, available)
+    if isinstance(available, (int, float)):
+        n_full, rem = divmod(size, chunk_size)
+        avail = [float(available)] * (n_full + (1 if rem else 0))
+    else:
+        avail = [float(a) for a in available]
+    return _transmit_chunked(src, dst, size, chunk_size, avail,
+                             record_arrivals)
+
+
+def _transmit_chunked(src: NetLink, dst: NetLink, size: int,
+                      chunk_size: int, avail: list[float],
+                      record_arrivals: bool) -> TransferTiming:
+    """The reference per-chunk loop (and the only path able to model a
+    pipelined relay, where each chunk has its own availability time)."""
+    chunks = chunk_sizes(size, chunk_size)
+    if len(avail) != len(chunks):
+        raise ValueError(
+            f"have {len(avail)} chunk availability times for "
+            f"{len(chunks)} chunks")
 
     rate = min(src.bandwidth, dst.bandwidth)
     hop_latency = src.latency + dst.latency
-    arrivals: list[float] = []
-    first_start = None
+    tx_free = src.tx_free_at
+    rx_free = dst.rx_free_at
+    arrivals: Optional[list[float]] = [] if record_arrivals else None
+
+    # Busy periods: while chunks go out back-to-back, chunk ends are
+    # ``base_start + exact_bytes/rate`` — one rounding per chunk instead
+    # of an accumulated sum, and the same expression the bulk path uses.
+    first_start = first_arrival = 0.0
+    base_start = 0.0
+    end = None
+    sent = 0                          # cumulative bytes (exact)
+    base_sent = 0                     # bytes sent before this busy period
+    # byte·seconds decomposition: Σ nbytes·(arrival − ready) ==
+    #   Σ_periods [Σ nbytes·cum / rate + period_bytes·(base + latency)]
+    #   − Σ_ready-groups group_bytes·ready
+    bs_pos = 0.0
+    ibs = 0                           # Σ nbytes·cum this period (exact)
+    period_bytes = 0
+    bs_neg = 0.0
+    group_ready: Optional[float] = None
+    group_bytes = 0
+
     for nbytes, ready in zip(chunks, avail):
-        start = max(ready, src.tx_free_at, dst.rx_free_at)
-        wire = nbytes / rate
-        end = start + wire
-        src.tx_free_at = end
-        dst.rx_free_at = end
+        start = max(ready, tx_free, rx_free)
+        if end is None or start > end:
+            if period_bytes:
+                bs_pos += (ibs / rate) + (period_bytes
+                                          * (base_start + hop_latency))
+            base_start = start
+            base_sent = sent
+            ibs = 0
+            period_bytes = 0
+        sent += nbytes
+        cum = sent - base_sent
+        end = base_start + cum / rate
+        tx_free = rx_free = end
+        ibs += nbytes * cum
+        period_bytes += nbytes
+        if ready != group_ready:
+            if group_bytes:
+                bs_neg += group_bytes * group_ready
+            group_ready = ready
+            group_bytes = 0
+        group_bytes += nbytes
         arrival = end + hop_latency
-        arrivals.append(arrival)
-        if first_start is None:
+        if arrivals is not None:
+            arrivals.append(arrival)
+        if sent == nbytes:            # first chunk
             first_start = start
-        src.stats.bytes_tx += nbytes
-        src.stats.chunks_tx += 1
-        src.stats.busy_tx_seconds += wire
-        dst.stats.bytes_rx += nbytes
-        dst.stats.chunks_rx += 1
-        dst.stats.busy_rx_seconds += wire
-        flight = arrival - ready
-        src.stats.byte_seconds += nbytes * flight
-        dst.stats.byte_seconds += nbytes * flight
-    return TransferTiming(size=size, start=first_start or 0.0,
-                          end=arrivals[-1], chunk_arrivals=arrivals)
+            first_arrival = arrival
+    bs_pos += (ibs / rate) + (period_bytes * (base_start + hop_latency))
+    bs_neg += group_bytes * group_ready
+    last_arrival = end + hop_latency
+
+    src.tx_free_at = end
+    dst.rx_free_at = end
+    _flush_stats(src, dst, size, len(chunks), size / rate, bs_pos - bs_neg)
+    return TransferTiming(size=size, start=first_start, end=last_arrival,
+                          first_arrival=first_arrival,
+                          chunk_arrivals=arrivals)
+
+
+def _transmit_bulk(src: NetLink, dst: NetLink, size: int, chunk_size: int,
+                   ready: float, record_arrivals: bool) -> TransferTiming:
+    """Closed-form transfer for scalar availability.
+
+    Every byte is ready at ``ready``, so chunk starts never wait on data
+    after the first: the whole transfer is one busy period and chunk *k*
+    ends at ``start + (k·chunk_size)/rate`` — the identical float the
+    reference loop computes.  LinkStats are aggregated with O(1)
+    mutations; the byte·seconds numerator ``Σ nbytes·cum`` collapses to
+    ``chunk² · n(n+1)/2 + rem·size`` (exact integers).
+    """
+    rate = min(src.bandwidth, dst.bandwidth)
+    hop_latency = src.latency + dst.latency
+    start = max(ready, src.tx_free_at, dst.rx_free_at)
+    n_full, rem = divmod(size, chunk_size)
+    n_chunks = n_full + (1 if rem else 0)
+
+    end = start + size / rate
+    first_bytes = chunk_size if n_full else rem
+    first_arrival = (start + first_bytes / rate) + hop_latency
+    last_arrival = end + hop_latency
+    arrivals: Optional[list[float]] = None
+    if record_arrivals:
+        arrivals = [(start + (k * chunk_size) / rate) + hop_latency
+                    for k in range(1, n_full + 1)]
+        if rem:
+            arrivals.append(last_arrival)
+
+    ibs = chunk_size * chunk_size * (n_full * (n_full + 1) // 2)
+    if rem:
+        ibs += rem * size
+    byte_seconds = ((ibs / rate) + (size * (start + hop_latency))
+                    - (size * ready))
+
+    src.tx_free_at = end
+    dst.rx_free_at = end
+    _flush_stats(src, dst, size, n_chunks, size / rate, byte_seconds)
+    return TransferTiming(size=size, start=start, end=last_arrival,
+                          first_arrival=first_arrival,
+                          chunk_arrivals=arrivals)
+
+
+def _flush_stats(src: NetLink, dst: NetLink, size: int, n_chunks: int,
+                 wire: float, byte_seconds: float) -> None:
+    """One aggregated LinkStats update per transfer, identical on both
+    implementation paths (same expressions, same order)."""
+    ss = src.stats
+    ss.bytes_tx += size
+    ss.chunks_tx += n_chunks
+    ss.busy_tx_seconds += wire
+    ss.byte_seconds += byte_seconds
+    ds = dst.stats
+    ds.bytes_rx += size
+    ds.chunks_rx += n_chunks
+    ds.busy_rx_seconds += wire
+    ds.byte_seconds += byte_seconds

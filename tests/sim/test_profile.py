@@ -1,0 +1,128 @@
+"""The deterministic engine profiler: category counts and virtual-time
+attribution that replay identically and never perturb the schedule."""
+
+import functools
+
+from repro.sim import EngineProfile, SimEngine, category_of
+
+
+class TestCategoryOf:
+    def test_function_qualname(self):
+        def handler():
+            pass
+        assert category_of(handler) == \
+            "TestCategoryOf.test_function_qualname.<locals>.handler"
+
+    def test_bound_method_qualname(self):
+        class Cast:
+            def serve(self):
+                pass
+        assert category_of(Cast().serve).endswith("Cast.serve")
+
+    def test_partial_unwraps_to_the_inner_callable(self):
+        def handler(a, b):
+            pass
+        wrapped = functools.partial(functools.partial(handler, 1), 2)
+        assert category_of(wrapped).endswith("handler")
+
+    def test_callable_instance_falls_back_to_type_name(self):
+        class Ticker:
+            def __call__(self):
+                pass
+        assert category_of(Ticker()) == "Ticker"
+
+
+class TestEngineProfile:
+    def test_counts_and_virtual_time_by_category(self):
+        p = EngineProfile()
+
+        def a():
+            pass
+
+        def b():
+            pass
+        p.record(a, 1.5)
+        p.record(a, 0.5)
+        p.record(b, 3.0)
+        cat_a, cat_b = category_of(a), category_of(b)
+        assert p.events == {cat_a: 2, cat_b: 1}
+        assert p.total_events == 3
+        assert p.virtual_seconds[cat_a] == 2.0
+        assert p.total_virtual_seconds == 5.0
+
+    def test_non_advancing_events_count_but_attribute_no_time(self):
+        p = EngineProfile()
+
+        def a():
+            pass
+        p.record(a, 0.0)
+        p.record(a, -1e-9)   # scheduled at-or-before now: clamp to zero
+        assert p.total_events == 2
+        assert p.total_virtual_seconds == 0.0
+        assert category_of(a) not in p.virtual_seconds
+
+    def test_top_is_deterministic(self):
+        p = EngineProfile()
+        for name in ("beta", "alpha", "gamma", "alpha", "beta"):
+            p.events[name] = p.events.get(name, 0) + 1
+            p.total_events += 1
+        # count-desc, then name: the tie between alpha and beta sorts
+        # alphabetically every run
+        assert p.top(2) == [("alpha", 2), ("beta", 2)]
+        assert p.top() == [("alpha", 2), ("beta", 2), ("gamma", 1)]
+
+    def test_as_dict_is_sorted_and_json_friendly(self):
+        p = EngineProfile()
+
+        def z():
+            pass
+
+        def a():
+            pass
+        p.record(z, 0.1)
+        p.record(a, 0.2)
+        d = p.as_dict()
+        assert list(d["events"]) == sorted(d["events"])
+        assert d["total_events"] == 2
+        assert d["total_virtual_seconds"] == round(0.1 + 0.2, 9)
+        assert "EngineProfile" in repr(p)
+
+
+class TestEngineIntegration:
+    def test_profile_rides_the_run_loop(self):
+        profile = EngineProfile()
+        engine = SimEngine(profile=profile)
+        seen = []
+
+        class Job:
+            def tick(self, n):
+                seen.append(n)
+                if n < 3:
+                    engine.after(2.0, self.tick, n + 1)
+
+        job = Job()
+        engine.at(1.0, job.tick, 1)
+        engine.at(1.0, job.tick, 3)   # same-timestamp: advances nothing
+        engine.run()
+        assert seen == [1, 3, 2, 3]
+        assert profile.events == {"TestEngineIntegration."
+                                  "test_profile_rides_the_run_loop."
+                                  "<locals>.Job.tick": 4}
+        # 0->1 advance + the two after(2.0) hops; the equal-time event
+        # contributes no virtual time
+        assert profile.total_virtual_seconds == 5.0
+        assert profile.total_events == engine.events_processed == 4
+
+    def test_profiling_does_not_change_the_schedule(self):
+        def run(profile):
+            engine = SimEngine(profile=profile)
+            order = []
+            engine.at(2.0, order.append, "b")
+            engine.at(1.0, order.append, "a")
+            engine.at(1.0, order.append, "a2")
+            end = engine.run()
+            return order, end
+
+        bare = run(None)
+        profiled = run(EngineProfile())
+        assert bare == profiled

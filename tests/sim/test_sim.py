@@ -8,13 +8,19 @@ from repro.sim import (
     DEFAULT_BANDWIDTH,
     DEFAULT_LATENCY,
     EventQueue,
+    LinkStats,
     NetLink,
+    ReferenceEventQueue,
     SimClock,
     SimEngine,
     SimError,
     Topology,
     TopologyError,
+    TransferTiming,
     chunk_sizes,
+    optimizations_enabled,
+    reference_engine,
+    set_optimizations,
     transmit,
 )
 
@@ -67,6 +73,52 @@ class TestEventQueue:
     def test_negative_time_rejected(self):
         with pytest.raises(SimError):
             EventQueue().push(-1.0, "x")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_time_rejected(self, bad):
+        """Regression: a NaN timestamp compares false against everything,
+        so it used to corrupt heap order silently instead of failing."""
+        with pytest.raises(SimError, match="non-finite"):
+            EventQueue().push(bad, "x")
+        with pytest.raises(SimError, match="non-finite"):
+            ReferenceEventQueue().push(bad, "x")
+        with pytest.raises(SimError, match="non-finite"):
+            SimEngine().at(bad, lambda: None)
+
+    def test_same_timestamp_flood_stays_fifo(self):
+        """The bucket fast path: a flood of equal-time events drains in
+        push order, interleaved correctly with distinct-time events."""
+        q = EventQueue()
+        q.push(2.0, "late")
+        for i in range(1000):
+            q.push(1.0, i)
+        q.push(0.5, "early")
+        assert len(q) == 1002
+        assert q.peek_time() == 0.5
+        got = [q.pop() for _ in range(1002)]
+        assert got[0] == (0.5, "early", ())
+        assert [fn for _, fn, _ in got[1:-1]] == list(range(1000))
+        assert got[-1] == (2.0, "late", ())
+        assert not q and q.peek_time() is None
+
+    def test_bucket_queue_matches_reference_queue(self):
+        """Both queue implementations pop the exact same sequence for
+        the same pushes — the ablation's ordering contract."""
+        pushes = [(1.0, "a"), (3.0, "b"), (1.0, "c"), (2.0, "d"),
+                  (1.0, "e"), (3.0, "f"), (0.0, "g"), (2.0, "h")]
+        fast, ref = EventQueue(), ReferenceEventQueue()
+        drained = []
+        for i, (t, tag) in enumerate(pushes):
+            fast.push(t, tag)
+            ref.push(t, tag)
+            if i % 3 == 2:          # interleave pops with pushes
+                drained.append((fast.pop(), ref.pop()))
+        while fast:
+            drained.append((fast.pop(), ref.pop()))
+        assert not ref
+        for got_fast, got_ref in drained:
+            assert got_fast == got_ref
 
 
 class TestSimEngine:
@@ -188,6 +240,21 @@ class TestTransmit:
         assert t.size == 0 and t.start == t.end == 3.0
         assert a.stats.bytes_tx == 0
 
+    def test_zero_size_waits_for_busy_links(self):
+        """Regression: an empty blob used to 'complete' while the link
+        was still busy with in-flight traffic — zero-size sends must
+        queue behind the FIFO horizons like any other transfer."""
+        a, b = links(2)
+        transmit(a, b, 500, chunk_size=100, available=0.0)  # busy to t=5
+        t = transmit(a, b, 0, chunk_size=100, available=0.0)
+        assert t.start == t.end == 5.0
+        # the receive horizon alone also delays it
+        c, d = links(2)
+        d.rx_free_at = 7.0
+        t = transmit(c, d, 0, chunk_size=100, available=2.0)
+        assert t.start == t.end == 7.0
+        assert t.chunk_arrivals == []
+
     def test_zero_size_with_sequence_availability(self):
         """Regression: a relayed zero-size hop used to report itself done
         at t=0 even though its source data only existed at max(avail)."""
@@ -196,6 +263,52 @@ class TestTransmit:
         assert t.size == 0 and t.start == t.end == 5.0
         t = transmit(a, b, 0, chunk_size=100, available=[])
         assert t.start == t.end == 0.0
+
+    def test_first_arrival_is_first_chunk_landing(self):
+        a, b = links(2, bandwidth=100.0, latency=0.05)
+        t = transmit(a, b, 1000, chunk_size=100, available=0.0)
+        assert t.first_arrival == t.chunk_arrivals[0] == pytest.approx(1.1)
+        # and for a sub-chunk blob the only chunk is both first and last
+        t = transmit(a, b, 50, chunk_size=100, available=0.0)
+        assert t.first_arrival == t.end == t.chunk_arrivals[0]
+
+    def test_coalesced_transfer_skips_the_arrival_list(self):
+        """record_arrivals=False must change nothing but chunk_arrivals."""
+        a, b = links(2, latency=0.01)
+        c, d = links(2, latency=0.01)
+        full = transmit(a, b, 950, chunk_size=100, available=2.0)
+        lean = transmit(c, d, 950, chunk_size=100, available=2.0,
+                        record_arrivals=False)
+        assert lean.chunk_arrivals is None
+        assert full.chunk_arrivals is not None
+        assert (lean.size, lean.start, lean.end, lean.first_arrival) == \
+               (full.size, full.start, full.end, full.first_arrival)
+        assert c.stats == a.stats and d.stats == b.stats
+        assert isinstance(full, TransferTiming)
+
+    def test_bulk_path_matches_reference_loop(self):
+        """Smoke-level bit-identity (the Hypothesis suite in
+        test_transfer_property.py covers the full input space)."""
+        prev = set_optimizations(True)       # force the bulk path
+        try:
+            assert optimizations_enabled()
+            a, b = links(2, bandwidth=77.0, latency=0.003)
+            b.bandwidth = 31.0
+            fast = transmit(a, b, 12345, chunk_size=1000, available=1.5)
+        finally:
+            set_optimizations(prev)
+        with reference_engine():
+            c, d = links(2, bandwidth=77.0, latency=0.003)
+            d.bandwidth = 31.0
+            assert not optimizations_enabled()
+            slow = transmit(c, d, 12345, chunk_size=1000, available=1.5)
+        assert fast == slow                  # dataclass: field-exact
+        assert a.stats == c.stats == LinkStats(
+            bytes_tx=12345, chunks_tx=13,
+            busy_tx_seconds=a.stats.busy_tx_seconds,
+            byte_seconds=a.stats.byte_seconds)
+        assert b.stats == d.stats
+        assert (a.tx_free_at, b.rx_free_at) == (c.tx_free_at, d.rx_free_at)
 
     def test_stats_account_both_sides(self):
         a, b = links(2, latency=0.05)

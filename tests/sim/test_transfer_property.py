@@ -1,0 +1,131 @@
+"""Property tests pinning the closed-form bulk transmit to the loop.
+
+The optimized engine's whole correctness story rests on one contract:
+for scalar availability, :func:`repro.sim.transmit` (the closed-form
+bulk path) returns **bit-identical** floats to
+:func:`repro.sim.transmit_reference` (the per-chunk loop) — the same
+``TransferTiming``, the same ``LinkStats`` increments, the same FIFO
+horizons.  Not approximately equal: ``==`` on every float, across
+random sizes, chunk sizes, asymmetric bandwidths and latencies, busy
+link horizons, and pre-seeded stats.  If an optimization ever drifts by
+an ulp, these tests — not a golden transcript three layers up — are
+what fails.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import LinkStats, NetLink, transmit, transmit_reference
+
+# Times/horizons: non-negative, spanning many exponents so float
+# rounding differences would surface; finite by construction.
+times = st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                  allow_infinity=False)
+bandwidths = st.floats(min_value=1e-3, max_value=1e9, allow_nan=False,
+                       allow_infinity=False)
+latencies = st.floats(min_value=0.0, max_value=10.0, allow_nan=False,
+                      allow_infinity=False)
+seeded = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+def _link(name, bw, lat, tx_free, rx_free, pre):
+    link = NetLink(name, bandwidth=bw, latency=lat)
+    link.tx_free_at = tx_free
+    link.rx_free_at = rx_free
+    # pre-seeded accounting: the += aggregation must commute identically
+    link.stats.byte_seconds = pre
+    link.stats.busy_tx_seconds = pre / 2
+    link.stats.busy_rx_seconds = pre / 3
+    return link
+
+
+def _pair(params):
+    (bw_a, bw_b, lat_a, lat_b, tx_free, rx_free, pre) = params
+    a = _link("a", bw_a, lat_a, tx_free, 0.0, pre)
+    b = _link("b", bw_b, lat_b, 0.0, rx_free, pre)
+    return a, b
+
+
+link_params = st.tuples(bandwidths, bandwidths, latencies, latencies,
+                        times, times, seeded)
+
+
+@settings(max_examples=200, deadline=None)
+@given(size=st.integers(min_value=0, max_value=200_000),
+       chunk_size=st.integers(min_value=1, max_value=8192),
+       ready=times, params=link_params)
+def test_bulk_transmit_is_bit_identical_to_the_loop(size, chunk_size,
+                                                    ready, params):
+    a, b = _pair(params)
+    c, d = _pair(params)
+    fast = transmit(a, b, size, chunk_size=chunk_size, available=ready)
+    slow = transmit_reference(c, d, size, chunk_size=chunk_size,
+                              available=ready)
+    # dataclass equality is field-exact float equality
+    assert fast == slow
+    assert a.stats == c.stats
+    assert b.stats == d.stats
+    assert (a.tx_free_at, a.rx_free_at) == (c.tx_free_at, c.rx_free_at)
+    assert (b.tx_free_at, b.rx_free_at) == (d.tx_free_at, d.rx_free_at)
+
+
+@settings(max_examples=100, deadline=None)
+@given(size=st.integers(min_value=1, max_value=200_000),
+       chunk_size=st.integers(min_value=1, max_value=8192),
+       ready=times, params=link_params)
+def test_coalesced_transmit_only_drops_the_arrival_list(size, chunk_size,
+                                                        ready, params):
+    """record_arrivals=False (the coalescing fast path) must be a pure
+    memory optimization: identical endpoints, horizons, and stats."""
+    a, b = _pair(params)
+    c, d = _pair(params)
+    full = transmit(a, b, size, chunk_size=chunk_size, available=ready)
+    lean = transmit(c, d, size, chunk_size=chunk_size, available=ready,
+                    record_arrivals=False)
+    assert lean.chunk_arrivals is None
+    assert full.chunk_arrivals is not None
+    assert full.chunk_arrivals[0] == full.first_arrival
+    assert full.chunk_arrivals[-1] == full.end
+    assert (lean.size, lean.start, lean.end, lean.first_arrival) == \
+           (full.size, full.start, full.end, full.first_arrival)
+    assert a.stats == c.stats and b.stats == d.stats
+    assert (a.tx_free_at, b.rx_free_at) == (c.tx_free_at, d.rx_free_at)
+
+
+@settings(max_examples=100, deadline=None)
+@given(size=st.integers(min_value=1, max_value=50_000),
+       chunk_size=st.integers(min_value=1, max_value=4096),
+       readies=st.lists(times, min_size=1, max_size=8),
+       params=link_params)
+def test_sequence_availability_stays_on_the_reference_loop(size,
+                                                           chunk_size,
+                                                           readies,
+                                                           params):
+    """A pipelined relay (per-chunk availability) has no closed form;
+    transmit must route it through the loop and agree with
+    transmit_reference trivially — guarding against a future 'bulk for
+    sequences too' change that silently breaks pipelining."""
+    from repro.sim import chunk_sizes as split
+    n = len(split(size, chunk_size))
+    avail = [readies[i % len(readies)] for i in range(n)]
+    a, b = _pair(params)
+    c, d = _pair(params)
+    fast = transmit(a, b, size, chunk_size=chunk_size, available=avail)
+    slow = transmit_reference(c, d, size, chunk_size=chunk_size,
+                              available=avail)
+    assert fast == slow
+    assert a.stats == c.stats and b.stats == d.stats
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=link_params, ready=times)
+def test_zero_size_clamps_to_horizons_on_both_paths(params, ready):
+    a, b = _pair(params)
+    c, d = _pair(params)
+    fast = transmit(a, b, 0, chunk_size=64, available=ready)
+    slow = transmit_reference(c, d, 0, chunk_size=64, available=ready)
+    assert fast == slow
+    assert fast.start == fast.end == max(ready, a.tx_free_at,
+                                         b.rx_free_at)
+    assert isinstance(a.stats, LinkStats) and a.stats == c.stats
