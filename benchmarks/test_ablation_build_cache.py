@@ -78,8 +78,11 @@ N_RUNS = ATSE_DOCKERFILE.count("RUN ")
 
 
 def test_ablation_chimage_cold_vs_warm(login, alice):
-    """A warm rebuild executes zero RUN instructions and ≥90% fewer
-    syscalls than the cold build — the CI cache-smoke criterion."""
+    """A warm rebuild executes zero RUN instructions and ≥85% fewer
+    syscalls than the cold build — the CI cache-smoke criterion.  (The
+    syscall bar was ≥90% before the journal-driven snapshot walker cut
+    the *cold* build's boundary walks to O(changed); the warm build's
+    diff-apply syscalls are unchanged, the denominator just shrank.)"""
     ch = ChImage(login, alice, cache=True)
     tracer = attach_tracer(login.kernel)
     tracer.metrics.clear()
@@ -95,7 +98,7 @@ def test_ablation_chimage_cold_vs_warm(login, alice):
     runs_executed = N_RUNS - warm.cache_hits
     assert warm.cache_hits == N_RUNS          # every RUN served from cache
     assert runs_executed <= N_RUNS * 0.10     # ≥90% fewer RUN instructions
-    assert warm_syscalls <= cold_syscalls * 0.10  # ≥90% fewer syscalls
+    assert warm_syscalls <= cold_syscalls * 0.15  # ≥85% fewer syscalls
     assert dict(tracer.metrics.cache)["hit"] == N_RUNS
     report("A2 CAS cache: cold vs warm", [
         ("cold syscalls", str(cold_syscalls)),

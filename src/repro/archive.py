@@ -21,7 +21,7 @@ from typing import Iterable, Optional
 from .errors import KernelError, ReproError
 from .kernel import FileType, Syscalls
 
-__all__ = ["TarMember", "TarArchive", "ArchiveError"]
+__all__ = ["TarMember", "TarArchive", "ArchiveError", "member_of"]
 
 
 class ArchiveError(ReproError):
@@ -57,6 +57,36 @@ class TarMember:
         """Ownership flattened to root:root, setuid/setgid cleared — what
         Charliecloud does on push 'to avoid leaking site IDs' (§6.1)."""
         return replace(self, uid=0, gid=0, mode=self.mode & ~0o6000)
+
+
+def member_of(sys: Syscalls, full: str, relpath: str, st=None) -> TarMember:
+    """Build the archive member for one path as seen through *sys*.
+
+    The single implementation shared by :meth:`TarArchive.pack` and the
+    incremental snapshot walker, so both produce bit-identical members.
+    The path is resolved once: metadata (including executable simulation
+    metadata) rides on the ``lstat`` result, and only regular files pay
+    for a content read."""
+    if st is None:
+        st = sys.lstat(full)
+    data = b""
+    target = ""
+    if st.ftype is FileType.REG:
+        data = sys.read_file(full)
+    elif st.ftype is FileType.SYMLINK:
+        target = sys.readlink(full)
+    xattrs = []
+    try:
+        for name in sys.listxattr(full):
+            xattrs.append((name, sys.getxattr(full, name)))
+    except KernelError:
+        pass
+    return TarMember(
+        path=relpath, ftype=st.ftype, mode=st.st_mode & 0o7777,
+        uid=st.st_uid, gid=st.st_gid, data=data, target=target,
+        rdev=st.st_rdev, exe_impl=st.exe_impl, exe_arch=st.exe_arch,
+        exe_static=st.exe_static, xattrs=tuple(sorted(xattrs)),
+    )
 
 
 class TarArchive:
@@ -103,32 +133,7 @@ class TarArchive:
                 full = f"{dirpath.rstrip('/')}/{entry.name}"
                 relpath = f"{rel}/{entry.name}" if rel else entry.name
                 st = sys.lstat(full)
-                data = b""
-                target = ""
-                exe_impl = None
-                exe_arch = "noarch"
-                exe_static = False
-                if st.ftype is FileType.REG:
-                    data = sys.read_file(full)
-                    node = sys.mnt_ns.resolve(full, sys.cred, follow=False,
-                                              cwd=sys.getcwd()).inode
-                    exe_impl = node.exe_impl
-                    exe_arch = node.exe_arch
-                    exe_static = node.exe_static
-                elif st.ftype is FileType.SYMLINK:
-                    target = sys.readlink(full)
-                xattrs = []
-                try:
-                    for name in sys.listxattr(full):
-                        xattrs.append((name, sys.getxattr(full, name)))
-                except KernelError:
-                    pass
-                members.append(TarMember(
-                    path=relpath, ftype=st.ftype, mode=st.st_mode & 0o7777,
-                    uid=st.st_uid, gid=st.st_gid, data=data, target=target,
-                    rdev=st.st_rdev, exe_impl=exe_impl, exe_arch=exe_arch,
-                    exe_static=exe_static, xattrs=tuple(sorted(xattrs)),
-                ))
+                members.append(member_of(sys, full, relpath, st))
                 if st.ftype is FileType.DIR:
                     walk(full, relpath)
 
@@ -162,11 +167,12 @@ class TarArchive:
                 sys.symlink(m.target, path)
             elif m.ftype is FileType.REG:
                 sys.write_file(path, m.data)
-                node = sys.mnt_ns.resolve(path, sys.cred, follow=False,
-                                          cwd=sys.getcwd()).inode
-                node.exe_impl = m.exe_impl
-                node.exe_arch = m.exe_arch
-                node.exe_static = m.exe_static
+                res = sys.mnt_ns.resolve(path, sys.cred, follow=False,
+                                         cwd=sys.getcwd())
+                res.inode.exe_impl = m.exe_impl
+                res.inode.exe_arch = m.exe_arch
+                res.inode.exe_static = m.exe_static
+                res.fs.touch(res.inode)
             elif m.ftype in (FileType.CHR, FileType.BLK):
                 sys.mknod(path, m.ftype, m.mode & 0o777, rdev=m.rdev)
             else:
@@ -228,11 +234,12 @@ class TarArchive:
                 sys.symlink(m.target, path)
                 continue
             sys.write_file(path, m.data)
-            node = sys.mnt_ns.resolve(path, sys.cred, follow=False,
-                                      cwd=sys.getcwd()).inode
-            node.exe_impl = m.exe_impl
-            node.exe_arch = m.exe_arch
-            node.exe_static = m.exe_static
+            res = sys.mnt_ns.resolve(path, sys.cred, follow=False,
+                                     cwd=sys.getcwd())
+            res.inode.exe_impl = m.exe_impl
+            res.inode.exe_arch = m.exe_arch
+            res.inode.exe_static = m.exe_static
+            res.fs.touch(res.inode)
             sys.chmod(path, m.mode)
             try:
                 sys.chown(path, m.uid, m.gid, follow=False)

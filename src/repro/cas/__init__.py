@@ -17,9 +17,11 @@ from .cache import (
     CacheRecord,
 )
 from .diff import (
+    Snapshot,
     apply_diff_to_snapshot,
     diff_against_snapshot,
     member_digest,
+    snapshot_and_diff,
     snapshot_digest,
     snapshot_of_archive,
     snapshot_tree,
@@ -37,6 +39,8 @@ __all__ = [
     "ContentStore",
     "blob_digest",
     "member_digest",
+    "Snapshot",
+    "snapshot_and_diff",
     "snapshot_of_archive",
     "snapshot_tree",
     "snapshot_digest",

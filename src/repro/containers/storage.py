@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..archive import TarArchive
-from ..cas.diff import diff_against_snapshot, snapshot_tree
+from ..cas.diff import Snapshot, snapshot_and_diff, snapshot_tree
 from ..cas.store import ContentStore
 from ..errors import ReproError
 from ..kernel import FileType, Syscalls
@@ -148,24 +148,23 @@ class StorageDriver:
         the commit costs (vfs: a full tree copy at rest; overlay: the diff).
         """
         with self._span(f"commit {build_path}") as sp:
-            diff, full = self._diff_since_snapshot(build_path)
+            diff, snap = self._diff_since_snapshot(build_path)
             self.stats.commits += 1
-            self._charge_commit(diff, full)
+            self._charge_commit(diff, snap)
             self._store_blob(diff)
             if sp is not None:
                 sp.meta["diff_members"] = len(diff)
         return diff
 
-    def _charge_commit(self, diff: TarArchive, full: TarArchive) -> None:
+    def _charge_commit(self, diff: TarArchive, snap: Snapshot) -> None:
         raise NotImplementedError
 
     def _diff_since_snapshot(self, build_path: str
-                             ) -> tuple[TarArchive, TarArchive]:
+                             ) -> tuple[TarArchive, Snapshot]:
         prev = self._snapshots.get(build_path, {})
-        full = TarArchive.pack(self.sys, build_path)
-        diff, cur = diff_against_snapshot(prev, full)
+        diff, cur = snapshot_and_diff(self.sys, build_path, prev)
         self._snapshots[build_path] = cur
-        return diff, full
+        return diff, cur
 
     def export_full(self, path: str, *, flatten: bool = False) -> TarArchive:
         """One archive of the whole tree (single-layer export)."""
@@ -211,11 +210,12 @@ class VfsDriver(StorageDriver):
             self._snapshots[dst] = _snapshot(self.sys, dst)
         return dst
 
-    def _charge_commit(self, diff: TarArchive, full: TarArchive) -> None:
-        # vfs keeps a complete copy of the tree per layer
-        self.stats.storage_bytes += full.total_bytes()
-        self.stats.bytes_copied += full.total_bytes()
-        self.stats.meta_ops += len(full)
+    def _charge_commit(self, diff: TarArchive, snap: Snapshot) -> None:
+        # vfs keeps a complete copy of the tree per layer; the snapshot's
+        # size bookkeeping prices it without re-packing the tree
+        self.stats.storage_bytes += snap.total_bytes()
+        self.stats.bytes_copied += snap.total_bytes()
+        self.stats.meta_ops += len(snap)
 
 
 class OverlayDriver(StorageDriver):
@@ -270,7 +270,7 @@ class OverlayDriver(StorageDriver):
         archive.extract(self.sys, dst, preserve_owner=True,
                         on_chown_error="ignore")
 
-    def _charge_commit(self, diff: TarArchive, full: TarArchive) -> None:
+    def _charge_commit(self, diff: TarArchive, snap: Snapshot) -> None:
         # overlay stores only the upperdir contents
         self.stats.storage_bytes += diff.total_bytes()
         self.stats.meta_ops += len(diff)

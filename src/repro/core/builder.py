@@ -20,7 +20,7 @@ from ..archive import TarArchive
 from ..cas.cache import BuildCache
 from ..cas.diff import (
     apply_diff_to_snapshot,
-    diff_against_snapshot,
+    snapshot_and_diff,
     snapshot_tree,
 )
 from ..cas.store import blob_digest
@@ -444,8 +444,7 @@ class ChImage:
         updated snapshot (carried forward to the next instruction)."""
         with kernel_span(self.machine.kernel, f"cache store {inst.kind}",
                          "cache", inst_kind=inst.kind) as sp:
-            full = TarArchive.pack(self.sys, image_path)
-            diff, snap = diff_against_snapshot(snap, full)
+            diff, snap = snapshot_and_diff(self.sys, image_path, snap)
             self.cache.store_diff(ckey, inst.kind, inst.args, diff)
             if sp is not None:
                 sp.meta["diff_members"] = len(diff)

@@ -1,8 +1,8 @@
 """A ch-image command-line front end.
 
 ``ch_image_cli(ch, argv)`` mirrors the CLI the paper's transcripts invoke:
-``ch-image build [--force] [--trace] [--parallel N] [--fault-plan SPEC]
-[--retries N] -t TAG -f DOCKERFILE .``, plus pull/
+``ch-image build [--force] [--trace] [--profile] [--parallel N]
+[--fault-plan SPEC] [--retries N] -t TAG -f DOCKERFILE .``, plus pull/
 push/list/delete, ``ch-image build-cache [--tree|--gc|--reset]`` and
 ``build-cache {export|import} REF`` for the §6.2.2 build cache, and
 ``ch-image trace [--audit|--json]`` to report on the last traced build.
@@ -17,6 +17,7 @@ from ..containers.oci import ImageRef
 from ..errors import KernelError, ReproError
 from ..obs.export import trace_to_dict
 from ..obs.report import privilege_audit, render_span_tree, render_summary
+from ..sim.profile import COUNTERS, render_counter_table
 from .builder import ChImage
 from .images import DEFAULT_HUB
 from .push import push_image
@@ -36,6 +37,7 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
         parallel = 1
         fault_spec = None
         retry_budget = 8
+        profile = False
         tag = ""
         dockerfile_path = ""
         rest = []
@@ -77,6 +79,8 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
                 retry_budget = int(value)
             elif a == "--trace":
                 ch.enable_tracing()
+            elif a == "--profile":
+                profile = True
             elif a == "-t":
                 i += 1
                 tag = args[i]
@@ -106,13 +110,19 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
         saved_mode = ch.force_mode
         if force_mode is not None:
             ch.force_mode = force_mode
+        before = COUNTERS.snapshot() if profile else None
         try:
             result = ch.build(tag=tag, dockerfile=dockerfile, force=force,
                               parallel=parallel, fault_plan=fault_plan,
                               retry_budget=retry_budget)
         finally:
             ch.force_mode = saved_mode
-        return (0 if result.success else 1), result.text
+        text = result.text
+        if profile:
+            table = render_counter_table(COUNTERS.delta(before),
+                                         title="build profile")
+            text = f"{text}\n{table}" if text else table
+        return (0 if result.success else 1), text
 
     if command == "pull":
         if not args:

@@ -67,10 +67,11 @@ def _install_one_file(ctx: ExecContext, f: PackageFile, db: UserDb) -> None:
         return  # symlinks: no chown/chmod in this model
     else:
         sys.write_file(f.path, f.content)
-        node = sys.mnt_ns.resolve(f.path, sys.cred, cwd=sys.getcwd()).inode
-        node.exe_impl = f.exe_impl
-        node.exe_arch = f.exe_arch
-        node.exe_static = f.exe_static
+        res = sys.mnt_ns.resolve(f.path, sys.cred, cwd=sys.getcwd())
+        res.inode.exe_impl = f.exe_impl
+        res.inode.exe_arch = f.exe_arch
+        res.inode.exe_static = f.exe_static
+        res.fs.touch(res.inode)
 
     user = db.user_by_name(f.owner)
     group = db.group_by_name(f.group)

@@ -113,6 +113,29 @@ class FakerootSyscalls(Syscalls):
         st = self.inner.lstat(path) if not follow else self.inner.stat(path)
         return st.st_dev, st.st_ino
 
+    def _journal_touch(self, path: str, *, follow: bool = True) -> None:
+        """Record a lie mutation in the VFS change journal.  Lies change
+        what this wrapper's stat/pack view reports for the inode even
+        though no kernel write happened, so snapshot walkers must see the
+        inode as dirty.  Resolved directly against the mount table — a
+        syscall here would perturb the wrapped process's trace."""
+        try:
+            res = self.inner.mnt_ns.resolve(path, self.inner.cred,
+                                            follow=follow,
+                                            cwd=self.inner.getcwd())
+        except KernelError:
+            return
+        res.fs.touch(res.inode)
+
+    def digest_view_key(self) -> tuple:
+        """Fakeroot views are partitioned by engine, lie database, and the
+        wrapped identity (the base illusion maps the invoker's IDs to
+        root), never shared with the plain kernel view; composing the
+        inner key keeps namespace ID display in the partition too."""
+        return ("fakeroot", type(self).__name__, self.engine.name, self.db,
+                self.inner.cred.euid,
+                self.inner.cred.egid) + self.inner.digest_view_key()
+
     # -- identity: pretend to be root ---------------------------------------------------
 
     def getuid(self) -> int:
@@ -137,6 +160,7 @@ class FakerootSyscalls(Syscalls):
             uid=uid if uid != -1 else None,
             gid=gid if gid != -1 else None,
         ))
+        self._journal_touch(path, follow=follow)
 
     def lchown(self, path: str, uid: int, gid: int) -> None:
         self.chown(path, uid, gid, follow=False)
@@ -152,6 +176,7 @@ class FakerootSyscalls(Syscalls):
                 raise
         dev, ino = self._key(path)
         self.db.record(dev, ino, Lie(mode=mode & 0o7777))
+        self._journal_touch(path)
 
     def mknod(self, path: str, ftype: FileType, mode: int = 0o644,
               rdev: tuple[int, int] = (0, 0)) -> None:
@@ -161,6 +186,7 @@ class FakerootSyscalls(Syscalls):
             dev, ino = self._key(path, follow=False)
             self.db.record(dev, ino, Lie(uid=0, gid=0, ftype=ftype, rdev=rdev,
                                          mode=mode & 0o7777))
+            self._journal_touch(path, follow=False)
         else:
             self.inner.mknod(path, ftype, mode, rdev)
 
@@ -174,6 +200,7 @@ class FakerootSyscalls(Syscalls):
                 return
             dev, ino = self._key(path)
             self.db.record(dev, ino, Lie(xattrs=((name, bytes(value)),)))
+            self._journal_touch(path)
             return
         self.inner.setxattr(path, name, value)
 
@@ -215,6 +242,9 @@ class FakerootSyscalls(Syscalls):
             st_nlink=st.st_nlink, st_uid=uid, st_gid=gid, st_size=st.st_size,
             st_rdev=rdev, st_mtime=st.st_mtime, ftype=ftype,
             kuid=st.kuid, kgid=st.kgid,
+            st_gen=st.st_gen, st_tree_gen=st.st_tree_gen,
+            exe_impl=st.exe_impl, exe_arch=st.exe_arch,
+            exe_static=st.exe_static,
         )
 
     def stat(self, path: str) -> StatResult:
@@ -260,5 +290,11 @@ class FakerootSyscalls(Syscalls):
         """fakeroot -i: merge a previously saved database."""
         loaded = LieDatabase.load(self.inner.read_file(path))
         root = self._root_dev()
+        by_device = {m.fs.device_id: m.fs
+                     for m in self.inner.mnt_ns.mounts.values()}
         for (dev, ino), lie in loaded:
-            self.db.record(root if dev == 0 else dev, ino, lie)
+            dev = root if dev == 0 else dev
+            self.db.record(dev, ino, lie)
+            fs = by_device.get(dev)
+            if fs is not None and ino in fs._inodes:
+                fs.touch(fs.inode(ino))

@@ -63,6 +63,17 @@ class StatResult:
     ftype: FileType
     kuid: int
     kgid: int
+    #: Change-journal generations (simulation-side statx extension): the
+    #: inode's own last-mutation generation and, for directories, the
+    #: newest generation anywhere in the subtree below it.
+    st_gen: int = 0
+    st_tree_gen: int = 0
+    #: Executable simulation metadata, surfaced here so archivers get it
+    #: from the stat they already issued instead of resolving the path a
+    #: second time.
+    exe_impl: Optional[str] = None
+    exe_arch: str = "noarch"
+    exe_static: bool = False
 
 
 @dataclass(frozen=True)
@@ -497,7 +508,26 @@ class Syscalls:
             ftype=node.ftype,
             kuid=node.uid,
             kgid=node.gid,
+            st_gen=node.gen,
+            st_tree_gen=node.tree_gen,
+            exe_impl=node.exe_impl,
+            exe_arch=node.exe_arch,
+            exe_static=node.exe_static,
         )
+
+    def digest_view_key(self) -> tuple:
+        """Identity of this interface's *view* of file metadata, used to
+        partition the member-digest memo: two interfaces may share cached
+        digests only if they would stat identical results for the same
+        (device, inode, generation).  Wrappers that lie about metadata
+        (fakeroot, seccomp) override this with their lie-database identity.
+
+        The uid/gid map entries are part of the key: ID *display* depends
+        on them, and a map written after a walk must invalidate the view."""
+        ns = self.cred.userns
+        return ("kernel", ns,
+                ns.uid_map.entries if ns.uid_map is not None else None,
+                ns.gid_map.entries if ns.gid_map is not None else None)
 
     def stat(self, path: str) -> StatResult:
         return self._stat_of(self._resolve(path))
@@ -649,6 +679,7 @@ class Syscalls:
             return  # writes to devices vanish
         node.data = bytes(node.data) + bytes(data) if append else bytes(data)
         node.mtime = self.kernel.now()
+        res.fs.touch(node)
 
     def truncate(self, path: str, length: int = 0) -> None:
         res = self._resolve(path)
@@ -658,6 +689,7 @@ class Syscalls:
         if not may_access(self.cred, res.inode, write=True):
             raise KernelError(Errno.EACCES, path, syscall="truncate")
         res.inode.data = bytes(res.inode.data[:length])
+        res.fs.touch(res.inode)
 
     # -- removal / rename -----------------------------------------------------------------
 
@@ -811,6 +843,7 @@ class Syscalls:
             if node.ftype is FileType.REG:
                 node.mode &= ~0o6000
         node.ctime = self.kernel.now()
+        res.fs.touch(node)
 
     def lchown(self, path: str, uid: int, gid: int) -> None:
         self.chown(path, uid, gid, follow=False)
@@ -833,6 +866,7 @@ class Syscalls:
             eff &= ~0o2000
         node.mode = eff
         node.ctime = self.kernel.now()
+        res.fs.touch(node)
 
     # -- extended attributes ------------------------------------------------------------------
 
@@ -868,6 +902,7 @@ class Syscalls:
             if not (c.userns.is_initial and c.has_cap(Cap.SYS_ADMIN)):
                 raise KernelError(Errno.EPERM, path, syscall="setxattr")
         node.xattrs[name] = bytes(value)
+        res.fs.touch(node)
 
     def getxattr(self, path: str, name: str) -> bytes:
         res = self._resolve(path)
@@ -888,6 +923,7 @@ class Syscalls:
         if not may_access(self.cred, res.inode, write=True):
             raise KernelError(Errno.EACCES, path, syscall="removexattr")
         res.inode.xattrs.pop(name, None)
+        res.fs.touch(res.inode)
 
     # -- exec support ------------------------------------------------------------------------
 

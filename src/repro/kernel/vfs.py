@@ -112,6 +112,12 @@ class Inode:
     exe_impl: Optional[str] = None
     exe_arch: str = "noarch"
     exe_static: bool = False
+    #: Change-journal generation counters (monotonic per filesystem).
+    #: ``gen`` is the generation of the last mutation touching this inode
+    #: itself; ``tree_gen`` additionally reflects mutations anywhere below
+    #: a directory, so a snapshot walker can skip whole clean subtrees.
+    gen: int = 0
+    tree_gen: int = 0
 
     @property
     def size(self) -> int:
@@ -175,6 +181,13 @@ class Filesystem:
         self.device_id = next(_device_ids)
         self._inodes: dict[int, Inode] = {}
         self._next_ino = itertools.count(2)
+        #: Change journal: one monotonic generation counter per superblock.
+        #: Every mutating operation bumps it and stamps the touched inode;
+        #: directory ``tree_gen`` is propagated to ancestors via
+        #: ``_parents`` so "anything changed below here since gen G?" is a
+        #: single integer comparison.
+        self.gen = 0
+        self._parents: dict[int, set[int]] = {}
         root = Inode(
             ino=1, ftype=FileType.DIR, mode=root_mode, uid=root_uid, gid=root_gid,
             nlink=2,
@@ -208,12 +221,34 @@ class Filesystem:
         if self.features.read_only:
             raise KernelError(Errno.EROFS, self.label)
         ino = next(self._next_ino)
+        self.gen += 1
         node = Inode(
             ino=ino, ftype=ftype, mode=mode & 0o7777, uid=uid, gid=gid,
-            nlink=0, atime=now, mtime=now, ctime=now, **extra,
+            nlink=0, atime=now, mtime=now, ctime=now,
+            gen=self.gen, tree_gen=self.gen, **extra,
         )
         self._inodes[ino] = node
         return node
+
+    def touch(self, node: Inode) -> int:
+        """Journal one mutation of *node*: bump the superblock generation,
+        stamp the inode, and propagate ``tree_gen`` to every ancestor
+        directory.  Propagation early-exits at ancestors already stamped
+        with a newer-or-equal generation, so repeated mutations in one
+        subtree cost O(depth) only on the first."""
+        self.gen += 1
+        g = self.gen
+        node.gen = g
+        stack = [node.ino]
+        while stack:
+            ino = stack.pop()
+            cur = self._inodes.get(ino)
+            if cur is None or cur.tree_gen >= g:
+                continue
+            cur.tree_gen = g
+            stack.extend(self._parents.get(ino, ()))
+        node.tree_gen = g
+        return g
 
     def link_child(self, parent: Inode, name: str, child: Inode) -> None:
         """Add a directory entry; maintains nlink."""
@@ -228,6 +263,8 @@ class Filesystem:
         if child.is_dir:
             child.nlink += 1  # the child's own "." entry
             parent.nlink += 1  # the child's ".." entry
+        self._parents.setdefault(child.ino, set()).add(parent.ino)
+        self.touch(parent)
 
     def unlink_child(self, parent: Inode, name: str) -> Inode:
         """Remove a directory entry; drops dangling inodes."""
@@ -240,8 +277,17 @@ class Filesystem:
         if child.is_dir:
             child.nlink -= 1  # its "." entry
             parent.nlink -= 1
+        parents = self._parents.get(ino)
+        if parents is not None:
+            # A hardlinked inode may still be reachable through another
+            # directory; only this parent edge goes away.
+            if child.is_dir or child.nlink <= 0 or not any(
+                    e == ino for e in parent.entries.values()):
+                parents.discard(parent.ino)
         if child.nlink <= 0:
             self._inodes.pop(ino, None)
+            self._parents.pop(ino, None)
+        self.touch(parent)
         return child
 
     def lookup(self, parent: Inode, name: str) -> Optional[Inode]:

@@ -68,6 +68,10 @@ class TraceMetrics:
     * ``matrix``: build-matrix orchestration counters (cells expanded,
       unique cell builds, total/unique stage builds, amplification
       ×100, images pushed) — what the matrix-smoke job gates on.
+    * ``snapshots``: instruction-boundary snapshot work (``walk_full`` /
+      ``walk_dirty`` walks, ``memo_hit`` / ``memo_miss`` member digests)
+      — what the coldbuild-smoke job compares against the reference
+      full-walk oracle.
     """
 
     def __init__(self):
@@ -78,6 +82,7 @@ class TraceMetrics:
         self.net: Counter[str] = Counter()
         self.build: Counter[str] = Counter()
         self.matrix: Counter[str] = Counter()
+        self.snapshots: Counter[str] = Counter()
 
     def count_call(self, name: str, *, top_level: bool) -> None:
         if top_level:
@@ -99,6 +104,9 @@ class TraceMetrics:
     def count_matrix(self, event: str, n: int = 1) -> None:
         self.matrix[event] += n
 
+    def count_snapshot(self, event: str, n: int = 1) -> None:
+        self.snapshots[event] += n
+
     def clear(self) -> None:
         self.syscalls.clear()
         self.errnos.clear()
@@ -107,6 +115,7 @@ class TraceMetrics:
         self.net.clear()
         self.build.clear()
         self.matrix.clear()
+        self.snapshots.clear()
 
     def snapshot(self) -> dict:
         """A JSON-friendly copy (sorted keys for deterministic exports)."""
@@ -121,4 +130,5 @@ class TraceMetrics:
             "net": dict(sorted(self.net.items())),
             "build": dict(sorted(self.build.items())),
             "matrix": dict(sorted(self.matrix.items())),
+            "snapshot": dict(sorted(self.snapshots.items())),
         }

@@ -22,10 +22,11 @@ def install_binary(
     sys.mkdir_p(parent)
     sys.write_file(path, content)
     sys.chmod(path, mode)
-    node = sys.mnt_ns.resolve(path, sys.cred, cwd=sys.getcwd()).inode
-    node.exe_impl = impl
-    node.exe_arch = arch
-    node.exe_static = static
+    res = sys.mnt_ns.resolve(path, sys.cred, cwd=sys.getcwd())
+    res.inode.exe_impl = impl
+    res.inode.exe_arch = arch
+    res.inode.exe_static = static
+    res.fs.touch(res.inode)
 
 
 def install_script(sys: Syscalls, path: str, body: str, *,

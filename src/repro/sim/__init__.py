@@ -20,7 +20,13 @@ from .faults import (
     retry_call,
 )
 from .opts import optimizations_enabled, reference_engine, set_optimizations
-from .profile import EngineProfile, category_of
+from .profile import (
+    COUNTERS,
+    CounterRegistry,
+    EngineProfile,
+    category_of,
+    render_counter_table,
+)
 from .topology import (
     DEFAULT_BANDWIDTH,
     DEFAULT_CHUNK_SIZE,
@@ -54,6 +60,9 @@ __all__ = [
     "SimError",
     "EngineProfile",
     "category_of",
+    "COUNTERS",
+    "CounterRegistry",
+    "render_counter_table",
     "optimizations_enabled",
     "reference_engine",
     "set_optimizations",
