@@ -11,12 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..errors import ReproError
+from ..errors import ReproError, SupplyPolicyError
 from ..obs.trace import maybe_span
 
 __all__ = ["CiJob", "CiStage", "CiPipeline", "CiServer", "CiError",
            "BuildFarm", "FarmImage", "FarmReport", "farm_build_stage",
-           "warm_cache_stage"]
+           "policy_gate_stage", "warm_cache_stage"]
 
 
 class CiError(ReproError):
@@ -339,6 +339,32 @@ def farm_build_stage(pipeline: CiPipeline, farm: BuildFarm, *,
                        f"queue wait {task.queue_wait:.6f}s){note}")
 
         stage.jobs.append(CiJob(f"build {spec.tag}", run))
+    return stage
+
+
+def policy_gate_stage(pipeline: CiPipeline, gate, registry, refs, *,
+                      name: str = "policy-gate") -> CiStage:
+    """Add a stage that runs the supply-chain
+    :class:`~repro.supply.PolicyGate` over every pushed *ref* — one job
+    per image, so the pipeline report names exactly which image failed
+    which policy.  Placed between push and deploy, a failing gate stops
+    the pipeline before any broadcast traffic is scheduled."""
+    stage = pipeline.stage(name)
+    for ref in refs:
+
+        def run(ref=ref):
+            try:
+                report = gate.check(registry, ref)
+            except SupplyPolicyError as err:
+                return 1, f"{ref}: REJECTED: " + "; ".join(err.violations)
+            except ReproError as err:
+                return 1, f"{ref}: audit failed: {err}"
+            worst = report.worst_severity or "clean"
+            return 0, (f"{ref}: pass (signed by {report.signature_key}, "
+                       f"{report.package_count} packages, "
+                       f"{len(report.findings)} findings, worst {worst})")
+
+        stage.jobs.append(CiJob(f"audit {ref}", run))
     return stage
 
 

@@ -352,6 +352,14 @@ class RegistryFleet:
         self.fault_injector = None
         # every blob digest the fleet has accepted, for rebalancing
         self._known: dict[str, int] = {}  # digest -> size
+        #: Optional :class:`~repro.supply.Signer` — when set, every push
+        #: records a signature over the manifest digest on all live
+        #: shards (sign-on-push).
+        self.signer = None
+        #: Optional :class:`~repro.supply.PolicyGate` — when set, pulls
+        #: verify the served manifest's signature and raise
+        #: :class:`~repro.errors.SupplyPolicyError` on failure.
+        self.policy_gate = None
 
     # -- time / liveness ---------------------------------------------------
 
@@ -441,10 +449,17 @@ class RegistryFleet:
                 f"{self.name}: {op} to tenant {tenant.name!r} denied "
                 f"(bad or missing token)")
 
-    def _charge_quota(self, tenant: Optional[Tenant],
-                      blobs: Sequence[bytes]) -> None:
+    def _reserve_quota(self, tenant: Optional[Tenant],
+                       blobs: Sequence[bytes]) -> dict[str, int]:
+        """Check the quota without mutating the ledger; returns the
+        not-yet-charged digests (digest -> size) for :meth:`_commit_quota`.
+
+        Charging is transactional: the ledger moves only after every
+        blob of the request is placed, so a mid-request failure (no live
+        shard, injected push fault) leaves ``bytes_used``/``digests``
+        exactly as they were — the ledger always equals stored bytes."""
         if tenant is None:
-            return
+            return {}
         new = {}
         for blob in blobs:
             d = blob_digest(blob)
@@ -458,14 +473,23 @@ class RegistryFleet:
                 f"{self.name}: tenant {tenant.name!r} quota exhausted "
                 f"({tenant.bytes_used} + {added} > {tenant.quota_bytes} B)",
                 retry_at=self._now())
+        return new
+
+    def _commit_quota(self, tenant: Optional[Tenant],
+                      new: dict[str, int]) -> None:
+        if tenant is None:
+            return
         tenant.digests.update(new)
-        tenant.bytes_used += added
+        tenant.bytes_used += sum(new.values())
 
     # -- blob plane --------------------------------------------------------
 
-    def _place_blob(self, blob: bytes) -> str:
+    def _place_blob(self, blob: bytes,
+                    txn: Optional[list[tuple[str, int]]] = None) -> str:
         """Write *blob* to its primary holder and fill the replicas
-        shard-to-shard; returns the digest."""
+        shard-to-shard; returns the digest.  With *txn*, blobs the fleet
+        did not previously know are recorded so a failed multi-blob
+        request can roll them back with :meth:`_unplace`."""
         digest = blob_digest(blob)
         now = self._now()
         holders = [self._by_name[h] for h in self.blob_holders(digest)]
@@ -473,15 +497,34 @@ class RegistryFleet:
         if not live:
             raise FleetError(
                 f"{self.name}: no live shard to place {digest[:19]}...")
+        fresh = digest not in self._known
         primary = live[0]
         primary.registry.put_blob(blob)
         self.stats.blobs_pushed += 1
         self.stats.bytes_pushed += len(blob)
         self._known[digest] = len(blob)
+        if txn is not None and fresh:
+            txn.append((digest, len(blob)))
         fill = [s for s in live[1:] if not s.registry.has_blob(digest)]
         if fill:
             self._fill(primary, [digest], fill)
         return digest
+
+    def _unplace(self, txn: list[tuple[str, int]]) -> None:
+        """Roll back the placements of a failed request: every blob the
+        fleet first learned of in this request is dropped from all
+        shards, forgotten, and its bytes removed from the front-door
+        push counters — so accepted bytes always equal stored bytes.
+        Blobs that pre-existed the request are left alone (another image
+        or tenant legitimately references them)."""
+        for digest, size in reversed(txn):
+            if digest not in self._known:
+                continue
+            for shard in self.shards:
+                shard.registry.drop_blob(digest)
+            del self._known[digest]
+            self.stats.blobs_pushed -= 1
+            self.stats.bytes_pushed -= size
 
     def _fill(self, origin: RegistryShard, digests: Sequence[str],
               targets: Sequence[RegistryShard]) -> None:
@@ -544,11 +587,18 @@ class RegistryFleet:
 
     def push(self, ref: ImageRef | str, config: ImageConfig,
              layers: Iterable[object], *,
-             token: Optional[str] = None) -> Manifest:
+             token: Optional[str] = None,
+             attestations: Optional[dict[str, bytes]] = None) -> Manifest:
+        """Push an image; with *attestations* (kind -> statement bytes),
+        the statements are placed as content-addressed blobs, charged to
+        the tenant's quota with the layers, and recorded on every live
+        shard.  Placement and charging are all-or-nothing."""
         if isinstance(ref, str):
             ref = ImageRef.parse(ref)
         layers = list(layers)
         tenant = self._tenant_of(ref.repository)
+        att_blobs = dict(sorted(attestations.items())) if attestations \
+            else {}
         with maybe_span(self.tracer,
                         f"fleet-push {ref.repository}:{ref.tag}", "push",
                         fleet=self.name, layers=len(layers)):
@@ -558,13 +608,33 @@ class RegistryFleet:
             serialized = [layer.serialize() for layer in layers]
             if not serialized:
                 raise FleetError("cannot push an image with no layers")
-            self._charge_quota(tenant, serialized)
-            digests = tuple(self._place_blob(blob) for blob in serialized)
+            new = self._reserve_quota(
+                tenant, serialized + list(att_blobs.values()))
+            txn: list[tuple[str, int]] = []
+            try:
+                digests = tuple(self._place_blob(blob, txn=txn)
+                                for blob in serialized)
+                att_digests = {kind: self._place_blob(blob, txn=txn)
+                               for kind, blob in att_blobs.items()}
+            except Exception:
+                self._unplace(txn)
+                raise
+            self._commit_quota(tenant, new)
             manifest = Manifest(config=config, layers=digests)
+            signature = (self.signer.sign(manifest.digest())
+                         if self.signer is not None else None)
             now = self._now()
             for shard in self.shards:
                 if self._is_live(shard, now):
                     shard.registry.put_manifest(ref, manifest)
+                    if att_digests:
+                        shard.registry.record_attestations(ref, att_digests)
+                    if signature is not None:
+                        shard.registry.record_signature(ref, signature)
+            if signature is not None:
+                self._count_supply("signed")
+            if att_digests:
+                self._count_supply("attested")
             if tenant is not None:
                 tenant.pushes += 1
         return manifest
@@ -580,6 +650,7 @@ class RegistryFleet:
                         fleet=self.name):
             self._authorize(tenant, token, "pull")
             manifest = self.manifest(ref, arch=arch)
+            self._verify_served(ref, manifest)
             layers = [TarArchive.deserialize(
                           self.fetch_blob(d, local_store=local_store))
                       for d in manifest.layers]
@@ -603,6 +674,7 @@ class RegistryFleet:
         if self.fault_injector is not None:
             self.fault_injector.check("fetch_blob")
         manifest = self.manifest(ref, arch=arch)
+        self._verify_served(ref, manifest)
         planned: list[tuple[RegistryShard, str, int]] = []
         pending: dict[str, int] = {}
         for digest in manifest.layers:
@@ -637,6 +709,54 @@ class RegistryFleet:
                  arch: Optional[str] = None) -> Manifest:
         return self._manifest_shard().registry.manifest(ref, arch=arch)
 
+    # -- supply-chain metadata (mirrored like manifests) -------------------
+
+    def signatures_of(self, ref: ImageRef | str) -> list:
+        return self._manifest_shard().registry.signatures_of(ref)
+
+    def record_signature(self, ref: ImageRef | str, signature) -> None:
+        now = self._now()
+        for shard in self.shards:
+            if self._is_live(shard, now):
+                shard.registry.record_signature(ref, signature)
+
+    def attestation_digests(self, ref: ImageRef | str) -> dict[str, str]:
+        return self._manifest_shard().registry.attestation_digests(ref)
+
+    def fetch_attestation(self, ref: ImageRef | str, kind: str) -> bytes:
+        """One attestation statement, read at rest (audits run fleet-
+        side, before any broadcast — no client transfer is counted)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        digests = self.attestation_digests(ref)
+        if kind not in digests:
+            raise FleetError(
+                f"{self.name}: no {kind} attestation for "
+                f"{ref.repository}:{ref.tag}")
+        return self.blob_at_rest(digests[kind])
+
+    def blob_at_rest(self, digest: str) -> bytes:
+        """One blob's bytes from any shard holding them, at rest."""
+        for name in self.blob_holders(digest):
+            shard = self._by_name[name]
+            if shard.registry.has_blob(digest):
+                return shard.registry.blob_at_rest(digest)
+        for shard in self.shards:
+            if shard.registry.has_blob(digest):
+                return shard.registry.blob_at_rest(digest)
+        raise FleetError(f"{self.name}: no blob {digest[:19]}...")
+
+    def _count_supply(self, event: str) -> None:
+        if self.tracer is not None:
+            self.tracer.metrics.count_supply(event)
+
+    def _verify_served(self, ref: ImageRef, manifest: Manifest) -> None:
+        """The pull-time supply check (see Registry._verify_served)."""
+        if not self.signatures_of(ref):
+            self._count_supply("unsigned_pull")
+        if self.policy_gate is not None:
+            self.policy_gate.verify_pull(self, ref, manifest)
+
     def image_blob_digests(self, ref: ImageRef | str, *,
                            arch: Optional[str] = None) -> list[str]:
         return list(self.manifest(ref, arch=arch).layers)
@@ -667,10 +787,16 @@ class RegistryFleet:
         tenant = self._tenant_of(ref.repository)
         self._authorize(tenant, token, "push")
         blobs = list(blobs)
-        self._charge_quota(tenant, blobs + [manifest])
-        for blob in blobs:
-            self._place_blob(blob)
-        digest = self._place_blob(manifest)
+        new = self._reserve_quota(tenant, blobs + [manifest])
+        txn: list[tuple[str, int]] = []
+        try:
+            for blob in blobs:
+                self._place_blob(blob, txn=txn)
+            digest = self._place_blob(manifest, txn=txn)
+        except Exception:
+            self._unplace(txn)
+            raise
+        self._commit_quota(tenant, new)
         now = self._now()
         for shard in self.shards:
             if self._is_live(shard, now):
@@ -731,11 +857,25 @@ class RegistryFleet:
         self.rebalance()
         return shard
 
+    def _sync_metadata(self) -> None:
+        """Metadata anti-entropy.  Any live shard may answer manifest
+        lookups, so a shard that was down while pushes happened must
+        backfill manifests, cache pointers, signatures, and attestation
+        records when it returns — blob placement only moves bytes, and
+        without this a restored shard would serve blobs it cannot name."""
+        live = self.live_shards()
+        for shard in live:
+            for donor in live:
+                if donor is not shard:
+                    shard.registry.mirror_metadata_from(donor.registry)
+
     def rebalance(self) -> int:
         """Converge every known blob onto its current holder set: fill
         missing replicas shard-to-shard (grouped by origin so the tree
-        broadcast batches), release copies on ex-holders.  Returns the
+        broadcast batches), release copies on ex-holders, and backfill
+        metadata onto shards that missed pushes while down.  Returns the
         number of blob movements."""
+        self._sync_metadata()
         now = self._now()
         moved = 0
         fills: dict[str, dict[str, list[str]]] = {}  # origin -> target -> d

@@ -69,7 +69,19 @@ class Registry:
         # (repo, tag) -> cache-manifest blob digest (BuildKit-style)
         self._cache_manifests: dict[tuple[str, str], str] = {}
         self._policies: dict[str, bool] = {}  # repo -> require_flattened
+        # (repo, tag) -> detached signatures (one per signed manifest
+        # variant; verification matches on the served manifest's digest)
+        self._signatures: dict[tuple[str, str], list] = {}
+        # (repo, tag) -> attestation kind -> blob digest
+        self._attestations: dict[tuple[str, str], dict[str, str]] = {}
         self.stats = TransferStats()
+        #: Optional :class:`~repro.supply.Signer` — when set, every push
+        #: records a signature over the manifest digest (sign-on-push).
+        self.signer = None
+        #: Optional :class:`~repro.supply.PolicyGate` — when set, every
+        #: pull verifies the served manifest's signature and raises
+        #: :class:`~repro.errors.SupplyPolicyError` on failure.
+        self.policy_gate = None
         #: Optional :class:`~repro.obs.SyscallTracer` — registries have no
         #: kernel of their own, so callers attach one explicitly to get
         #: push/pull spans.
@@ -202,15 +214,100 @@ class Registry:
                 f"{ref.repository}:{ref.tag}")
 
     def mirror_metadata_from(self, other: "Registry") -> None:
-        """Copy *other*'s manifest and cache-manifest tables (a shard
-        joining the fleet mirrors metadata before serving).  Blob bytes
-        are NOT copied — placement moves those."""
+        """Copy *other*'s manifest, cache-manifest, signature, and
+        attestation tables (a shard joining — or rejoining — the fleet
+        mirrors metadata before serving).  Blob bytes are NOT copied —
+        placement moves those."""
         for (repo, tag), variants in other._manifests.items():
             mine = self._manifests.setdefault((repo, tag), {})
             mine.update(variants)
         self._manifest_log.extend(
             e for e in other._manifest_log if e not in self._manifest_log)
         self._cache_manifests.update(other._cache_manifests)
+        for key, sigs in other._signatures.items():
+            mine_sigs = self._signatures.setdefault(key, [])
+            mine_sigs.extend(s for s in sigs if s not in mine_sigs)
+        for key, kinds in other._attestations.items():
+            self._attestations.setdefault(key, {}).update(kinds)
+
+    # -- supply-chain metadata: signatures + attestations --------------------------------
+
+    def record_signature(self, ref: ImageRef | str, signature) -> None:
+        """Attach a detached signature to *ref* (fleet metadata
+        mirroring, or sign-on-push).  Signatures accumulate — one per
+        signed manifest variant; verification matches on payload."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        sigs = self._signatures.setdefault((ref.repository, ref.tag), [])
+        if signature not in sigs:
+            sigs.append(signature)
+
+    def signatures_of(self, ref: ImageRef | str) -> list:
+        """Every signature recorded for *ref* (may be empty)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        return list(self._signatures.get((ref.repository, ref.tag), ()))
+
+    def put_attestations(self, ref: ImageRef | str,
+                         blobs: dict[str, bytes]) -> dict[str, str]:
+        """Accept attestation blobs (SBOM, provenance) for *ref*: each
+        becomes a content-addressed blob, counted like a layer push
+        (dedup included); returns kind -> digest."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        digests = {kind: self._put_blob(blob)
+                   for kind, blob in sorted(blobs.items())}
+        self._attestations.setdefault(
+            (ref.repository, ref.tag), {}).update(digests)
+        return digests
+
+    def record_attestations(self, ref: ImageRef | str,
+                            digests: dict[str, str]) -> None:
+        """Record attestation pointers whose blobs were placed separately
+        (fleet metadata mirroring — no blob transfer happens here)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        self._attestations.setdefault(
+            (ref.repository, ref.tag), {}).update(digests)
+
+    def attestation_digests(self, ref: ImageRef | str) -> dict[str, str]:
+        """kind -> blob digest of every attestation on *ref*."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        return dict(self._attestations.get((ref.repository, ref.tag), {}))
+
+    def fetch_attestation(self, ref: ImageRef | str, kind: str) -> bytes:
+        """One attestation statement, read at rest (no transfer counted
+        — audits run registry-side, not over the wire)."""
+        if isinstance(ref, str):
+            ref = ImageRef.parse(ref)
+        digests = self._attestations.get((ref.repository, ref.tag), {})
+        if kind not in digests:
+            raise RegistryError(
+                f"{self.name}: no {kind} attestation for "
+                f"{ref.repository}:{ref.tag}")
+        return self.blob_at_rest(digests[kind])
+
+    def blob_at_rest(self, digest: str) -> bytes:
+        """One blob's bytes without counting a transfer (audit-side
+        reads; clients fetching over the wire use :meth:`fetch_blob`)."""
+        try:
+            return self.store.get(digest)
+        except CasError:
+            raise RegistryError(f"{self.name}: no blob {digest[:19]}...")
+
+    def _count_supply(self, event: str) -> None:
+        if self.tracer is not None:
+            self.tracer.metrics.count_supply(event)
+
+    def _verify_served(self, ref: ImageRef, manifest: Manifest) -> None:
+        """The pull-time supply check: count unsigned pulls, and when a
+        policy gate is attached, verify the served manifest's signature
+        (raising :class:`~repro.errors.SupplyPolicyError`)."""
+        if not self._signatures.get((ref.repository, ref.tag)):
+            self._count_supply("unsigned_pull")
+        if self.policy_gate is not None:
+            self.policy_gate.verify_pull(self, ref, manifest)
 
     # -- ownership policy (§6.2.5 proposed OCI extension) -------------------------------
 
@@ -257,6 +354,10 @@ class Registry:
             variants[config.arch] = manifest
             self._manifest_log.append((ref.repository, ref.tag,
                                        manifest.digest()))
+            if self.signer is not None:
+                self.record_signature(ref,
+                                      self.signer.sign(manifest.digest()))
+                self._count_supply("signed")
         return manifest
 
     def pull(self, ref: ImageRef | str, *, arch: Optional[str] = None,
@@ -272,6 +373,7 @@ class Registry:
                         f"pull {ref.repository}:{ref.tag}", "pull",
                         registry=self.name):
             manifest = self.manifest(ref, arch=arch)
+            self._verify_served(ref, manifest)
             layers = [TarArchive.deserialize(
                           self.fetch_blob(d, local_store=local_store))
                       for d in manifest.layers]

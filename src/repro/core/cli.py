@@ -27,8 +27,8 @@ __all__ = ["ch_image_cli"]
 
 def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
     if not argv:
-        return 1, ("usage: ch-image {build|build-cache|pull|push|list|"
-                   "delete|trace} ...")
+        return 1, ("usage: ch-image {audit|build|build-cache|pull|push|"
+                   "list|delete|trace} ...")
     command, *args = argv
 
     if command == "build":
@@ -193,6 +193,42 @@ def ch_image_cli(ch: ChImage, argv: list[str]) -> tuple[int, str]:
             except ReproError as err:
                 return 1, f"ch-image build-cache {args[0]} failed: {err}"
         return 0, cache.summary()
+
+    if command == "audit":
+        names = [a for a in args if not a.startswith("--")]
+        if not names:
+            return 1, "ch-image audit: need an image name"
+        name = names[0]
+        if not ch.storage.exists(name):
+            return 1, f"ch-image audit: no image {name!r} in storage"
+        from ..archive import TarArchive
+        from ..supply import (audit_layers, layers_as_dict,
+                              make_advisory_db, packages_of,
+                              sbom_statement)
+        path = ch.storage.path_of(name)
+        sbom = sbom_statement(ch.sys, path, image=name)
+        findings = [f.as_dict() for f in
+                    make_advisory_db(seed=0).scan(packages_of(sbom))]
+        audits = audit_layers([TarArchive.pack(ch.storage.sys, path)])
+        size = layers_as_dict(audits)
+        if "--json" in args:
+            return 0, json.dumps({"image": name, "sbom": sbom,
+                                  "findings": findings, "size": size},
+                                 sort_keys=True)
+        lines = [f"image audit: {name}",
+                 f"  packages: {sbom['package_count']}"]
+        worst = f" (worst: {findings[0]['severity']})" if findings else ""
+        lines.append(f"  findings: {len(findings)}{worst}")
+        for f in findings:
+            fixed = f"< {f['fixed_in']}" if f["fixed_in"] else "(no fix)"
+            lines.append(f"    {f['id']} {f['severity']}: {f['package']} "
+                         f"{f['installed']} {fixed}: {f['summary']}")
+        layer = size["layers"][0]
+        top = layer["largest"][0] if layer["largest"] else None
+        largest = f", largest {top['path']} ({top['size']})" if top else ""
+        lines.append(f"  size: {size['total_bytes']} bytes, "
+                     f"{layer['members']} members{largest}")
+        return 0, "\n".join(lines)
 
     if command == "trace":
         tracer = ch.tracer

@@ -41,6 +41,11 @@ class PackageFile:
     caps: Optional[str] = None
 
 
+#: Characters that would corrupt the ``name|version`` line format of
+#: :class:`PackageDb` — ``|`` splits the fields, newlines split records.
+_DB_UNSAFE = ("|", "\n", "\r")
+
+
 @dataclass(frozen=True)
 class Package:
     """One installable package."""
@@ -54,6 +59,21 @@ class Package:
     requires: tuple[str, ...] = ()
     pre_script: Optional[str] = None  # %pre / preinst
     post_script: Optional[str] = None  # %post / postinst
+
+    def __post_init__(self):
+        # the database is line-oriented ``name|version`` — a name or
+        # version carrying the delimiters would round-trip as a
+        # *different* installed set (and poison any SBOM built from it),
+        # so reject at construction instead of corrupting silently
+        for label in ("name", "version"):
+            value = getattr(self, label)
+            if not value:
+                raise PackageError(f"package {label} must be non-empty")
+            bad = [c for c in _DB_UNSAFE if c in value]
+            if bad:
+                raise PackageError(
+                    f"package {label} {value!r} contains characters "
+                    f"unrepresentable in the package database: {bad!r}")
 
     @property
     def nevra(self) -> str:

@@ -17,6 +17,7 @@ __all__ = [
     "BuildError",
     "RegistryError",
     "PackageError",
+    "SupplyPolicyError",
     "TransientError",
     "TransientRegistryError",
 ]
@@ -157,6 +158,31 @@ class RegistryError(ReproError):
 
 class PackageError(ReproError):
     """A distribution package operation failed."""
+
+
+class SupplyPolicyError(RegistryError):
+    """An image failed the supply-chain policy gate.
+
+    Raised on pull/deploy/gate when an image is unsigned, its signature
+    does not verify against the manifest actually served, a required
+    attestation (SBOM, provenance) is missing, a scanned advisory meets
+    the severity threshold, or a layer exceeds the size budget.  Always
+    raised *before* any broadcast traffic is scheduled.
+
+    Attributes
+    ----------
+    ref:
+        The image reference that failed the gate, when known.
+    violations:
+        The individual policy violations, one human-readable string each
+        (the message joins them; tests can assert on the list).
+    """
+
+    def __init__(self, msg: str = "", *, ref: str = "",
+                 violations: tuple[str, ...] = ()):
+        self.ref = str(ref)
+        self.violations = tuple(violations)
+        super().__init__(msg)
 
 
 class TransientError(ReproError):

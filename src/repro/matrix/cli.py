@@ -4,7 +4,9 @@
 
     astra-matrix [--parallelism N] [--registry-shards N] [--replicas R]
                  [--tenant NAME] [--token T] [--force]
-                 [--fault-plan SPEC] [--retries N] -f SPECFILE USER
+                 [--fault-plan SPEC] [--retries N]
+                 [--policy [--policy-threshold SEV] [--signing-key NAME]]
+                 -f SPECFILE USER
 
 Reads the matrix spec from SPECFILE (the :func:`~repro.matrix.spec.
 parse_spec_text` format), builds every cell on the login node's build
@@ -13,8 +15,12 @@ as a :class:`~repro.cluster.fleet.RegistryFleet` of that size and
 pushes the family under the tenant namespace.  ``--fault-plan`` takes
 the same :meth:`repro.sim.FaultPlan.parse` spec as ``astra-deploy``
 (worker crashes hit the farm; builds requeue and single-flight waiters
-are promoted).  Returns ``(exit_status, output_text)`` like every other
-CLI shim here.
+are promoted).  ``--policy`` turns the supply chain on for the run:
+every cell is attested (SBOM + provenance), signed on push (seeded key
+``--signing-key``, default ``site-ci``), and audited by a
+:class:`~repro.supply.PolicyGate` with the seeded advisory feed; any
+rejection fails the run.  Returns ``(exit_status, output_text)`` like
+every other CLI shim here.
 """
 
 from __future__ import annotations
@@ -29,7 +35,9 @@ __all__ = ["astra_matrix_cli"]
 
 _USAGE = ("usage: astra-matrix [--parallelism N] [--registry-shards N] "
           "[--replicas R] [--tenant NAME] [--token T] [--force] "
-          "[--fault-plan SPEC] [--retries N] -f SPECFILE USER")
+          "[--fault-plan SPEC] [--retries N] [--policy "
+          "[--policy-threshold SEV] [--signing-key NAME]] "
+          "-f SPECFILE USER")
 
 
 def _int_opt(argv: list[str], i: int, a: str, name: str, *, minimum: int
@@ -58,6 +66,9 @@ def astra_matrix_cli(cluster, argv: list[str]) -> tuple[int, str]:
     force = False
     fault_spec: str | None = None
     retries = 8
+    policy = False
+    policy_threshold = "high"
+    signing_key = "site-ci"
     spec_path = ""
     user = ""
     i = 0
@@ -91,6 +102,21 @@ def astra_matrix_cli(cluster, argv: list[str]) -> tuple[int, str]:
             token = argv[i] if i < len(argv) else None
         elif a == "--force":
             force = True
+        elif a == "--policy":
+            policy = True
+        elif a == "--policy-threshold" \
+                or a.startswith("--policy-threshold="):
+            if a == "--policy-threshold":
+                i += 1
+                policy_threshold = argv[i] if i < len(argv) else ""
+            else:
+                policy_threshold = a.split("=", 1)[1]
+        elif a == "--signing-key" or a.startswith("--signing-key="):
+            if a == "--signing-key":
+                i += 1
+                signing_key = argv[i] if i < len(argv) else ""
+            else:
+                signing_key = a.split("=", 1)[1]
         elif a == "--fault-plan" or a.startswith("--fault-plan="):
             if a == "--fault-plan":
                 i += 1
@@ -137,12 +163,35 @@ def astra_matrix_cli(cluster, argv: list[str]) -> tuple[int, str]:
         from ..cluster.fleet import deploy_fleet
         fleet = deploy_fleet(cluster.world, n_shards=registry_shards,
                              replicas=replicas)
+
+    signer = None
+    gate = None
+    if policy:
+        if fleet is None:
+            return 1, ("astra-matrix: --policy needs a fleet "
+                       "(--registry-shards >= 1)")
+        from ..supply import (KeyRegistry, PolicyGate, SupplyPolicy,
+                              make_advisory_db, severity_rank)
+        try:
+            severity_rank(policy_threshold)
+        except ValueError as err:
+            return 1, f"astra-matrix: {err}"
+        keys = KeyRegistry(seed=0)
+        signer = keys.signer(signing_key)
+        gate = PolicyGate(
+            SupplyPolicy(severity_threshold=policy_threshold,
+                         trusted_keys=(signing_key,)),
+            keys=keys, advisories=make_advisory_db(seed=0))
+
     try:
         report = build_matrix(cluster.login, login_proc, spec,
                               parallelism=parallelism, force=force,
                               fleet=fleet, tenant=tenant, token=token,
                               fault_plan=fault_plan,
-                              retry_budget=retries)
+                              retry_budget=retries,
+                              attest=policy, signer=signer,
+                              policy_gate=gate)
     except ReproError as err:
         return 1, f"astra-matrix: {err}"
-    return (0 if report.success else 1), "\n".join(report.summary())
+    ok = report.success and (not policy or report.policy_ok)
+    return (0 if ok else 1), "\n".join(report.summary())

@@ -47,6 +47,8 @@ class CellOutcome:
     cache: dict = field(default_factory=dict)   # per-cell hit/miss slice
     pushed_ref: str = ""
     error: str = ""
+    policy: str = ""                # "", "pass", or "reject"
+    policy_error: str = ""
 
     def as_dict(self) -> dict:
         return {
@@ -56,6 +58,7 @@ class CellOutcome:
             "queue_wait": self.queue_wait, "duration": self.duration,
             "cache": dict(self.cache), "pushed": self.pushed_ref,
             "error": self.error,
+            "policy": self.policy, "policy_error": self.policy_error,
         }
 
 
@@ -75,6 +78,7 @@ class MatrixReport:
     worker_crashes: int = 0
     requeues: int = 0
     pushed: int = 0
+    policy_rejections: int = 0
     tenant: Optional[str] = None
     fleet_report: Optional[dict] = None
     farm_report: object = None      # the underlying FarmReport
@@ -82,6 +86,11 @@ class MatrixReport:
     @property
     def success(self) -> bool:
         return bool(self.cells) and all(c.success for c in self.cells)
+
+    @property
+    def policy_ok(self) -> bool:
+        """True when no gated cell was rejected by the policy gate."""
+        return self.policy_rejections == 0
 
     @property
     def amplification(self) -> float:
@@ -105,6 +114,7 @@ class MatrixReport:
             "worker_crashes": self.worker_crashes,
             "requeues": self.requeues,
             "pushed": self.pushed,
+            "policy_rejections": self.policy_rejections,
             "tenant": self.tenant,
             "fleet": self.fleet_report,
             "cells": [c.as_dict() for c in self.cells],
@@ -135,6 +145,15 @@ class MatrixReport:
                 f"pushed {self.pushed} images to "
                 f"{self.fleet_report['shards']} shard(s) as tenant "
                 f"{self.tenant!r}")
+        gated = [c for c in self.cells if c.policy]
+        if gated:
+            lines.append(
+                f"policy gate: {len(gated) - self.policy_rejections} "
+                f"pass, {self.policy_rejections} rejected")
+            for c in gated:
+                if c.policy == "reject":
+                    lines.append(f"REJECTED {c.pushed_ref or c.tag} "
+                                 f"[{c.label}]: {c.policy_error}")
         failed = [c for c in self.cells if not c.success]
         for c in failed:
             lines.append(f"FAILED {c.tag} [{c.label}]: {c.error}")
@@ -149,7 +168,9 @@ def build_matrix(machine, user_proc, spec: MatrixSpec, *,
                  tenant: Optional[str] = None,
                  token: Optional[str] = None,
                  fault_plan=None, retry_budget: int = 8,
-                 engine=None, build_cache=None) -> MatrixReport:
+                 engine=None, build_cache=None,
+                 attest: bool = False, signer=None,
+                 policy_gate=None) -> MatrixReport:
     """Plan *spec*, build every cell on a shared-cache farm, and push
     successes into *fleet* (when given) under *tenant*'s namespace.
 
@@ -158,12 +179,24 @@ def build_matrix(machine, user_proc, spec: MatrixSpec, *,
     Raises :class:`~repro.matrix.MatrixSpecError` before any build when
     the spec is degenerate; build failures are per-cell outcomes, not
     exceptions.
+
+    The supply-chain options ride the push: with *attest*, every cell's
+    SBOM + provenance bundle is generated from the built tree and pushed
+    with the image; with *signer*, the fleet signs each manifest on
+    push; with *policy_gate*, every pushed image is audited fleet-side
+    right after its push — a rejection is recorded on the cell (and in
+    ``report.policy_rejections``) so nothing downstream deploys it.
     """
     from ..cluster.ci import BuildFarm
+    from ..errors import SupplyPolicyError
     plan = plan_matrix(spec, force=force, force_mode=force_mode)
     tenant = tenant if tenant is not None else spec.tenant
     kernel = machine.kernel
     tracer = getattr(kernel, "tracer", None)
+    if fleet is not None and signer is not None:
+        fleet.signer = signer
+    if policy_gate is not None and policy_gate.tracer is None:
+        policy_gate.tracer = tracer
 
     with kernel_span(kernel, f"matrix {spec.name}", "matrix",
                      cells=plan.n_cells,
@@ -211,10 +244,26 @@ def build_matrix(machine, user_proc, spec: MatrixSpec, *,
                     ref = f"{tenant}/{cell.tag}" if tenant else cell.tag
                     archive = TarArchive.pack(
                         storage.sys, storage.path_of(cell.tag))
+                    attestations = None
+                    if attest:
+                        from ..supply import build_attestations
+                        attestations = build_attestations(
+                            farm.builder, cell.tag, cell.dockerfile,
+                            force=force, force_mode=force_mode).blobs()
                     fleet.push(ref, storage.config_of(cell.tag),
-                               [flatten_archive(archive)], token=token)
+                               [flatten_archive(archive)], token=token,
+                               attestations=attestations)
                     outcome.pushed_ref = ref
                     report.pushed += 1
+                    if policy_gate is not None:
+                        try:
+                            policy_gate.check(fleet, ref)
+                            outcome.policy = "pass"
+                        except SupplyPolicyError as err:
+                            outcome.policy = "reject"
+                            outcome.policy_error = "; ".join(
+                                err.violations) or str(err)
+                            report.policy_rejections += 1
             report.cells.append(outcome)
         if fleet is not None:
             report.fleet_report = fleet.report()
@@ -230,6 +279,9 @@ def build_matrix(machine, user_proc, spec: MatrixSpec, *,
                            int(plan.amplification * 100))
             m.count_matrix("makespan_us", int(report.makespan * 1e6))
             m.count_matrix("pushed", report.pushed)
+            if report.policy_rejections:
+                m.count_matrix("policy_rejections",
+                               report.policy_rejections)
             if not report.success:
                 m.count_matrix("failed_cells",
                                sum(1 for c in report.cells

@@ -72,6 +72,9 @@ class TraceMetrics:
       ``walk_dirty`` walks, ``memo_hit`` / ``memo_miss`` member digests)
       — what the coldbuild-smoke job compares against the reference
       full-walk oracle.
+    * ``supply``: supply-chain events (``signed`` / ``unsigned_pull`` /
+      ``verify_ok`` / ``verify_fail`` / ``gate_pass`` / ``gate_reject``
+      / ``attested``) — what the policy-smoke job gates on.
     """
 
     def __init__(self):
@@ -83,6 +86,7 @@ class TraceMetrics:
         self.build: Counter[str] = Counter()
         self.matrix: Counter[str] = Counter()
         self.snapshots: Counter[str] = Counter()
+        self.supply: Counter[str] = Counter()
 
     def count_call(self, name: str, *, top_level: bool) -> None:
         if top_level:
@@ -107,6 +111,9 @@ class TraceMetrics:
     def count_snapshot(self, event: str, n: int = 1) -> None:
         self.snapshots[event] += n
 
+    def count_supply(self, event: str, n: int = 1) -> None:
+        self.supply[event] += n
+
     def clear(self) -> None:
         self.syscalls.clear()
         self.errnos.clear()
@@ -116,6 +123,7 @@ class TraceMetrics:
         self.build.clear()
         self.matrix.clear()
         self.snapshots.clear()
+        self.supply.clear()
 
     def snapshot(self) -> dict:
         """A JSON-friendly copy (sorted keys for deterministic exports)."""
@@ -131,4 +139,5 @@ class TraceMetrics:
             "build": dict(sorted(self.build.items())),
             "matrix": dict(sorted(self.matrix.items())),
             "snapshot": dict(sorted(self.snapshots.items())),
+            "supply": dict(sorted(self.supply.items())),
         }

@@ -1,0 +1,59 @@
+"""The supply-chain layer: attestation, signing, scanning, auditing.
+
+The build side is already a content-addressed Merkle DAG (instruction
+chains, layer blobs, manifests), so attaching trust to it is cheap:
+
+* :mod:`~repro.supply.sbom` — SBOM statements from the image tree's
+  package databases;
+* :mod:`~repro.supply.provenance` — provenance statements from the
+  static instruction chain (digest-stable across parallelism);
+* :mod:`~repro.supply.signing` — seeded deterministic keypairs,
+  detached signatures over manifest digests;
+* :mod:`~repro.supply.scanner` — CVE-style advisories matched against
+  SBOMs with rpm-style version comparison;
+* :mod:`~repro.supply.size_audit` — per-layer size and bloat
+  attribution, dedup-aware;
+* :mod:`~repro.supply.policy` — the :class:`PolicyGate` that composes
+  all of the above and rejects images before broadcast;
+* :mod:`~repro.supply.attest` — build-time bundle generation.
+"""
+
+from .attest import AttestationBundle, build_attestations
+from .policy import AuditReport, PolicyGate, SupplyPolicy
+from .provenance import (PROVENANCE_FORMAT, provenance_bytes,
+                         provenance_statement)
+from .sbom import SBOM_FORMAT, packages_of, sbom_bytes, sbom_statement
+from .scanner import (SEVERITIES, Advisory, AdvisoryDb, Finding,
+                      compare_versions, make_advisory_db, severity_rank)
+from .signing import KeyRegistry, Signature, Signer, canonical_json
+from .size_audit import LayerAudit, MemberStat, audit_layers, layers_as_dict
+
+__all__ = [
+    "AttestationBundle",
+    "build_attestations",
+    "AuditReport",
+    "PolicyGate",
+    "SupplyPolicy",
+    "PROVENANCE_FORMAT",
+    "provenance_bytes",
+    "provenance_statement",
+    "SBOM_FORMAT",
+    "packages_of",
+    "sbom_bytes",
+    "sbom_statement",
+    "SEVERITIES",
+    "Advisory",
+    "AdvisoryDb",
+    "Finding",
+    "compare_versions",
+    "make_advisory_db",
+    "severity_rank",
+    "KeyRegistry",
+    "Signature",
+    "Signer",
+    "canonical_json",
+    "LayerAudit",
+    "MemberStat",
+    "audit_layers",
+    "layers_as_dict",
+]

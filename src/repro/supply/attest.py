@@ -1,0 +1,55 @@
+"""Build-time attestation generation.
+
+``build_attestations`` runs right after a build succeeds, while the
+image tree and its Merkle chain are both at hand: the SBOM comes from
+the tree's package databases, the provenance from the static
+instruction chain plus the digests the build actually resolved.  The
+bundle's blobs are what gets attached to the image on push (content-
+addressed, so pushing the same build twice dedups to nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cas.store import blob_digest
+from .provenance import provenance_bytes, provenance_statement
+from .sbom import sbom_bytes, sbom_statement
+
+__all__ = ["AttestationBundle", "build_attestations"]
+
+
+@dataclass(frozen=True)
+class AttestationBundle:
+    """The attestation blobs of one build, keyed by kind."""
+
+    sbom: bytes
+    provenance: bytes
+
+    def blobs(self) -> dict[str, bytes]:
+        return {"sbom": self.sbom, "provenance": self.provenance}
+
+    def digests(self) -> dict[str, str]:
+        return {kind: blob_digest(blob)
+                for kind, blob in self.blobs().items()}
+
+
+def build_attestations(ch, tag: str, dockerfile: str, *,
+                       force: bool = False, force_mode: str = ""
+                       ) -> AttestationBundle:
+    """Attest the already-built image *tag* from builder *ch*.
+
+    Both statements are canonical and derived only from build-invariant
+    inputs (installed set, Dockerfile text, resolved digests), so the
+    bundle's digests are identical at every ``--parallelism`` level.
+    """
+
+    def resolve_base(ref: str) -> str:
+        return ch.storage.digest_of(ref)
+
+    sbom = sbom_statement(ch.sys, ch.storage.path_of(tag), image=tag)
+    provenance = provenance_statement(
+        dockerfile, image=tag, subject=ch.storage.digest_of(tag),
+        force=force, force_mode=force_mode, resolve_base=resolve_base)
+    return AttestationBundle(sbom=sbom_bytes(sbom),
+                             provenance=provenance_bytes(provenance))

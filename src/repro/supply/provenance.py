@@ -1,0 +1,77 @@
+"""Provenance attestations from the Merkle instruction chain.
+
+The build planner already derives a static, content-addressed key for
+every instruction of every stage (:func:`instruction_chain_keys` — the
+same formulas the build cache uses at runtime).  A provenance statement
+records those chains plus the resolved base-image digests, the build
+arguments, and the subject (the built image's digest) in canonical
+JSON.  Because the chains are derived from Dockerfile *text* and the
+subject digest is parallelism-invariant (PR 4's digest-identical
+guarantee), the statement's digest is identical across
+``--parallelism 1`` and ``--parallelism 8`` — which is what lets two
+independent builders corroborate each other's attestations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..containers.dockerfile import parse_stage_graph
+from ..core.build_graph import instruction_chain_keys
+from .signing import canonical_json
+
+__all__ = ["PROVENANCE_FORMAT", "provenance_statement", "provenance_bytes"]
+
+PROVENANCE_FORMAT = "repro.provenance/v1"
+
+
+def provenance_statement(dockerfile: str, *, image: str = "",
+                         subject: str = "", force: bool = False,
+                         force_mode: str = "",
+                         resolve_base: Optional[Callable[[str], str]] = None,
+                         ) -> dict:
+    """Build the provenance statement for one image build.
+
+    *resolve_base* maps an external base reference (``centos:7``) to its
+    digest in this world; when absent or failing, the placeholder
+    ``image:<ref>`` is recorded — the same rooting
+    :func:`instruction_chain_keys` uses, so the statement stays
+    well-formed for never-pulled bases.
+    """
+    graph = parse_stage_graph(dockerfile)
+    chains = instruction_chain_keys(graph, force=force,
+                                    force_mode=force_mode)
+    bases: dict[str, str] = {}
+    stages = []
+    for stage, chain in zip(graph.stages, chains):
+        if stage.base_stage is None and stage.base_ref not in bases:
+            digest = f"image:{stage.base_ref}"
+            if resolve_base is not None:
+                try:
+                    digest = resolve_base(stage.base_ref)
+                except Exception:
+                    pass
+            bases[stage.base_ref] = digest
+        stages.append({
+            "index": stage.index,
+            "label": stage.label,
+            "base": (f"stage:{stage.base_stage}"
+                     if stage.base_stage is not None else stage.base_ref),
+            "instructions": [
+                {"kind": inst.kind, "args": inst.args, "chain_key": key}
+                for inst, key in chain],
+        })
+    return {
+        "format": PROVENANCE_FORMAT,
+        "builder": {"name": "ch-image", "force": force,
+                    "force_mode": force_mode if force else ""},
+        "image": image,
+        "subject": subject,
+        "bases": bases,
+        "stages": stages,
+    }
+
+
+def provenance_bytes(statement: dict) -> bytes:
+    """Canonical encoding (what gets signed/stored)."""
+    return canonical_json(statement)

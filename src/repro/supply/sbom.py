@@ -1,0 +1,58 @@
+"""SBOM generation from the simulated package databases.
+
+The install paths (:mod:`repro.distro.yum` / :mod:`repro.distro.apt`)
+maintain line-oriented databases at ``/var/lib/rpm/packages`` and
+``/var/lib/dpkg/status`` inside every image tree.  An SBOM statement is
+the sorted union of both — name, version, and which database recorded
+the install — canonically encoded so its digest is a pure function of
+the installed set (and therefore identical across build parallelism
+levels, which only reorder *work*, never results).
+"""
+
+from __future__ import annotations
+
+from ..distro.apt import DPKG_DB_PATH
+from ..distro.packages import PackageDb
+from ..distro.rpm import RPM_DB_PATH
+from ..kernel import Syscalls
+from .signing import canonical_json
+
+__all__ = ["SBOM_FORMAT", "sbom_statement", "sbom_bytes", "packages_of"]
+
+SBOM_FORMAT = "repro.sbom/v1"
+
+
+def _db_packages(sys: Syscalls, path: str, origin: str) -> list[dict]:
+    return [{"name": name, "version": version, "origin": origin}
+            for name, version in sorted(PackageDb(sys, path).installed()
+                                        .items())]
+
+
+def sbom_statement(sys: Syscalls, image_path: str, *,
+                   image: str = "") -> dict:
+    """The SBOM of the image tree rooted at *image_path*.
+
+    Reads both package databases under the tree (either may be absent —
+    a busybox-style image legitimately has neither).  ``packages`` is
+    sorted by (origin, name) so the statement is canonical.
+    """
+    root = image_path.rstrip("/")
+    packages = (_db_packages(sys, root + DPKG_DB_PATH, "dpkg")
+                + _db_packages(sys, root + RPM_DB_PATH, "rpm"))
+    packages.sort(key=lambda p: (p["origin"], p["name"]))
+    return {
+        "format": SBOM_FORMAT,
+        "image": image,
+        "package_count": len(packages),
+        "packages": packages,
+    }
+
+
+def sbom_bytes(statement: dict) -> bytes:
+    """Canonical encoding of an SBOM statement (what gets signed/stored)."""
+    return canonical_json(statement)
+
+
+def packages_of(statement: dict) -> dict[str, str]:
+    """name -> version map of an SBOM statement (scanner input)."""
+    return {p["name"]: p["version"] for p in statement.get("packages", ())}

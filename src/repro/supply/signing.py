@@ -1,0 +1,129 @@
+"""Deterministic signing for the supply-chain layer.
+
+A real deployment would use sigstore/cosign-style detached signatures;
+here keypairs are derived from a seed so every run of the simulation —
+and both ends of a golden-transcript comparison — agree on every byte.
+The math is a keyed hash, not public-key crypto: the *shape* of the
+trust argument (a registry of named keys, signatures bound to a payload
+digest, verification against a trust store) is what the policy gate
+exercises, and a sha256 MAC models it faithfully and deterministically.
+
+The payload signed for an image is the **manifest digest** — the root of
+the content-addressed tree (config + layer blobs), so any tamper with a
+layer changes the manifest digest and unbinds the signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+__all__ = ["Signature", "Signer", "KeyRegistry", "canonical_json"]
+
+
+def canonical_json(obj) -> bytes:
+    """Canonical statement encoding: sorted keys, no whitespace.
+
+    Every attestation (SBOM, provenance) is serialized through this one
+    function so digests are reproducible across runs and across
+    parallelism levels.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature over a payload digest.
+
+    ``key`` names the signing key, ``public_key`` pins which generation
+    of that name signed (a re-generated key has a different public
+    half), ``payload`` is the digest that was signed, ``value`` the
+    signature proper.
+    """
+
+    key: str
+    public_key: str
+    payload: str
+    value: str
+
+    def as_dict(self) -> dict:
+        return {"key": self.key, "public_key": self.public_key,
+                "payload": self.payload, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Signature":
+        return cls(key=d["key"], public_key=d["public_key"],
+                   payload=d["payload"], value=d["value"])
+
+
+def _sig_value(secret: str, payload: str) -> str:
+    return hashlib.sha256(f"sig|{secret}|{payload}".encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Signer:
+    """The private half of one key: what a build farm holds."""
+
+    name: str
+    public_key: str
+    _secret: str
+
+    def sign(self, payload: str) -> Signature:
+        return Signature(key=self.name, public_key=self.public_key,
+                         payload=payload,
+                         value=_sig_value(self._secret, payload))
+
+
+class KeyRegistry:
+    """Seeded keypair registry — the trust store verifiers consult.
+
+    ``generate(name)`` derives a keypair deterministically from
+    ``(seed, name)``; ``signer(name)`` hands out the private half;
+    ``verify`` recomputes the signature from the registered secret and
+    rejects unknown keys, stale public keys, payload mismatches, and
+    forged values.  Two registries with the same seed mint identical
+    keys, which is what lets golden transcripts pin signed audits.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._secrets: dict[str, str] = {}
+
+    def generate(self, name: str) -> str:
+        """Mint (or re-mint) the keypair *name*; returns the public key."""
+        if not name:
+            raise ValueError("key name must be non-empty")
+        secret = hashlib.sha256(
+            f"supply-key|{self.seed}|{name}".encode()).hexdigest()
+        self._secrets[name] = secret
+        return self.public_key(name)
+
+    def has(self, name: str) -> bool:
+        return name in self._secrets
+
+    def names(self) -> list[str]:
+        return sorted(self._secrets)
+
+    def public_key(self, name: str) -> str:
+        if name not in self._secrets:
+            raise KeyError(f"no key named {name!r}")
+        return "pk:" + hashlib.sha256(
+            f"pub|{self._secrets[name]}".encode()).hexdigest()[:16]
+
+    def signer(self, name: str) -> Signer:
+        if name not in self._secrets:
+            self.generate(name)
+        return Signer(name=name, public_key=self.public_key(name),
+                      _secret=self._secrets[name])
+
+    def verify(self, sig: Signature, payload: str) -> bool:
+        """True iff *sig* is a valid signature over *payload* by a
+        currently-registered key."""
+        if sig.key not in self._secrets:
+            return False
+        if sig.public_key != self.public_key(sig.key):
+            return False
+        if sig.payload != payload:
+            return False
+        return sig.value == _sig_value(self._secrets[sig.key], payload)

@@ -1,0 +1,94 @@
+"""Per-layer size audit with bloat attribution.
+
+Layers are :class:`~repro.archive.TarArchive` values, so the audit can
+attribute every byte to a member and — because members are
+content-addressed — tell *unique* payload apart from bytes that already
+exist elsewhere in the image (the dedup the CAS would collapse anyway).
+``duplicate_bytes`` is the honest bloat number: bytes a layer ships
+that an earlier member already shipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..archive import TarArchive
+
+__all__ = ["MemberStat", "LayerAudit", "audit_layers", "layers_as_dict"]
+
+
+@dataclass(frozen=True)
+class MemberStat:
+    """One member's contribution to a layer."""
+
+    path: str
+    size: int
+    duplicate: bool
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "size": self.size,
+                "duplicate": self.duplicate}
+
+
+@dataclass(frozen=True)
+class LayerAudit:
+    """The size story of one layer."""
+
+    index: int
+    digest: str
+    members: int
+    total_bytes: int
+    unique_bytes: int
+    duplicate_bytes: int
+    largest: tuple[MemberStat, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "digest": self.digest,
+            "members": self.members,
+            "total_bytes": self.total_bytes,
+            "unique_bytes": self.unique_bytes,
+            "duplicate_bytes": self.duplicate_bytes,
+            "largest": [m.as_dict() for m in self.largest],
+        }
+
+
+def audit_layers(layers: list[TarArchive], *, top: int = 5
+                 ) -> list[LayerAudit]:
+    """Audit *layers* in order; duplicate detection is cumulative, so a
+    byte run counts as unique exactly once across the whole image."""
+    seen: set[str] = set()
+    audits: list[LayerAudit] = []
+    for index, layer in enumerate(layers):
+        stats: list[MemberStat] = []
+        unique = duplicate = 0
+        for m in layer.members:
+            size = len(m.data)
+            dup = False
+            if size:
+                digest = hashlib.sha256(m.data).hexdigest()
+                dup = digest in seen
+                seen.add(digest)
+                if dup:
+                    duplicate += size
+                else:
+                    unique += size
+            stats.append(MemberStat(path=m.path, size=size, duplicate=dup))
+        largest = tuple(sorted(stats, key=lambda s: (-s.size, s.path))[:top])
+        audits.append(LayerAudit(
+            index=index, digest=layer.digest(), members=len(stats),
+            total_bytes=unique + duplicate, unique_bytes=unique,
+            duplicate_bytes=duplicate, largest=largest))
+    return audits
+
+
+def layers_as_dict(audits: list[LayerAudit]) -> dict:
+    """Image-level rollup (JSON-friendly, deterministic)."""
+    return {
+        "layers": [a.as_dict() for a in audits],
+        "total_bytes": sum(a.total_bytes for a in audits),
+        "unique_bytes": sum(a.unique_bytes for a in audits),
+        "duplicate_bytes": sum(a.duplicate_bytes for a in audits),
+    }

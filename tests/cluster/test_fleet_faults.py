@@ -11,6 +11,8 @@ hardcode one origin link; with a fleet it must route every pull through
 ring placement.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.archive import TarArchive, TarMember
@@ -163,6 +165,78 @@ class TestDeployConvergence:
             strategy="registry")
         assert report.retries > 0
         assert shard_pull_bytes(fleet) == report.registry_egress_bytes
+
+
+class TestLedgerUnderFaults:
+    """Satellite: ledger == stored bytes through the whole fault matrix.
+
+    The workload runs against *registered* tenants so every push is
+    quota-charged; after crash, flake, and clean replays the charged
+    bytes must equal the resident bytes of each tenant's attributed
+    digests — the transactional push may never leak a phantom charge."""
+
+    CHARGED_SPEC = replace(SPEC, tokens={"alice": "alice", "bob": "bob"})
+
+    def charged_fleet(self):
+        fleet = RegistryFleet("site", n_shards=4, replicas=2)
+        for name, _ in SPEC.tenants:
+            fleet.add_tenant(name, token=name, quota_bytes=1_000_000)
+        for i, ref in enumerate(SPEC.refs()):
+            tenant = ref.split("/", 1)[0]
+            fleet.push(ref, ImageConfig(),
+                       [layer("bin", bytes([i % 251]) * LAYER_SIZES[0]),
+                        layer("lib",
+                              bytes([(i * 7) % 251]) * LAYER_SIZES[1])],
+                       token=tenant)
+        return fleet
+
+    def assert_ledger_equals_stored(self, fleet):
+        for tenant in fleet.tenants.values():
+            stored = 0
+            for digest in tenant.digests:
+                assert fleet.has_blob(digest), \
+                    f"{tenant.name} charged for unstored {digest[:19]}..."
+                stored += fleet.blob_size(digest)
+            assert tenant.bytes_used == stored, \
+                f"{tenant.name}: charged {tenant.bytes_used}, " \
+                f"stored {stored}"
+
+    @pytest.mark.parametrize("plan_key", ["crash", "flake", "clean"])
+    def test_ledger_equals_stored_bytes(self, plan_key):
+        plans = {"crash": lambda: FaultPlan(seed=11).add_node_crash(
+                     "site.s01", 1.0),
+                 "flake": lambda: FaultPlan(seed=11).add_registry_flake(
+                     0.5, 0.9),
+                 "clean": lambda: None}
+        fleet = self.charged_fleet()
+        self.assert_ledger_equals_stored(fleet)
+        report = run_workload(fleet, self.CHARGED_SPEC,
+                              fault_plan=plans[plan_key]())
+        assert report.completed > 0
+        self.assert_ledger_equals_stored(fleet)
+
+    def test_mid_workload_crash_push_rolls_back_cleanly(self):
+        """A push that fails because its primary shard is down must not
+        move any tenant's ledger — replayed here on the charged fleet."""
+        fleet = self.charged_fleet()
+        before = {n: fleet.tenant_stats(n)["bytes_used"]
+                  for n, _ in SPEC.tenants}
+        fleet.crash_shard("site.s01")
+        fleet.crash_shard("site.s02")
+        fleet.crash_shard("site.s03")
+        failed = 0
+        for seed in range(32):
+            try:
+                fleet.push(f"alice/probe:v{seed}", ImageConfig(),
+                           [layer(f"p{seed}", bytes([seed]) * 2500)],
+                           token="alice")
+            except Exception:
+                failed += 1
+        assert failed > 0      # one live shard can't hold every ring slot
+        self.assert_ledger_equals_stored(fleet)
+        after = {n: fleet.tenant_stats(n)["bytes_used"]
+                 for n, _ in SPEC.tenants}
+        assert after["bob"] == before["bob"]
 
 
 class TestBroadcastFleetRouting:

@@ -133,3 +133,70 @@ class TestCatalog:
         u = make_universe()
         pseudo = u.repo("debian10/main-x86_64").get("pseudo")
         assert any(f.path == "/usr/bin/fakeroot" for f in pseudo.files)
+
+
+class TestPackageValidation:
+    """The satellite regression: ``|`` or a newline in a package name
+    used to silently corrupt the line-oriented ``name|version`` database
+    (and poison every SBOM built from it).  Construction now rejects."""
+
+    @pytest.mark.parametrize("name", ["evil|pkg", "two\nlines", "cr\rname"])
+    def test_delimiter_in_name_rejected(self, name):
+        with pytest.raises(PackageError) as err:
+            Package(name=name, version="1.0")
+        assert "unrepresentable" in str(err.value)
+
+    @pytest.mark.parametrize("version", ["1.0|2", "1.0\n0:9", "1\r0"])
+    def test_delimiter_in_version_rejected(self, version):
+        with pytest.raises(PackageError):
+            Package(name="ok", version=version)
+
+    @pytest.mark.parametrize("field", [{"name": ""}, {"version": ""}])
+    def test_empty_fields_rejected(self, field):
+        kwargs = {"name": "ok", "version": "1.0", **field}
+        with pytest.raises(PackageError) as err:
+            Package(**kwargs)
+        assert "must be non-empty" in str(err.value)
+
+    def test_catalog_style_versions_accepted(self):
+        # the weird-but-legal forms the catalogs actually mint
+        for version in ("7.4p1", "1:7.9p1-10+deb10u2", "20161107~git"):
+            assert Package(name="x", version=version).version == version
+
+    def test_forged_entry_cannot_smuggle_a_second_package(self):
+        """What the bug used to allow: one add() materializing two
+        installed entries."""
+        from repro.kernel import Kernel, make_ext4
+        db = PackageDb(Syscalls(Kernel(make_ext4()).init_process),
+                       "/var/lib/rpm/packages")
+        with pytest.raises(PackageError):
+            db.add(Package(name="good|innocent", version="1.0"))
+        assert db.installed() == {}
+
+
+class TestPackageDbRoundTrip:
+    """Property: any safe (name, version) set round-trips through the
+    line-oriented database byte-exactly."""
+
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    _name = st.text(
+        alphabet=st.characters(codec="ascii", exclude_characters="|\n\r",
+                               categories=("L", "N", "P")),
+        min_size=1, max_size=24)
+    _version = st.text(
+        alphabet="0123456789.:-+~abcdefghijklmnopqrstuvwxyz",
+        min_size=1, max_size=16)
+
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(entries=st.dictionaries(_name, _version, min_size=1,
+                                   max_size=12))
+    def test_store_then_read_is_identity(self, entries):
+        from repro.kernel import Kernel, make_ext4
+        db = PackageDb(Syscalls(Kernel(make_ext4()).init_process),
+                       "/var/lib/rpm/packages")
+        for name, version in entries.items():
+            db.add(Package(name=name, version=version))
+        assert db.installed() == entries

@@ -1,0 +1,172 @@
+"""Supply-chain policy over the matrix: attest, sign, gate, reject.
+
+The orchestrator pushes every successful cell and then runs the policy
+gate *fleet-side* — a rejected image is recorded on its cell (and fails
+the CLI run) before any deploy broadcast can touch it.
+"""
+
+import pytest
+
+from repro.cluster import make_astra, make_world
+from repro.cluster.fleet import RegistryFleet
+from repro.kernel import Syscalls
+from repro.matrix import MatrixSpec, astra_matrix_cli, build_matrix
+from repro.supply import (
+    KeyRegistry,
+    PolicyGate,
+    SupplyPolicy,
+    make_advisory_db,
+)
+
+#: one clean cell, one cell that installs the CVE-tripping openssh
+SPEC = {
+    "name": "fam",
+    "tag": "fam/${app}",
+    "axes": {"app": ["plain", "ssh"]},
+    "template": ("FROM centos:7\n"
+                 "RUN echo ${app} > /role\n"
+                 "RUN yum install -y ${app}\n"),
+    "tenant": "hpc",
+}
+
+SPEC_TEXT = """\
+name: fam
+tag: fam/${app}
+tenant: hpc
+axis app: plain | ssh
+template: |
+  FROM centos:7
+  RUN echo ${app} > /role
+  RUN yum install -y ${app}
+"""
+
+
+def gated_family():
+    spec = dict(SPEC)
+    spec["template"] = ("FROM centos:7\n"
+                       "RUN echo ${app} > /role\n")
+    return MatrixSpec.from_dict(spec)
+
+
+def supply_kit(threshold="high"):
+    keys = KeyRegistry(seed=0)
+    gate = PolicyGate(
+        SupplyPolicy(severity_threshold=threshold,
+                     trusted_keys=("site-ci",)),
+        keys=keys, advisories=make_advisory_db(seed=0))
+    return keys.signer("site-ci"), gate
+
+
+SSH_TEMPLATE = ("FROM centos:7\n"
+                "RUN echo ${app} > /role\n"
+                "RUN yum install -y openssh\n")
+
+
+class TestBuildMatrixPolicy:
+    def test_signed_clean_family_passes(self, login, alice):
+        signer, gate = supply_kit()
+        fleet = RegistryFleet("site", n_shards=2, replicas=2)
+        report = build_matrix(login, alice, gated_family(),
+                              parallelism=2, fleet=fleet, token="t",
+                              attest=True, signer=signer,
+                              policy_gate=gate)
+        assert report.success and report.policy_ok
+        assert all(c.policy == "pass" for c in report.cells)
+        assert any("policy gate: 2 pass, 0 rejected" in line
+                   for line in report.summary())
+        # sign-on-push landed on the shards
+        for cell in report.cells:
+            assert len(fleet.signatures_of(cell.pushed_ref)) == 1
+            assert set(fleet.attestation_digests(cell.pushed_ref)) \
+                == {"sbom", "provenance"}
+
+    def test_cve_cell_is_rejected_before_broadcast(self, login, alice):
+        signer, gate = supply_kit()
+        fleet = RegistryFleet("site", n_shards=2, replicas=2)
+        spec = MatrixSpec.from_dict(dict(SPEC, template=SSH_TEMPLATE))
+        report = build_matrix(login, alice, spec, parallelism=2,
+                              force=True, fleet=fleet, token="t",
+                              attest=True, signer=signer,
+                              policy_gate=gate)
+        assert report.success            # the builds themselves are fine
+        assert not report.policy_ok
+        assert report.policy_rejections == 2   # every cell installs ssh
+        assert all(c.policy == "reject" for c in report.cells)
+        assert all("at or above high" in c.policy_error
+                   for c in report.cells)
+        assert any(line.startswith("REJECTED hpc/fam/")
+                   for line in report.summary())
+        # rejected fleet-side: zero front-door pull traffic happened
+        assert fleet.stats.bytes_pulled == 0
+
+    def test_unsigned_push_is_rejected_by_the_gate(self, login, alice):
+        _, gate = supply_kit()
+        fleet = RegistryFleet("site", n_shards=1, replicas=1)
+        report = build_matrix(login, alice, gated_family(),
+                              parallelism=2, fleet=fleet, token="t",
+                              attest=True, signer=None,
+                              policy_gate=gate)
+        assert not report.policy_ok
+        assert all("no signature recorded" in c.policy_error
+                   for c in report.cells)
+
+    def test_no_gate_means_no_policy_column(self, login, alice):
+        fleet = RegistryFleet("site", n_shards=1, replicas=1)
+        report = build_matrix(login, alice, gated_family(),
+                              parallelism=2, fleet=fleet, token="t")
+        assert report.policy_ok
+        assert all(c.policy == "" for c in report.cells)
+        assert not any("policy gate" in line for line in report.summary())
+
+
+class TestMatrixCliPolicy:
+    @pytest.fixture
+    def astra(self):
+        return make_astra(make_world(), n_compute=2)
+
+    def write_spec(self, astra, text, path="/home/alice/family.spec"):
+        sys = Syscalls(astra.login.login("alice"))
+        sys.write_file(path, text.encode())
+        return path
+
+    def test_policy_run_rejects_the_ssh_cell(self, astra):
+        path = self.write_spec(astra, SPEC_TEXT.replace(
+            "RUN yum install -y ${app}", "RUN yum install -y openssh"))
+        status, out = astra_matrix_cli(
+            astra, ["--registry-shards", "2", "--replicas", "2",
+                    "--token", "t", "--policy", "--force",
+                    "-f", path, "alice"])
+        assert status == 1
+        assert "policy gate: 0 pass, 2 rejected" in out
+        assert "REJECTED hpc/fam/" in out and "at or above high" in out
+
+    def test_policy_clean_family_exits_zero(self, astra):
+        path = self.write_spec(astra, SPEC_TEXT.replace(
+            "RUN yum install -y ${app}", "RUN echo ${app}"))
+        status, out = astra_matrix_cli(
+            astra, ["--registry-shards", "2", "--token", "t",
+                    "--policy", "-f", path, "alice"])
+        assert status == 0, out
+        assert "policy gate: 2 pass, 0 rejected" in out
+
+    def test_policy_threshold_critical_passes_the_ssh_cell(self, astra):
+        path = self.write_spec(astra, SPEC_TEXT.replace(
+            "RUN yum install -y ${app}", "RUN yum install -y openssh"))
+        status, out = astra_matrix_cli(
+            astra, ["--registry-shards", "1", "--token", "t", "--policy",
+                    "--force", "--policy-threshold", "critical",
+                    "-f", path, "alice"])
+        assert status == 0, out
+
+    def test_policy_needs_a_fleet(self, astra):
+        path = self.write_spec(astra, SPEC_TEXT)
+        status, out = astra_matrix_cli(
+            astra, ["--policy", "-f", path, "alice"])
+        assert status == 1 and "--policy needs a fleet" in out
+
+    def test_bad_threshold_is_rejected_up_front(self, astra):
+        path = self.write_spec(astra, SPEC_TEXT)
+        status, out = astra_matrix_cli(
+            astra, ["--registry-shards", "1", "--policy",
+                    "--policy-threshold", "scary", "-f", path, "alice"])
+        assert status == 1 and "unknown severity" in out

@@ -1,0 +1,102 @@
+"""Unit tests for version comparison and the advisory scanner."""
+
+import pytest
+
+from repro.supply import (
+    SEVERITIES,
+    Advisory,
+    AdvisoryDb,
+    compare_versions,
+    make_advisory_db,
+    severity_rank,
+)
+
+
+class TestCompareVersions:
+    @pytest.mark.parametrize("older,newer", [
+        ("7.4p1", "8.0"),                      # the Figure 2 openssh
+        ("1:7.9p1-10+deb10u2", "1:8.0p1-1"),   # the Debian epoch form
+        ("1.0a", "1.0.1"),                     # rpm: alpha < numeric
+        ("1.8.12", "1.10.0"),                  # numeric, not lexical
+        ("3.1.6", "4.0.0"),
+        ("1.0", "1:0.1"),                      # epoch trumps body
+        ("20190515", "20200821"),              # date-style versions
+    ])
+    def test_ordering(self, older, newer):
+        assert compare_versions(older, newer) == -1
+        assert compare_versions(newer, older) == 1
+
+    @pytest.mark.parametrize("a,b", [
+        ("1.0", "1.0"), ("0:1.0", "1.0"), ("1.0-1", "1.0.1")])
+    def test_equal(self, a, b):
+        assert compare_versions(a, b) == 0
+
+
+class TestAdvisory:
+    def test_affects_below_fixed_in(self):
+        adv = Advisory("A-1", "openssh", "8.0", "high")
+        assert adv.affects("7.4p1")
+        assert not adv.affects("8.0")
+        assert not adv.affects("8.1p1")
+
+    def test_no_fix_affects_everything(self):
+        adv = Advisory("A-2", "fakeroot", "", "negligible")
+        assert adv.affects("1.0") and adv.affects("999")
+
+    def test_bad_severity_rejected_at_feed_time(self):
+        with pytest.raises(ValueError):
+            AdvisoryDb().add(Advisory("A-3", "x", "1.0", "scary"))
+
+    def test_severity_rank_is_the_ladder(self):
+        ranks = [severity_rank(s) for s in SEVERITIES]
+        assert ranks == sorted(ranks)
+        with pytest.raises(ValueError):
+            severity_rank("unknown")
+
+
+class TestScan:
+    def db(self):
+        db = AdvisoryDb()
+        db.add(Advisory("A-hi", "ssh", "8.0", "high"))
+        db.add(Advisory("A-lo", "gcc", "5.0", "low"))
+        db.add(Advisory("A-med", "mpi", "4.0", "medium"))
+        return db
+
+    def test_findings_sorted_most_severe_first(self):
+        findings = self.db().scan(
+            {"gcc": "4.8.5", "ssh": "7.4", "mpi": "3.1"})
+        assert [f.advisory.ident for f in findings] \
+            == ["A-hi", "A-med", "A-lo"]
+        assert self.db().worst({"gcc": "4.8.5", "ssh": "7.4"}) == "high"
+
+    def test_fixed_versions_are_clean(self):
+        assert self.db().scan({"ssh": "8.0", "gcc": "9.1"}) == []
+        assert self.db().worst({}) == ""
+
+
+class TestSeededFeed:
+    def test_same_seed_same_feed(self):
+        a, b = make_advisory_db(seed=0), make_advisory_db(seed=0)
+        assert len(a) == len(b) > 0
+        for name in ("openssh", "openssh-client", "gcc"):
+            assert [adv.ident for adv in a.for_package(name)] \
+                == [adv.ident for adv in b.for_package(name)]
+
+    def test_different_seed_different_idents(self):
+        a, b = make_advisory_db(seed=0), make_advisory_db(seed=1)
+        assert [adv.ident for adv in a.for_package("openssh")] \
+            != [adv.ident for adv in b.for_package("openssh")]
+
+    def test_catalog_openssh_trips_high(self):
+        """The paper's Figure 2 image installs openssh 7.4p1 — the feed
+        must flag it at exactly ``high`` (the default gate threshold)."""
+        db = make_advisory_db(seed=0)
+        assert db.worst({"openssh": "7.4p1"}) == "high"
+
+    def test_catalog_atse_stack_stays_below_high(self):
+        """The ATSE stack (gcc/openmpi/hdf5 catalog versions) maxes out
+        at medium, so it passes the default threshold."""
+        db = make_advisory_db(seed=0)
+        worst = db.worst({"gcc": "4.8.5", "openmpi": "3.1.6",
+                          "hdf5": "1.8.12", "atse": "1.2.5"})
+        assert worst == "medium"

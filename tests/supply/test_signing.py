@@ -1,0 +1,88 @@
+"""Unit tests for the seeded signing model.
+
+The properties the policy gate leans on: determinism (same seed, same
+keys, same signatures — golden transcripts depend on it), payload
+binding (a signature over digest A says nothing about digest B), and
+keyring freshness (a re-generated key invalidates old signatures).
+"""
+
+import pytest
+
+from repro.supply import KeyRegistry, Signature, canonical_json
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) \
+            == canonical_json({"a": [2, 3], "b": 1})
+
+    def test_no_whitespace(self):
+        assert b" " not in canonical_json({"a": 1, "b": {"c": 2}})
+
+
+class TestKeyRegistry:
+    def test_same_seed_mints_identical_keys(self):
+        a, b = KeyRegistry(seed=7), KeyRegistry(seed=7)
+        assert a.generate("ci") == b.generate("ci")
+        assert a.signer("ci").sign("sha256:d") \
+            == b.signer("ci").sign("sha256:d")
+
+    def test_different_seeds_differ(self):
+        assert KeyRegistry(seed=0).generate("ci") \
+            != KeyRegistry(seed=1).generate("ci")
+
+    def test_signer_autogenerates(self):
+        keys = KeyRegistry()
+        assert not keys.has("ci")
+        keys.signer("ci")
+        assert keys.has("ci") and keys.names() == ["ci"]
+
+    def test_empty_key_name_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRegistry().generate("")
+
+    def test_public_key_of_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            KeyRegistry().public_key("nobody")
+
+
+class TestVerification:
+    def sig(self, keys, payload="sha256:abc"):
+        return keys.signer("ci").sign(payload)
+
+    def test_good_signature_verifies(self):
+        keys = KeyRegistry()
+        sig = self.sig(keys)
+        assert keys.verify(sig, "sha256:abc")
+
+    def test_payload_mismatch_fails(self):
+        keys = KeyRegistry()
+        sig = self.sig(keys)
+        assert not keys.verify(sig, "sha256:other")
+
+    def test_forged_value_fails(self):
+        keys = KeyRegistry()
+        sig = self.sig(keys)
+        forged = Signature(key=sig.key, public_key=sig.public_key,
+                           payload=sig.payload, value="0" * 64)
+        assert not keys.verify(forged, sig.payload)
+
+    def test_unknown_key_fails(self):
+        keys = KeyRegistry()
+        sig = self.sig(keys)
+        assert not KeyRegistry().verify(sig, sig.payload)
+
+    def test_regenerated_key_invalidates_old_signatures(self):
+        keys = KeyRegistry()
+        sig = self.sig(keys)
+        keys2 = KeyRegistry(seed=1)
+        keys2.generate("ci")
+        # splice the other generation's secret in under the same name
+        keys._secrets["ci"] = keys2._secrets["ci"]
+        assert not keys.verify(sig, sig.payload)
+
+    def test_roundtrip_through_dict(self):
+        keys = KeyRegistry()
+        sig = self.sig(keys)
+        again = Signature.from_dict(sig.as_dict())
+        assert again == sig and keys.verify(again, sig.payload)

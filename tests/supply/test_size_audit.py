@@ -1,0 +1,64 @@
+"""Unit tests for the per-layer size audit."""
+
+from repro.archive import TarArchive, TarMember
+from repro.kernel import FileType
+from repro.supply import audit_layers, layers_as_dict
+
+
+def member(path, data):
+    return TarMember(path, FileType.REG, 0o644, 0, 0, data=data)
+
+
+def layer(*members):
+    return TarArchive(list(members))
+
+
+class TestAuditLayers:
+    def test_single_layer_accounting(self):
+        audits = audit_layers([layer(member("/a", b"x" * 10),
+                                     member("/b", b"y" * 4))])
+        (a,) = audits
+        assert (a.members, a.total_bytes) == (2, 14)
+        assert a.unique_bytes == 14 and a.duplicate_bytes == 0
+        assert [m.path for m in a.largest] == ["/a", "/b"]
+
+    def test_duplicates_are_cumulative_across_layers(self):
+        """A byte run counts as unique exactly once image-wide; later
+        copies are the bloat number the audit attributes."""
+        audits = audit_layers([
+            layer(member("/bin/tool", b"elf" * 100)),
+            layer(member("/opt/copy", b"elf" * 100),
+                  member("/opt/new", b"fresh")),
+        ])
+        assert audits[0].duplicate_bytes == 0
+        assert audits[1].duplicate_bytes == 300
+        assert audits[1].unique_bytes == 5
+        dup = [m for m in audits[1].largest if m.duplicate]
+        assert [m.path for m in dup] == ["/opt/copy"]
+
+    def test_duplicate_within_one_layer(self):
+        (a,) = audit_layers([layer(member("/a", b"same"),
+                                   member("/b", b"same"))])
+        assert a.unique_bytes == 4 and a.duplicate_bytes == 4
+
+    def test_largest_is_size_then_path(self):
+        (a,) = audit_layers([layer(member("/z", b"xx"), member("/a", b"yy"),
+                                   member("/big", b"x" * 9))],
+                            top=2)
+        assert [m.path for m in a.largest] == ["/big", "/a"]
+
+    def test_empty_members_do_not_dedup(self):
+        (a,) = audit_layers([layer(member("/d1", b""), member("/d2", b""))])
+        assert a.duplicate_bytes == 0 and a.total_bytes == 0
+
+    def test_rollup_sums(self):
+        audits = audit_layers([
+            layer(member("/a", b"x" * 10)),
+            layer(member("/b", b"x" * 10), member("/c", b"z" * 3)),
+        ])
+        d = layers_as_dict(audits)
+        assert d["total_bytes"] == 23
+        assert d["unique_bytes"] == 13
+        assert d["duplicate_bytes"] == 10
+        assert len(d["layers"]) == 2
+        assert d["layers"][1]["largest"][0]["path"] == "/b"
